@@ -1,0 +1,20 @@
+//! B2 — bit-blasting throughput: lowering each design's one-frame cone to
+//! an AIG. This is the per-frame cost the BMC unroller pays.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gqed_bench::gate_count;
+use gqed_ha::all_designs;
+
+fn bench_blast_designs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bitblast/design-frame");
+    for entry in all_designs() {
+        let design = entry.build_clean();
+        group.bench_with_input(BenchmarkId::from_parameter(entry.name), &design, |b, d| {
+            b.iter(|| std::hint::black_box(gate_count(d)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_blast_designs);
+criterion_main!(benches);

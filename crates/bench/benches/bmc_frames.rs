@@ -1,0 +1,27 @@
+//! B3 — BMC frame cost: checking the G-QED properties of the wrapped
+//! `accum` model at increasing bounds. Measures how unrolling depth
+//! translates into solve time (the scalability axis of Figure 1).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gqed_bmc::BmcEngine;
+use gqed_core::{synthesize, QedConfig};
+use gqed_ha::designs::accum;
+
+fn bench_bmc_bounds(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bmc/gqed-accum");
+    group.sample_size(10);
+    for &bound in &[2u32, 4, 6] {
+        group.bench_with_input(BenchmarkId::from_parameter(bound), &bound, |b, &bound| {
+            b.iter(|| {
+                let mut d = accum::build(&accum::Params::default(), None);
+                let model = synthesize(&mut d, &QedConfig::gqed());
+                let mut engine = BmcEngine::new(&d.ctx, &model.ts);
+                std::hint::black_box(engine.check_up_to(bound))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_bmc_bounds);
+criterion_main!(benches);

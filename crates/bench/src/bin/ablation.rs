@@ -1,0 +1,115 @@
+//! Ablation study: which of G-QED's three checks (TLD, FC-G, RB+flow)
+//! carries the detection of each bug class? Each catalogued detectable
+//! bug is re-checked with exactly one monitor family enabled.
+//!
+//! Expected shape (the design-choice justification of DESIGN.md):
+//! * schedule-dependent corruption (ContextDependent) falls to **TLD**;
+//! * cross-transaction micro-architectural leaks (StateLeak) need
+//!   **FC-G** — they are deterministic per sequence, so TLD alone is
+//!   blind to them;
+//! * hangs (HandshakeProtocol) fall to **RB/flow**;
+//! * Uninitialized state falls to TLD (independent nondeterministic
+//!   resets in the two copies).
+//!
+//! No single check suffices — the union is what makes G-QED thorough.
+//!
+//! Regenerate with: `cargo run --release -p gqed-bench --bin ablation`
+
+use gqed_bench::{md_header, md_row};
+use gqed_bmc::BmcEngine;
+use gqed_core::theory::detection_bound;
+use gqed_core::{synthesize, QedChecks, QedConfig};
+use gqed_ha::all_designs;
+use std::collections::BTreeMap;
+
+fn run_with(checks: QedChecks, entry: &gqed_ha::DesignEntry, bug: &gqed_ha::BugInfo) -> bool {
+    let mut d = entry.build_buggy(bug.id);
+    let bound = detection_bound(&d, bug.min_transactions + 1).min(24);
+    let cfg = QedConfig {
+        checks,
+        ..QedConfig::gqed()
+    };
+    let model = synthesize(&mut d, &cfg);
+    let ts = model.ts.cone_of_influence(&d.ctx);
+    let mut engine = BmcEngine::new(&d.ctx, &ts);
+    engine.check_up_to(bound).is_violated()
+}
+
+fn main() {
+    let only_tld = QedChecks {
+        tld: true,
+        fcg: false,
+        rb: false,
+        flow: false,
+    };
+    let only_fcg = QedChecks {
+        tld: false,
+        fcg: true,
+        rb: false,
+        flow: false,
+    };
+    let only_rb = QedChecks {
+        tld: false,
+        fcg: false,
+        rb: true,
+        flow: true,
+    };
+
+    println!("## Ablation — per-check detection of each catalogued bug\n");
+    println!(
+        "{}",
+        md_header(&[
+            "design",
+            "bug",
+            "class",
+            "TLD only",
+            "FC-G only",
+            "RB+flow only"
+        ])
+    );
+    // class → (tld, fcg, rb) detection counters
+    let mut by_class: BTreeMap<String, (u32, u32, u32, u32)> = BTreeMap::new();
+    for entry in all_designs() {
+        for bug in (entry.bugs)().into_iter().filter(|b| b.expected.gqed) {
+            let tld = run_with(only_tld, &entry, &bug);
+            let fcg = run_with(only_fcg, &entry, &bug);
+            let rb = run_with(only_rb, &entry, &bug);
+            let e = by_class.entry(format!("{:?}", bug.class)).or_default();
+            e.0 += 1;
+            e.1 += u32::from(tld);
+            e.2 += u32::from(fcg);
+            e.3 += u32::from(rb);
+            let cell = |x: bool| if x { "✔" } else { "–" }.to_string();
+            println!(
+                "{}",
+                md_row(&[
+                    entry.name.to_string(),
+                    bug.id.to_string(),
+                    format!("{:?}", bug.class),
+                    cell(tld),
+                    cell(fcg),
+                    cell(rb),
+                ])
+            );
+            assert!(
+                tld || fcg || rb,
+                "{}::{} undetected by every individual check (but detected by the union?)",
+                entry.name,
+                bug.id
+            );
+        }
+    }
+    println!("\n### Per-class summary (detected / total)\n");
+    println!("{}", md_header(&["class", "TLD", "FC-G", "RB+flow"]));
+    for (class, (n, t, f, r)) in by_class {
+        println!(
+            "{}",
+            md_row(&[
+                class,
+                format!("{t}/{n}"),
+                format!("{f}/{n}"),
+                format!("{r}/{n}")
+            ])
+        );
+    }
+}

@@ -1,0 +1,37 @@
+//! F1 — BMC runtime vs unrolling bound (the scalability figure): for
+//! three interfering designs, the wall-clock time of the G-QED dual-copy
+//! check and of the single-copy conventional check at increasing bounds.
+//!
+//! Expected shape: superlinear growth with bound; the dual-copy miter
+//! costs a small constant factor (≈2–4×) over the single copy at equal
+//! bound.
+//!
+//! Output: CSV series (`design,flow,bound,seconds,clauses`).
+//!
+//! Regenerate with: `cargo run --release -p gqed-bench --bin fig1`
+
+use gqed_core::{check_design, CheckKind};
+use gqed_ha::all_designs;
+
+fn main() {
+    println!("design,flow,bound,seconds,cnf_clauses");
+    let picks = ["accum", "crc32", "dma"];
+    let bounds = [2u32, 4, 6, 8, 10, 12];
+    for entry in all_designs().iter().filter(|e| picks.contains(&e.name)) {
+        for &bound in &bounds {
+            for kind in [CheckKind::GQed, CheckKind::Conventional] {
+                let d = entry.build_clean();
+                let o = check_design(&d, kind, bound);
+                assert!(!o.verdict.is_violation());
+                println!(
+                    "{},{},{},{:.4},{}",
+                    entry.name,
+                    kind.name(),
+                    bound,
+                    o.elapsed.as_secs_f64(),
+                    o.stats.cnf_clauses
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,65 @@
+//! T3 — verification effort and problem sizes per design: the
+//! model-checking metrics table (CNF size, conflicts, wall-clock) for the
+//! G-QED run on each clean design, plus counterexample data for one
+//! representative bug.
+//!
+//! Regenerate with: `cargo run --release -p gqed-bench --bin table3`
+
+use gqed_bench::{md_header, md_row};
+use gqed_core::{check_design, CheckKind, Verdict};
+use gqed_ha::all_designs;
+
+fn main() {
+    println!("## Table 3 — G-QED model-checking effort per design\n");
+    println!(
+        "{}",
+        md_header(&[
+            "design",
+            "bound",
+            "CNF vars",
+            "CNF clauses",
+            "AIG gates",
+            "conflicts",
+            "time",
+            "repr. bug",
+            "cex cycles",
+            "bug time",
+        ])
+    );
+    for entry in all_designs() {
+        let clean = entry.build_clean();
+        let bound = clean.meta.recommended_bound.min(12);
+        let o = check_design(&clean, CheckKind::GQed, bound);
+        assert!(!o.verdict.is_violation(), "{}: false positive", entry.name);
+
+        // Representative bug: the first G-QED-detectable one.
+        let bug = (entry.bugs)()
+            .into_iter()
+            .find(|b| b.expected.gqed)
+            .expect("every design has a detectable bug");
+        let buggy = entry.build_buggy(bug.id);
+        let bo = check_design(&buggy, CheckKind::GQed, 20);
+        let (cex, btime) = match &bo.verdict {
+            Verdict::Violation { cycles, .. } => {
+                (cycles.to_string(), format!("{:.2?}", bo.elapsed))
+            }
+            Verdict::CleanUpTo(_) => ("MISSED".into(), "-".into()),
+        };
+
+        println!(
+            "{}",
+            md_row(&[
+                entry.name.to_string(),
+                bound.to_string(),
+                o.stats.cnf_vars.to_string(),
+                o.stats.cnf_clauses.to_string(),
+                o.stats.aig_ands.to_string(),
+                o.stats.solver.conflicts.to_string(),
+                format!("{:.2?}", o.elapsed),
+                bug.id.to_string(),
+                cex,
+                btime,
+            ])
+        );
+    }
+}

@@ -1,0 +1,79 @@
+//! T4 — the industrial-case-study productivity table: conventional-flow
+//! vs G-QED person-days under the calibrated cost model, for the paper's
+//! IP size and a sweep of design complexities.
+//!
+//! Headline row reproduces the abstract: 370 vs 21 person-days, 18×.
+//!
+//! Regenerate with: `cargo run --release -p gqed-bench --bin table4`
+
+use gqed_bench::{md_header, md_row};
+use gqed_core::productivity::{
+    conventional_person_days, gqed_person_days, productivity_gain, CaseStudy, ConventionalCosts,
+    GqedCosts,
+};
+
+fn main() {
+    let c = ConventionalCosts::default();
+    let g = GqedCosts::default();
+
+    println!("## Table 4 — verification productivity (person-days)\n");
+    println!(
+        "{}",
+        md_header(&[
+            "case study",
+            "features",
+            "properties",
+            "conventional",
+            "G-QED",
+            "gain",
+        ])
+    );
+    let rows: Vec<(&str, CaseStudy)> = vec![
+        (
+            "small block",
+            CaseStudy {
+                features: 10,
+                properties: 14,
+            },
+        ),
+        (
+            "medium block",
+            CaseStudy {
+                features: 40,
+                properties: 55,
+            },
+        ),
+        ("industrial IP (paper)", CaseStudy::industrial_dma()),
+        (
+            "SoC subsystem",
+            CaseStudy {
+                features: 400,
+                properties: 520,
+            },
+        ),
+    ];
+    for (name, cs) in rows {
+        let conv = conventional_person_days(&cs, &c);
+        let gq = gqed_person_days(&cs, &g);
+        println!(
+            "{}",
+            md_row(&[
+                name.to_string(),
+                cs.features.to_string(),
+                cs.properties.to_string(),
+                format!("{conv:.0}"),
+                format!("{gq:.0}"),
+                format!("{:.1}x", productivity_gain(&cs, &c, &g)),
+            ])
+        );
+    }
+    let cs = CaseStudy::industrial_dma();
+    let gain = productivity_gain(&cs, &c, &g);
+    println!(
+        "\nheadline: {:.0} -> {:.0} person-days = {:.1}x (paper: 370 -> 21 = 18x)",
+        conventional_person_days(&cs, &c),
+        gqed_person_days(&cs, &g),
+        gain
+    );
+    assert!((17.0..19.5).contains(&gain));
+}

@@ -1,0 +1,545 @@
+//! The incremental bounded model checker.
+//!
+//! One engine instance owns one growing unrolling: a shared AIG, a
+//! persistent Tseitin encoding and one incremental SAT solver. Extending
+//! the bound adds the new frame's logic; nothing is re-encoded. Environment
+//! constraints are attached to per-frame *activation literals* so that a
+//! query at frame `k` assumes exactly the constraints of frames `0..=k` —
+//! later frames (if already built) cannot prune behavior, which would be
+//! unsound for BMC.
+
+use crate::replay::replay;
+use crate::trace::Trace;
+use gqed_ir::{BitBlaster, Context, TermId, TransitionSystem};
+use gqed_logic::aig::{Aig, AigLit};
+use gqed_logic::{Cnf, Tseitin};
+use gqed_sat::{SatResult, Solver, SolverStats};
+use std::collections::HashMap;
+
+/// Outcome of a bounded check.
+#[derive(Clone, Debug)]
+pub enum BmcResult {
+    /// A violation was found (and confirmed by concrete replay).
+    Violated(Trace),
+    /// No `bad` property fires within the given bound (inclusive).
+    NoneUpTo(u32),
+}
+
+impl BmcResult {
+    /// The trace, if the result is a violation.
+    pub fn trace(&self) -> Option<&Trace> {
+        match self {
+            BmcResult::Violated(t) => Some(t),
+            BmcResult::NoneUpTo(_) => None,
+        }
+    }
+
+    /// Whether a violation was found.
+    pub fn is_violated(&self) -> bool {
+        matches!(self, BmcResult::Violated(_))
+    }
+}
+
+/// Size and effort metrics of an engine instance (reported in the
+/// evaluation tables).
+#[derive(Clone, Copy, Debug)]
+pub struct BmcStats {
+    /// Number of frames currently unrolled.
+    pub frames: u32,
+    /// AND gates in the shared AIG.
+    pub aig_ands: usize,
+    /// CNF variables allocated.
+    pub cnf_vars: u32,
+    /// CNF clauses added.
+    pub cnf_clauses: usize,
+    /// SAT solver search statistics.
+    pub solver: SolverStats,
+}
+
+struct Frame {
+    /// Bits of every term evaluated in this frame (states seeded).
+    blaster: BitBlaster,
+    /// AIG input bits allocated for each TS input in this frame.
+    input_bits: HashMap<TermId, Vec<AigLit>>,
+    /// Activation literal (DIMACS) for this frame's constraints.
+    constraint_act: Option<i32>,
+}
+
+/// Incremental BMC engine for a single `(Context, TransitionSystem)` pair.
+///
+/// The context and system are borrowed for the engine's lifetime; build the
+/// full model (including any QED wrapper logic) before constructing the
+/// engine.
+pub struct BmcEngine<'a> {
+    ctx: &'a Context,
+    ts: &'a TransitionSystem,
+    aig: Aig,
+    cnf: Cnf,
+    solver: Solver,
+    tseitin: Tseitin,
+    frames: Vec<Frame>,
+    /// AIG input bits of nondeterministically initialized states.
+    init_state_bits: HashMap<TermId, Vec<AigLit>>,
+    /// Cached CNF literal of each (bad, frame) pair already encoded.
+    bad_lits: HashMap<(usize, u32), i32>,
+    /// Number of CNF clauses already mirrored into the solver.
+    synced_clauses: usize,
+}
+
+impl<'a> BmcEngine<'a> {
+    /// Creates an engine with no frames unrolled yet.
+    pub fn new(ctx: &'a Context, ts: &'a TransitionSystem) -> Self {
+        BmcEngine {
+            ctx,
+            ts,
+            aig: Aig::new(),
+            cnf: Cnf::new(),
+            solver: Solver::new(),
+            tseitin: Tseitin::new(),
+            frames: Vec::new(),
+            init_state_bits: HashMap::new(),
+            bad_lits: HashMap::new(),
+            synced_clauses: 0,
+        }
+    }
+
+    /// Renders the engine's current CNF (the whole unrolling encoded so
+    /// far) in DIMACS format, for cross-checking individual queries with
+    /// an external SAT solver. Per-frame constraint activation literals
+    /// and `bad` literals are *not* asserted in the dump — append the unit
+    /// clauses for the query you want to reproduce (see
+    /// [`BmcEngine::stats`] for sizes).
+    pub fn to_dimacs(&self) -> String {
+        self.cnf.to_dimacs()
+    }
+
+    /// Current metrics.
+    pub fn stats(&self) -> BmcStats {
+        BmcStats {
+            frames: self.frames.len() as u32,
+            aig_ands: self.aig.num_ands(),
+            cnf_vars: self.cnf.num_vars(),
+            cnf_clauses: self.cnf.num_clauses(),
+            solver: self.solver.stats(),
+        }
+    }
+
+    fn const_bits(v: u128, w: u32) -> Vec<AigLit> {
+        (0..w)
+            .map(|i| {
+                if v >> i & 1 != 0 {
+                    AigLit::TRUE
+                } else {
+                    AigLit::FALSE
+                }
+            })
+            .collect()
+    }
+
+    /// Builds frames up to and including `frame`.
+    fn extend_to(&mut self, frame: u32) {
+        while self.frames.len() <= frame as usize {
+            let f = self.frames.len() as u32;
+            let mut blaster = BitBlaster::new();
+            // Seed state bits.
+            if f == 0 {
+                for s in &self.ts.states {
+                    let w = self.ctx.width(s.term);
+                    let bits = match s.init {
+                        Some(init) => {
+                            let v = gqed_ir::eval_terms(self.ctx, &[init], |t| {
+                                panic!(
+                                    "init must be constant, found leaf '{}'",
+                                    self.ctx.var_name(t).unwrap_or("?")
+                                )
+                            })[0];
+                            Self::const_bits(v, w)
+                        }
+                        None => {
+                            let bits: Vec<AigLit> = (0..w).map(|_| self.aig.input()).collect();
+                            self.init_state_bits.insert(s.term, bits.clone());
+                            bits
+                        }
+                    };
+                    blaster.seed(self.ctx, s.term, bits);
+                }
+            } else {
+                // Next-state bits computed in the previous frame.
+                let prev = self.frames.len() - 1;
+                let mut next_bits: Vec<(TermId, Vec<AigLit>)> = Vec::new();
+                for s in &self.ts.states {
+                    let prev_frame = &mut self.frames[prev];
+                    let bits = prev_frame.blaster.blast(
+                        self.ctx,
+                        &mut self.aig,
+                        s.next,
+                        &mut leaf_provider(&mut prev_frame.input_bits),
+                    );
+                    next_bits.push((s.term, bits));
+                }
+                for (t, bits) in next_bits {
+                    blaster.seed(self.ctx, t, bits);
+                }
+            }
+            let mut fr = Frame {
+                blaster,
+                input_bits: HashMap::new(),
+                constraint_act: None,
+            };
+            // Encode this frame's environment constraints behind one
+            // activation literal.
+            if !self.ts.constraints.is_empty() {
+                let act = self.cnf.fresh_var();
+                for &c in &self.ts.constraints {
+                    let bits = fr.blaster.blast(
+                        self.ctx,
+                        &mut self.aig,
+                        c,
+                        &mut leaf_provider(&mut fr.input_bits),
+                    );
+                    let lit = self.tseitin.lit(&self.aig, &mut self.cnf, bits[0]);
+                    self.cnf.add_clause(&[-act, lit]);
+                }
+                fr.constraint_act = Some(act);
+            }
+            self.frames.push(fr);
+        }
+    }
+
+    /// Encodes `bad` property `bad_index` at `frame`; returns its CNF literal.
+    fn encode_bad_at(&mut self, bad_index: usize, frame: u32) -> i32 {
+        if let Some(&l) = self.bad_lits.get(&(bad_index, frame)) {
+            return l;
+        }
+        self.extend_to(frame);
+        let term = self.ts.bads[bad_index].term;
+        let fr = &mut self.frames[frame as usize];
+        let bits = fr.blaster.blast(
+            self.ctx,
+            &mut self.aig,
+            term,
+            &mut leaf_provider(&mut fr.input_bits),
+        );
+        let lit = self.tseitin.lit(&self.aig, &mut self.cnf, bits[0]);
+        self.bad_lits.insert((bad_index, frame), lit);
+        lit
+    }
+
+    /// Checks a single `bad` property at exactly `frame`; returns a
+    /// replay-confirmed trace if violated there.
+    pub fn check_bad_at(&mut self, bad_index: usize, frame: u32) -> Option<Trace> {
+        let bad_lit = self.encode_bad_at(bad_index, frame);
+        // Constraint clauses added during extension must reach the solver
+        // too; encode_bad_at only syncs its own cone, so sync again.
+        self.flush_cnf();
+        let mut assumptions = self.constraint_assumptions(frame);
+        assumptions.push(bad_lit);
+        match self.solver.solve(&assumptions) {
+            SatResult::Unsat => None,
+            SatResult::Sat => {
+                let trace = self.extract_trace(bad_index, frame);
+                // Hard soundness guard: every trace must replay concretely.
+                replay(self.ctx, self.ts, &trace).unwrap_or_else(|e| {
+                    panic!("BMC produced a non-replayable counterexample: {e}")
+                });
+                Some(trace)
+            }
+        }
+    }
+
+    /// Mirrors into the solver every CNF variable and clause produced
+    /// since the last flush (the Tseitin encoder and constraint encoding
+    /// write into `self.cnf` only).
+    fn flush_cnf(&mut self) {
+        while self.solver.num_vars() < self.cnf.num_vars() {
+            let _ = self.solver.new_var();
+        }
+        let pending: Vec<Vec<i32>> = self
+            .cnf
+            .clauses()
+            .skip(self.synced_clauses)
+            .map(|c| c.to_vec())
+            .collect();
+        self.synced_clauses = self.cnf.num_clauses();
+        for c in pending {
+            self.solver.add_clause(&c);
+        }
+    }
+
+    /// Checks *all* `bad` properties at exactly `frame` through a single
+    /// disjunction query (one solver call per frame instead of one per
+    /// property); returns a replay-confirmed trace for the property that
+    /// fired, if any.
+    pub fn check_any_bad_at(&mut self, frame: u32) -> Option<Trace> {
+        if self.ts.bads.is_empty() {
+            return None;
+        }
+        if self.ts.bads.len() == 1 {
+            return self.check_bad_at(0, frame);
+        }
+        // Blast every bad at this frame and OR them in the AIG (sharing
+        // their cones), caching the individual bits for identification.
+        self.extend_to(frame);
+        let mut bad_bits: Vec<AigLit> = Vec::with_capacity(self.ts.bads.len());
+        for bad_index in 0..self.ts.bads.len() {
+            let term = self.ts.bads[bad_index].term;
+            let fr = &mut self.frames[frame as usize];
+            let bits = fr.blaster.blast(
+                self.ctx,
+                &mut self.aig,
+                term,
+                &mut leaf_provider(&mut fr.input_bits),
+            );
+            bad_bits.push(bits[0]);
+        }
+        let any = self.aig.or_all(&bad_bits);
+        if any == AigLit::FALSE {
+            return None; // all bads fold to constant false here
+        }
+        let any_lit = self.tseitin.lit(&self.aig, &mut self.cnf, any);
+        self.flush_cnf();
+        let mut assumptions = self.constraint_assumptions(frame);
+        assumptions.push(any_lit);
+        match self.solver.solve(&assumptions) {
+            SatResult::Unsat => None,
+            SatResult::Sat => {
+                // Identify which property fired in the model.
+                let bad_index = bad_bits
+                    .iter()
+                    .position(|&b| self.bits_value(&[b]) == 1)
+                    .expect("disjunction satisfied but no disjunct true");
+                let trace = self.extract_trace(bad_index, frame);
+                replay(self.ctx, self.ts, &trace).unwrap_or_else(|e| {
+                    panic!("BMC produced a non-replayable counterexample: {e}")
+                });
+                Some(trace)
+            }
+        }
+    }
+
+    fn constraint_assumptions(&self, frame: u32) -> Vec<i32> {
+        (0..=frame)
+            .filter_map(|f| self.frames[f as usize].constraint_act)
+            .collect()
+    }
+
+    /// Checks all `bad` properties at frames `0..=bound`, depth-first by
+    /// frame; returns the first (shallowest) confirmed violation.
+    pub fn check_up_to(&mut self, bound: u32) -> BmcResult {
+        for frame in 0..=bound {
+            if let Some(t) = self.check_any_bad_at(frame) {
+                return BmcResult::Violated(t);
+            }
+        }
+        BmcResult::NoneUpTo(bound)
+    }
+
+    /// Reads the model value of a vector of AIG literals.
+    fn bits_value(&self, bits: &[AigLit]) -> u128 {
+        let mut v = 0u128;
+        for (i, &b) in bits.iter().enumerate() {
+            let bit = if b == AigLit::TRUE {
+                true
+            } else if b == AigLit::FALSE {
+                false
+            } else {
+                match self.tseitin.existing_var(b) {
+                    // Unencoded (outside every solved cone): unconstrained.
+                    None => false,
+                    Some(l) => self.solver.value(l),
+                }
+            };
+            v |= u128::from(bit) << i;
+        }
+        v
+    }
+
+    fn extract_trace(&self, bad_index: usize, frame: u32) -> Trace {
+        let mut frames = Vec::with_capacity(frame as usize + 1);
+        for f in 0..=frame {
+            let fr = &self.frames[f as usize];
+            let mut m = HashMap::new();
+            for &inp in &self.ts.inputs {
+                let v = match fr.input_bits.get(&inp) {
+                    Some(bits) => self.bits_value(bits),
+                    None => 0, // input not referenced in this frame's cones
+                };
+                m.insert(inp, v);
+            }
+            frames.push(m);
+        }
+        let initial_states = self
+            .init_state_bits
+            .iter()
+            .map(|(&t, bits)| (t, self.bits_value(bits)))
+            .collect();
+        Trace {
+            frames,
+            initial_states,
+            bad_index,
+            bad_name: self.ts.bads[bad_index].name.clone(),
+        }
+    }
+}
+
+/// Leaf provider that allocates fresh AIG inputs for TS inputs and records
+/// them; panics on unseeded states (states are always seeded per frame).
+fn leaf_provider(
+    input_bits: &mut HashMap<TermId, Vec<AigLit>>,
+) -> impl FnMut(&mut Aig, TermId, u32) -> Vec<AigLit> + '_ {
+    move |aig, t, w| {
+        input_bits
+            .entry(t)
+            .or_insert_with(|| (0..w).map(|_| aig.input()).collect())
+            .clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Counter with enable; bad = (cnt == target).
+    fn counter_reaches(target: u128, width: u32) -> (Context, TransitionSystem) {
+        let mut ctx = Context::new();
+        let en = ctx.input("en", 1);
+        let cnt = ctx.state("cnt", width);
+        let inc = ctx.inc(cnt);
+        let next = ctx.ite(en, inc, cnt);
+        let zero = ctx.zero(width);
+        let tgt = ctx.constant(target, width);
+        let hit = ctx.eq(cnt, tgt);
+        let mut ts = TransitionSystem::new("counter");
+        ts.inputs.push(en);
+        ts.add_state(cnt, Some(zero), next);
+        ts.add_bad("reaches_target", hit);
+        (ctx, ts)
+    }
+
+    #[test]
+    fn finds_shallowest_violation() {
+        let (ctx, ts) = counter_reaches(3, 8);
+        let mut engine = BmcEngine::new(&ctx, &ts);
+        match engine.check_up_to(10) {
+            BmcResult::Violated(t) => assert_eq!(t.len(), 4), // cycles 0..3
+            BmcResult::NoneUpTo(_) => panic!("expected violation"),
+        }
+    }
+
+    #[test]
+    fn respects_bound() {
+        let (ctx, ts) = counter_reaches(9, 8);
+        let mut engine = BmcEngine::new(&ctx, &ts);
+        match engine.check_up_to(5) {
+            BmcResult::NoneUpTo(b) => assert_eq!(b, 5),
+            BmcResult::Violated(_) => panic!("target 9 cannot be hit in 6 cycles"),
+        }
+        // Deepening the same engine finds it.
+        assert!(engine.check_up_to(9).is_violated());
+    }
+
+    #[test]
+    fn constraints_prune_counterexamples() {
+        let (mut ctx, mut ts) = counter_reaches(2, 8);
+        // Constrain en = 0: the counter can never move.
+        let en = ts.inputs[0];
+        let not_en = ctx.not(en);
+        ts.constraints.push(not_en);
+        let mut engine = BmcEngine::new(&ctx, &ts);
+        assert!(!engine.check_up_to(8).is_violated());
+    }
+
+    #[test]
+    fn nondet_initial_state_found() {
+        let mut ctx = Context::new();
+        let x = ctx.state("x", 8); // uninitialized
+        let next = x;
+        let c42 = ctx.constant(42, 8);
+        let hit = ctx.eq(x, c42);
+        let mut ts = TransitionSystem::new("nondet");
+        ts.add_state(x, None, next);
+        ts.add_bad("x_is_42", hit);
+        let mut engine = BmcEngine::new(&ctx, &ts);
+        match engine.check_up_to(0) {
+            BmcResult::Violated(t) => {
+                assert_eq!(t.initial_states[&x], 42);
+            }
+            BmcResult::NoneUpTo(_) => panic!("expected violation at frame 0"),
+        }
+    }
+
+    #[test]
+    fn unsatisfiable_bad_never_fires() {
+        let mut ctx = Context::new();
+        let a = ctx.input("a", 8);
+        let cnt = ctx.state("c", 8);
+        let next = ctx.add(cnt, a);
+        let zero = ctx.zero(8);
+        // bad: cnt != cnt  (always false)
+        let bad = ctx.ne(cnt, cnt);
+        let mut ts = TransitionSystem::new("t");
+        ts.inputs.push(a);
+        ts.add_state(cnt, Some(zero), next);
+        ts.add_bad("never", bad);
+        let mut engine = BmcEngine::new(&ctx, &ts);
+        assert!(!engine.check_up_to(6).is_violated());
+    }
+
+    #[test]
+    fn dimacs_dump_matches_reported_sizes() {
+        let (ctx, ts) = counter_reaches(5, 8);
+        let mut engine = BmcEngine::new(&ctx, &ts);
+        let _ = engine.check_up_to(3);
+        let dump = engine.to_dimacs();
+        let stats = engine.stats();
+        let header = dump.lines().next().unwrap().to_string();
+        assert_eq!(
+            header,
+            format!("p cnf {} {}", stats.cnf_vars, stats.cnf_clauses)
+        );
+        assert_eq!(
+            dump.lines().filter(|l| l.ends_with(" 0")).count(),
+            stats.cnf_clauses
+        );
+    }
+
+    #[test]
+    fn stats_grow_with_frames() {
+        let (ctx, ts) = counter_reaches(200, 8);
+        let mut engine = BmcEngine::new(&ctx, &ts);
+        let _ = engine.check_up_to(2);
+        let s2 = engine.stats();
+        let _ = engine.check_up_to(6);
+        let s6 = engine.stats();
+        assert!(s6.frames > s2.frames);
+        assert!(s6.cnf_clauses >= s2.cnf_clauses);
+        assert!(s6.aig_ands >= s2.aig_ands);
+    }
+
+    #[test]
+    fn multiple_bads_identified_correctly() {
+        let mut ctx = Context::new();
+        let en = ctx.input("en", 1);
+        let cnt = ctx.state("cnt", 4);
+        let inc = ctx.inc(cnt);
+        let next = ctx.ite(en, inc, cnt);
+        let zero = ctx.zero(4);
+        let c5 = ctx.constant(5, 4);
+        let c2 = ctx.constant(2, 4);
+        let at5 = ctx.eq(cnt, c5);
+        let at2 = ctx.eq(cnt, c2);
+        let mut ts = TransitionSystem::new("two_bads");
+        ts.inputs.push(en);
+        ts.add_state(cnt, Some(zero), next);
+        ts.add_bad("reach5", at5);
+        ts.add_bad("reach2", at2);
+        let mut engine = BmcEngine::new(&ctx, &ts);
+        match engine.check_up_to(10) {
+            BmcResult::Violated(t) => {
+                assert_eq!(t.bad_name, "reach2"); // shallower target
+                assert_eq!(t.len(), 3);
+            }
+            BmcResult::NoneUpTo(_) => panic!("expected violation"),
+        }
+    }
+}

@@ -1,0 +1,247 @@
+//! Counterexample traces.
+
+use gqed_ir::vcd::{Vcd, VcdSignal};
+use gqed_ir::{Context, Sim, TermId, TransitionSystem};
+use std::collections::HashMap;
+
+/// A finite execution witnessing a `bad` property violation.
+///
+/// The trace pins down everything the design's behavior depends on: the
+/// value of every primary input at every frame, and the initial value of
+/// every state whose reset value is nondeterministic. Frame `len - 1` is
+/// the cycle at which the property fires.
+#[derive(Clone, Debug)]
+pub struct Trace {
+    /// Input valuation per frame, keyed by input term.
+    pub frames: Vec<HashMap<TermId, u128>>,
+    /// Initial values of states (only meaningful for states without an
+    /// `init` expression; initialized states replay from their reset
+    /// value regardless).
+    pub initial_states: HashMap<TermId, u128>,
+    /// Index of the violated `bad` property in the system's `bads` list.
+    pub bad_index: usize,
+    /// Name of the violated property.
+    pub bad_name: String,
+}
+
+impl Trace {
+    /// Number of frames (cycles) in the trace; the violation occurs in the
+    /// last one.
+    pub fn len(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Whether the trace has no frames.
+    pub fn is_empty(&self) -> bool {
+        self.frames.is_empty()
+    }
+
+    /// Renders the trace as a VCD waveform of the system's inputs and
+    /// named outputs, by replaying it on the concrete simulator.
+    pub fn to_vcd(&self, ctx: &Context, ts: &TransitionSystem) -> Vcd {
+        let mut vcd = Vcd::new(&ts.name, 1);
+        for &i in &ts.inputs {
+            vcd.add_signal(VcdSignal {
+                name: ctx.var_name(i).unwrap_or("input").to_string(),
+                width: ctx.width(i),
+            });
+        }
+        for (name, t) in &ts.outputs {
+            vcd.add_signal(VcdSignal {
+                name: name.clone(),
+                width: ctx.width(*t),
+            });
+        }
+        let mut sim = Sim::new(ctx, ts);
+        for (&st, &v) in &self.initial_states {
+            sim = sim.with_initial(st, v);
+        }
+        for frame in &self.frames {
+            let mut row: Vec<u128> = ts
+                .inputs
+                .iter()
+                .map(|i| frame.get(i).copied().unwrap_or(0))
+                .collect();
+            row.extend(ts.outputs.iter().map(|(_, t)| sim.peek(frame, *t)));
+            vcd.add_cycle(&row);
+            sim.step(frame);
+        }
+        vcd
+    }
+
+    /// Renders the trace in the BTOR2 *witness* format, for consumption by
+    /// btor2 tooling alongside [`gqed_ir::to_btor2`]'s model export.
+    ///
+    /// Conventions: the single `bad` is reported as `b{bad_index}`; frame
+    /// `#0` lists initial values of uninitialized states (indexed by their
+    /// position in `ts.states`), and each `@f` frame lists every input
+    /// (indexed by its position in `ts.inputs`).
+    pub fn to_btor2_witness(&self, ctx: &Context, ts: &TransitionSystem) -> String {
+        use std::fmt::Write as _;
+        let bin = |v: u128, w: u32| -> String {
+            (0..w)
+                .rev()
+                .map(|b| if v >> b & 1 != 0 { '1' } else { '0' })
+                .collect()
+        };
+        let mut out = String::new();
+        let _ = writeln!(out, "sat");
+        let _ = writeln!(out, "b{}", self.bad_index);
+        let _ = writeln!(out, "#0");
+        for (i, s) in ts.states.iter().enumerate() {
+            if s.init.is_none() {
+                let v = self.initial_states.get(&s.term).copied().unwrap_or(0);
+                let w = ctx.width(s.term);
+                let name = ctx.var_name(s.term).unwrap_or("state");
+                let _ = writeln!(out, "{i} {} {name}#0", bin(v, w));
+            }
+        }
+        for (f, frame) in self.frames.iter().enumerate() {
+            let _ = writeln!(out, "@{f}");
+            for (i, &inp) in ts.inputs.iter().enumerate() {
+                let v = frame.get(&inp).copied().unwrap_or(0);
+                let w = ctx.width(inp);
+                let name = ctx.var_name(inp).unwrap_or("input");
+                let _ = writeln!(out, "{i} {} {name}@{f}", bin(v, w));
+            }
+        }
+        let _ = writeln!(out, ".");
+        out
+    }
+
+    /// Renders a human-readable tabulation of the trace: one row per
+    /// cycle, one column per input.
+    pub fn pretty(&self, ctx: &Context, ts: &TransitionSystem) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "counterexample to '{}' ({} cycles)",
+            self.bad_name,
+            self.len()
+        );
+        if !self.initial_states.is_empty() {
+            let mut inits: Vec<(&str, u128)> = self
+                .initial_states
+                .iter()
+                .map(|(&t, &v)| (ctx.var_name(t).unwrap_or("?"), v))
+                .collect();
+            inits.sort();
+            let _ = write!(out, "  initial:");
+            for (n, v) in inits {
+                let _ = write!(out, " {n}={v:#x}");
+            }
+            let _ = writeln!(out);
+        }
+        let names: Vec<&str> = ts
+            .inputs
+            .iter()
+            .map(|&i| ctx.var_name(i).unwrap_or("?"))
+            .collect();
+        let _ = write!(out, "  cycle |");
+        for n in &names {
+            let _ = write!(out, " {n:>8}");
+        }
+        let _ = writeln!(out);
+        for (f, frame) in self.frames.iter().enumerate() {
+            let _ = write!(out, "  {f:>5} |");
+            for &i in &ts.inputs {
+                let v = frame.get(&i).copied().unwrap_or(0);
+                let _ = write!(out, " {v:>8x}");
+            }
+            let _ = writeln!(out);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn to_vcd_replays_outputs() {
+        let mut ctx = Context::new();
+        let en = ctx.input("en", 1);
+        let cnt = ctx.state("cnt", 8);
+        let inc = ctx.inc(cnt);
+        let next = ctx.ite(en, inc, cnt);
+        let zero = ctx.zero(8);
+        let mut ts = TransitionSystem::new("counter");
+        ts.inputs.push(en);
+        ts.add_state(cnt, Some(zero), next);
+        ts.outputs.push(("cnt".into(), cnt));
+        let mut f = HashMap::new();
+        f.insert(en, 1u128);
+        let trace = Trace {
+            frames: vec![f.clone(), f.clone(), f],
+            initial_states: HashMap::new(),
+            bad_index: 0,
+            bad_name: "x".into(),
+        };
+        let vcd = trace.to_vcd(&ctx, &ts).render();
+        assert!(vcd.contains("$var wire 1"));
+        assert!(vcd.contains("$var wire 8"));
+        assert!(vcd.contains("b00000001")); // cnt reaches 1
+    }
+
+    #[test]
+    fn btor2_witness_shape() {
+        let mut ctx = Context::new();
+        let en = ctx.input("en", 1);
+        let x = ctx.state("x", 4);
+        let mut ts = TransitionSystem::new("w");
+        ts.inputs.push(en);
+        ts.add_state(x, None, x);
+        let mut f = HashMap::new();
+        f.insert(en, 1u128);
+        let mut init = HashMap::new();
+        init.insert(x, 0b1010u128);
+        let trace = Trace {
+            frames: vec![f.clone(), f],
+            initial_states: init,
+            bad_index: 2,
+            bad_name: "p".into(),
+        };
+        let w = trace.to_btor2_witness(&ctx, &ts);
+        assert!(w.starts_with(
+            "sat
+b2
+#0
+"
+        ));
+        assert!(w.contains("0 1010 x#0"));
+        assert!(w.contains(
+            "@0
+0 1 en@0"
+        ));
+        assert!(w.contains(
+            "@1
+0 1 en@1"
+        ));
+        assert!(w.trim_end().ends_with('.'));
+    }
+
+    #[test]
+    fn pretty_renders_all_frames() {
+        let mut ctx = Context::new();
+        let a = ctx.input("a", 8);
+        let mut ts = TransitionSystem::new("t");
+        ts.inputs.push(a);
+        let mut f0 = HashMap::new();
+        f0.insert(a, 0x12u128);
+        let mut f1 = HashMap::new();
+        f1.insert(a, 0x34u128);
+        let trace = Trace {
+            frames: vec![f0, f1],
+            initial_states: HashMap::new(),
+            bad_index: 0,
+            bad_name: "prop".into(),
+        };
+        let s = trace.pretty(&ctx, &ts);
+        assert!(s.contains("prop"));
+        assert!(s.contains("12"));
+        assert!(s.contains("34"));
+        assert_eq!(trace.len(), 2);
+    }
+}

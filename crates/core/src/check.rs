@@ -1,0 +1,225 @@
+//! The three verification flows the evaluation compares.
+//!
+//! * [`CheckKind::GQed`] — synthesize the full G-QED wrapper and model
+//!   check its universal properties;
+//! * [`CheckKind::AQed`] — plain A-QED (single-copy functional consistency
+//!   without the architectural-state condition + bounded response). On
+//!   interfering designs this flow raises *false alarms* — part of what
+//!   the paper demonstrates;
+//! * [`CheckKind::Conventional`] — the design's handwritten assertions
+//!   (the traditional flow the paper's industrial team used before G-QED).
+//!
+//! Each flow runs the incremental BMC engine up to a bound and returns a
+//! [`CheckOutcome`] with the verdict, the (replay-confirmed) trace and the
+//! engine statistics used by the evaluation tables.
+
+use crate::wrapper::{synthesize, QedConfig};
+use gqed_bmc::{BmcEngine, BmcResult, BmcStats, Trace};
+use gqed_ha::Design;
+use std::time::{Duration, Instant};
+
+/// Which verification flow to run.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CheckKind {
+    /// Full G-QED (TLD + FC-G + RB + flow, architectural-state-aware).
+    GQed,
+    /// Plain A-QED (FC + RB + flow, input-equality only).
+    AQed,
+    /// The design's conventional assertions.
+    Conventional,
+}
+
+impl CheckKind {
+    /// Stable display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            CheckKind::GQed => "G-QED",
+            CheckKind::AQed => "A-QED",
+            CheckKind::Conventional => "conventional",
+        }
+    }
+}
+
+/// Verdict of one flow run.
+#[derive(Clone, Debug)]
+pub enum Verdict {
+    /// A property violation was found (replay-confirmed).
+    Violation {
+        /// Name of the violated property.
+        property: String,
+        /// Counterexample length in cycles.
+        cycles: usize,
+    },
+    /// No violation up to the bound (inclusive).
+    CleanUpTo(u32),
+}
+
+impl Verdict {
+    /// Whether the flow reported a violation.
+    pub fn is_violation(&self) -> bool {
+        matches!(self, Verdict::Violation { .. })
+    }
+}
+
+/// Result of running one flow on one design build.
+#[derive(Clone, Debug)]
+pub struct CheckOutcome {
+    /// Flow that produced this outcome.
+    pub kind: CheckKind,
+    /// Verdict.
+    pub verdict: Verdict,
+    /// The counterexample, if any.
+    pub trace: Option<Trace>,
+    /// BMC engine statistics at the end of the run.
+    pub stats: BmcStats,
+    /// Wall-clock time of the run.
+    pub elapsed: Duration,
+}
+
+/// Runs `kind` on (a clone of) `design` with BMC bound `bound`.
+///
+/// The design is cloned because wrapper synthesis extends its term
+/// context; the caller's build stays pristine.
+pub fn check_design(design: &Design, kind: CheckKind, bound: u32) -> CheckOutcome {
+    let start = Instant::now();
+    let mut d = design.clone();
+    let (ctx, ts) = match kind {
+        CheckKind::GQed => {
+            let model = synthesize(&mut d, &QedConfig::gqed());
+            (d.ctx, model.ts)
+        }
+        CheckKind::AQed => {
+            let model = synthesize(&mut d, &QedConfig::aqed());
+            (d.ctx, model.ts)
+        }
+        CheckKind::Conventional => {
+            let mut ts = d.ts.clone();
+            ts.bads = d.conventional.clone();
+            (d.ctx, ts)
+        }
+    };
+    // Classic preprocessing: drop state that cannot reach any property.
+    let ts = ts.cone_of_influence(&ctx);
+    let mut engine = BmcEngine::new(&ctx, &ts);
+    let result = engine.check_up_to(bound);
+    let stats = engine.stats();
+    let elapsed = start.elapsed();
+    match result {
+        BmcResult::Violated(trace) => CheckOutcome {
+            kind,
+            verdict: Verdict::Violation {
+                property: trace.bad_name.clone(),
+                cycles: trace.len(),
+            },
+            trace: Some(trace),
+            stats,
+            elapsed,
+        },
+        BmcResult::NoneUpTo(b) => CheckOutcome {
+            kind,
+            verdict: Verdict::CleanUpTo(b),
+            trace: None,
+            stats,
+            elapsed,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gqed_ha::designs::{accum, vecadd};
+
+    #[test]
+    fn clean_accum_passes_gqed() {
+        let d = accum::build(&accum::Params::default(), None);
+        let o = check_design(&d, CheckKind::GQed, 12);
+        assert!(
+            !o.verdict.is_violation(),
+            "bug-free design must pass: {:?}",
+            o.verdict
+        );
+    }
+
+    #[test]
+    fn carry_leak_caught_by_gqed() {
+        let d = accum::build(&accum::Params::default(), Some("carry-leak"));
+        let o = check_design(&d, CheckKind::GQed, 16);
+        assert!(o.verdict.is_violation(), "carry-leak must be caught");
+    }
+
+    #[test]
+    fn aqed_false_alarm_on_interfering_design() {
+        // Plain A-QED flags the *bug-free* accumulator: two equal GETs can
+        // legitimately return different values. This is the motivating
+        // observation of the paper.
+        let d = accum::build(&accum::Params::default(), None);
+        let o = check_design(&d, CheckKind::AQed, 14);
+        assert!(
+            o.verdict.is_violation(),
+            "A-QED must raise a false alarm on an interfering design"
+        );
+    }
+
+    #[test]
+    fn conventional_catches_clear_bug() {
+        let d = accum::build(&accum::Params::default(), Some("clear-keeps-high-nibble"));
+        let o = check_design(&d, CheckKind::Conventional, 10);
+        assert!(o.verdict.is_violation());
+        if let Verdict::Violation { property, .. } = &o.verdict {
+            assert!(property.contains("clr_zeroes_acc"));
+        }
+    }
+
+    #[test]
+    fn gqed_misses_consistent_functional_bug() {
+        // Honest boundary: deterministic wrong functions are outside the
+        // self-consistency bug class.
+        let d = accum::build(&accum::Params::default(), Some("clear-keeps-high-nibble"));
+        let o = check_design(&d, CheckKind::GQed, 12);
+        assert!(!o.verdict.is_violation());
+    }
+
+    #[test]
+    fn vecadd_bus_bug_caught_by_aqed_and_gqed() {
+        let d = vecadd::build(
+            &vecadd::Params::default(),
+            Some("result-recomputed-from-bus"),
+        );
+        let a = check_design(&d, CheckKind::AQed, 12);
+        assert!(
+            a.verdict.is_violation(),
+            "A-QED must catch it: {:?}",
+            a.verdict
+        );
+        let g = check_design(&d, CheckKind::GQed, 12);
+        assert!(g.verdict.is_violation(), "G-QED must catch it");
+    }
+
+    #[test]
+    fn clean_vecadd_passes_both_qed_flows() {
+        let d = vecadd::build(&vecadd::Params::default(), None);
+        for kind in [CheckKind::AQed, CheckKind::GQed] {
+            let o = check_design(&d, kind, 10);
+            assert!(
+                !o.verdict.is_violation(),
+                "{}: {:?}",
+                kind.name(),
+                o.verdict
+            );
+        }
+    }
+
+    #[test]
+    fn hang_bug_caught_by_rb() {
+        let d = accum::build(&accum::Params::default(), Some("hang-on-zero-data"));
+        let o = check_design(&d, CheckKind::GQed, 14);
+        assert!(o.verdict.is_violation());
+        if let Verdict::Violation { property, .. } = &o.verdict {
+            assert!(
+                property.starts_with("rb."),
+                "expected the response-bound monitor, got {property}"
+            );
+        }
+    }
+}

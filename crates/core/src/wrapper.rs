@@ -1,0 +1,540 @@
+//! QED-module synthesis: the design-independent monitor hardware G-QED
+//! composes around an accelerator.
+//!
+//! Given a packaged [`Design`], [`synthesize`] builds a *wrapped model*
+//! containing:
+//!
+//! * a **symbolic transaction tape** — `D` frozen, nondeterministically
+//!   initialized words, each one packed request payload. The tape is the
+//!   formal stand-in for "the same input sequence": every copy of the
+//!   design consumes tape words in order through its own read pointer, so
+//!   two copies with different schedules still see identical transaction
+//!   payloads;
+//! * one or two **instances of the design** (two for the TLD check), each
+//!   with its own free schedule inputs (`sched_valid`, `out_ready`) —
+//!   the BMC engine explores all interleavings of request arrival and
+//!   response back-pressure independently per copy;
+//! * per-copy **bookkeeping**: accept/complete counters and an in-order
+//!   **response log**;
+//! * the **property monitors** (selected by [`QedChecks`]):
+//!   transaction-level determinism, generalized functional consistency,
+//!   response bound, and response-flow integrity.
+//!
+//! All monitor logic is synthesized from the transactional interface and
+//! (for FC-G) the architectural-state projection only — no design-specific
+//! properties, matching the paper's "no extensive design-specific
+//! properties or full functional specification" claim.
+
+use gqed_ha::Design;
+use gqed_ir::{Context, TermId, TransitionSystem};
+use std::collections::HashMap;
+
+/// Which QED property monitors to synthesize.
+#[derive(Clone, Copy, Debug)]
+pub struct QedChecks {
+    /// Transaction-level determinism (dual-copy miter).
+    pub tld: bool,
+    /// Generalized functional consistency (single copy).
+    pub fcg: bool,
+    /// Bounded response.
+    pub rb: bool,
+    /// Response-flow integrity (no orphan responses).
+    pub flow: bool,
+}
+
+/// Configuration of a QED wrapper.
+#[derive(Clone, Copy, Debug)]
+pub struct QedConfig {
+    /// Monitors to build.
+    pub checks: QedChecks,
+    /// Whether FC-G compares the architectural-state projection. `false`
+    /// reproduces plain A-QED's functional-consistency condition (input
+    /// equality only) — unsound on interfering designs.
+    pub arch_aware: bool,
+    /// Number of symbolic transactions on the tape (bounds the number of
+    /// transactions any copy can consume within the unrolling).
+    pub tape_depth: usize,
+    /// Response-bound in cycles; `None` derives `latency + 4` from the
+    /// design metadata.
+    pub rb_bound: Option<u32>,
+}
+
+impl QedConfig {
+    /// The full G-QED configuration (all checks, architectural-state-aware).
+    pub fn gqed() -> Self {
+        QedConfig {
+            checks: QedChecks {
+                tld: true,
+                fcg: true,
+                rb: true,
+                flow: true,
+            },
+            arch_aware: true,
+            tape_depth: 4,
+            rb_bound: None,
+        }
+    }
+
+    /// Plain A-QED: single-copy functional consistency (input equality
+    /// only) plus bounded response — the paper's baseline, sound only for
+    /// non-interfering designs.
+    pub fn aqed() -> Self {
+        QedConfig {
+            checks: QedChecks {
+                tld: false,
+                fcg: true,
+                rb: true,
+                flow: true,
+            },
+            arch_aware: false,
+            tape_depth: 4,
+            rb_bound: None,
+        }
+    }
+}
+
+/// Probe terms of one design copy inside the wrapped model (exposed for
+/// tests, trace inspection and the evaluation harness).
+#[derive(Clone, Debug)]
+pub struct CopyProbe {
+    /// Request accepted this cycle.
+    pub accept: TermId,
+    /// Response delivered this cycle.
+    pub complete: TermId,
+    /// Accepted-transaction counter state.
+    pub acnt: TermId,
+    /// Completed-transaction counter state.
+    pub ocnt: TermId,
+    /// The packed payload the copy consumes at an accept (tape word at
+    /// its read pointer).
+    pub in_packed: TermId,
+    /// The packed response payload.
+    pub out_packed: TermId,
+    /// Free schedule inputs of this copy (`sched_valid`, `out_ready`).
+    pub sched_inputs: (TermId, TermId),
+}
+
+/// The synthesized model: the combined transition system plus probes.
+#[derive(Clone, Debug)]
+pub struct WrappedModel {
+    /// Combined system: design copies + tape + monitors. `bads` holds the
+    /// selected QED properties.
+    pub ts: TransitionSystem,
+    /// Tape word states (packed request payloads), in sequence order.
+    pub tape: Vec<TermId>,
+    /// Probes for each instantiated copy (1 or 2).
+    pub copies: Vec<CopyProbe>,
+    /// The response-bound value used by the RB monitor.
+    pub rb_bound: u32,
+}
+
+fn clog2_for(n: u128) -> u32 {
+    // Width needed to hold values 0..=n.
+    let mut w = 1;
+    while (1u128 << w) <= n {
+        w += 1;
+    }
+    w
+}
+
+fn pack(ctx: &mut Context, fields: &[TermId]) -> TermId {
+    let mut acc = fields[0];
+    for &f in &fields[1..] {
+        acc = ctx.concat(f, acc); // later fields occupy higher bits
+    }
+    acc
+}
+
+/// Synthesizes the QED wrapper around `design` (extending its context) and
+/// returns the wrapped model.
+///
+/// # Panics
+///
+/// Panics if the design's transition system has primary inputs outside its
+/// declared transactional interface, or if FC-G is requested with
+/// `arch_aware` on a design whose interface widths are inconsistent.
+pub fn synthesize(design: &mut Design, cfg: &QedConfig) -> WrappedModel {
+    let d = cfg.tape_depth;
+    assert!(d >= 2, "tape depth must allow at least two transactions");
+    let ctx = &mut design.ctx;
+    let iface = &design.iface;
+
+    // Interface sanity: every primary input must be part of the interface.
+    for &i in &design.ts.inputs {
+        let known = i == iface.in_valid || i == iface.out_ready || iface.in_payload.contains(&i);
+        assert!(
+            known,
+            "design input '{}' is outside the transactional interface",
+            ctx.var_name(i).unwrap_or("?")
+        );
+    }
+
+    let iw = iface.in_width(ctx);
+    let ow = iface.out_width(ctx);
+    let cw = clog2_for(d as u128); // counters count 0..=d
+    let rb_bound = cfg.rb_bound.unwrap_or(design.meta.latency + 4);
+    let rbw = clog2_for(u128::from(rb_bound) + 1);
+
+    let mut out = TransitionSystem::new(format!("qed({})", design.ts.name));
+
+    // --- Symbolic transaction tape -------------------------------------
+    let tape: Vec<TermId> = (0..d)
+        .map(|i| {
+            let t = ctx.state(format!("tape[{i}]"), iw);
+            out.add_state(t, None, t); // frozen, nondeterministic
+            t
+        })
+        .collect();
+
+    let num_copies = if cfg.checks.tld { 2 } else { 1 };
+    let mut copies: Vec<CopyProbe> = Vec::new();
+    let mut logs: Vec<Vec<TermId>> = Vec::new();
+
+    for c in 0..num_copies {
+        let prefix = format!("c{c}");
+        // Read pointer and schedule inputs.
+        let ptr = ctx.state(format!("{prefix}.ptr"), cw);
+        let sched_valid = ctx.input(format!("{prefix}.sched_valid"), 1);
+        let out_ready = ctx.input(format!("{prefix}.out_ready"), 1);
+        out.inputs.push(sched_valid);
+        out.inputs.push(out_ready);
+
+        // Tape read at the pointer.
+        let mut tape_read = tape[0];
+        for (i, &w) in tape.iter().enumerate().skip(1) {
+            let idx = ctx.constant(i as u128, cw);
+            let hit = ctx.eq(ptr, idx);
+            tape_read = ctx.ite(hit, w, tape_read);
+        }
+        // Gate in_valid by tape bounds.
+        let dconst = ctx.constant(d as u128, cw);
+        let in_bounds = ctx.ult(ptr, dconst);
+        let gated_valid = ctx.and(sched_valid, in_bounds);
+
+        // Payload field extraction (LSB-first packing).
+        let mut input_map: HashMap<TermId, TermId> = HashMap::new();
+        input_map.insert(iface.in_valid, gated_valid);
+        input_map.insert(iface.out_ready, out_ready);
+        let mut off = 0u32;
+        for &p in &iface.in_payload {
+            let w = ctx.width(p);
+            let field = ctx.extract(tape_read, off + w - 1, off);
+            input_map.insert(p, field);
+            off += w;
+        }
+
+        // Instantiate the design copy.
+        let (copy_ts, map) = design.ts.instantiate(ctx, &prefix, &input_map);
+        out.states.extend(copy_ts.states.iter().copied());
+        out.constraints.extend(copy_ts.constraints.iter().copied());
+        out.outputs.extend(copy_ts.outputs.iter().cloned());
+
+        let in_ready = map[&iface.in_ready];
+        let out_valid = map[&iface.out_valid];
+        let accept = ctx.and(gated_valid, in_ready);
+        let complete = ctx.and(out_valid, out_ready);
+        let out_fields: Vec<TermId> = iface.out_payload.iter().map(|t| map[t]).collect();
+        let out_packed = pack(ctx, &out_fields);
+
+        // Pointer and transaction counters.
+        let ptr_inc = ctx.inc(ptr);
+        let ptr_next = ctx.ite(accept, ptr_inc, ptr);
+        let zero_c = ctx.zero(cw);
+        out.add_state(ptr, Some(zero_c), ptr_next);
+
+        let acnt = ctx.state(format!("{prefix}.acnt"), cw);
+        let acnt_inc = ctx.inc(acnt);
+        let acnt_next = ctx.ite(accept, acnt_inc, acnt);
+        out.add_state(acnt, Some(zero_c), acnt_next);
+
+        let ocnt = ctx.state(format!("{prefix}.ocnt"), cw);
+        let ocnt_inc = ctx.inc(ocnt);
+        let ocnt_next = ctx.ite(complete, ocnt_inc, ocnt);
+        out.add_state(ocnt, Some(zero_c), ocnt_next);
+
+        // In-order response log.
+        let mut olog = Vec::with_capacity(d);
+        for j in 0..d {
+            let word = ctx.state(format!("{prefix}.olog[{j}]"), ow);
+            let idx = ctx.constant(j as u128, cw);
+            let here0 = ctx.eq(ocnt, idx);
+            let here = ctx.and(complete, here0);
+            let next = ctx.ite(here, out_packed, word);
+            let zero_o = ctx.zero(ow);
+            out.add_state(word, Some(zero_o), next);
+            olog.push(word);
+        }
+        logs.push(olog);
+
+        copies.push(CopyProbe {
+            accept,
+            complete,
+            acnt,
+            ocnt,
+            in_packed: tape_read,
+            out_packed,
+            sched_inputs: (sched_valid, out_ready),
+        });
+    }
+
+    // --- TLD: position-wise response-log equality -----------------------
+    if cfg.checks.tld {
+        let (a, b) = (&copies[0], &copies[1]);
+        let mut any_mismatch = ctx.fls();
+        for (j, (&la, &lb)) in logs[0].iter().zip(&logs[1]).enumerate() {
+            let idx = ctx.constant(j as u128, cw);
+            let done_a = ctx.ugt(a.ocnt, idx);
+            let done_b = ctx.ugt(b.ocnt, idx);
+            let both = ctx.and(done_a, done_b);
+            let neq = ctx.ne(la, lb);
+            let bad_here = ctx.and(both, neq);
+            any_mismatch = ctx.or(any_mismatch, bad_here);
+        }
+        out.add_bad("tld.mismatch", any_mismatch);
+    }
+
+    // --- FC-G: generalized functional consistency on copy 0 -------------
+    if cfg.checks.fcg {
+        let p = copies[0].clone();
+        let arch_packed = if cfg.arch_aware && !design.arch_state.is_empty() {
+            // Translate the architectural projection into copy 0. The
+            // design states were remapped during instantiation; rebuild
+            // the projection terms via a fresh substitution over copy 0's
+            // map. Instead of retaining the map, we re-instantiate the
+            // projection directly: arch terms are state terms of the
+            // original design, so their images are copy-0 states. We
+            // recover them by name lookup.
+            let fields: Vec<TermId> = design
+                .arch_state
+                .iter()
+                .map(|&t| {
+                    let name = format!("c0.{}", design_ctx_name(ctx, t));
+                    find_state_by_name(ctx, &out, &name)
+                })
+                .collect();
+            Some(pack(ctx, &fields))
+        } else {
+            None
+        };
+
+        let t1 = ctx.input("fcg.t1", 1);
+        let t2 = ctx.input("fcg.t2", 1);
+        out.inputs.push(t1);
+        out.inputs.push(t2);
+
+        let mk_slot =
+            |ctx: &mut Context, out: &mut TransitionSystem, tag: &str, fire_gate: TermId| {
+                let seen = ctx.state(format!("fcg.seen{tag}"), 1);
+                let not_seen = ctx.not(seen);
+                let fire = ctx.and(fire_gate, not_seen);
+                let tru = ctx.tru();
+                let fls = ctx.fls();
+                let seen_next = ctx.ite(fire, tru, seen);
+                out.add_state(seen, Some(fls), seen_next);
+
+                let cap_in = ctx.state(format!("fcg.in{tag}"), iw);
+                let cin_next = ctx.ite(fire, p.in_packed, cap_in);
+                let zero_i = ctx.zero(iw);
+                out.add_state(cap_in, Some(zero_i), cin_next);
+
+                let idx = ctx.state(format!("fcg.idx{tag}"), cw);
+                let idx_next = ctx.ite(fire, p.acnt, idx);
+                let zero_c = ctx.zero(cw);
+                out.add_state(idx, Some(zero_c), idx_next);
+
+                let cap_arch = arch_packed.map(|ap| {
+                    let reg = ctx.state(format!("fcg.arch{tag}"), ctx_width(ctx, ap));
+                    let next = ctx.ite(fire, ap, reg);
+                    let zero_a = ctx.zero(ctx_width(ctx, ap));
+                    out.add_state(reg, Some(zero_a), next);
+                    reg
+                });
+
+                // Response capture: the idx-th completion of copy 0.
+                let got = ctx.state(format!("fcg.got{tag}"), 1);
+                let not_got = ctx.not(got);
+                let idx_match = ctx.eq(p.ocnt, idx);
+                let m0 = ctx.and(p.complete, seen);
+                let m1 = ctx.and(m0, idx_match);
+                let matched = ctx.and(m1, not_got);
+                let got_next = ctx.ite(matched, tru, got);
+                out.add_state(got, Some(fls), got_next);
+
+                let out_cap = ctx.state(format!("fcg.out{tag}"), ow);
+                let oc_next = ctx.ite(matched, p.out_packed, out_cap);
+                let zero_o = ctx.zero(ow);
+                out.add_state(out_cap, Some(zero_o), oc_next);
+
+                (seen, cap_in, cap_arch, got, out_cap)
+            };
+
+        let gate1 = ctx.and(p.accept, t1);
+        let (seen1, in1, arch1, got1, out1) = mk_slot(ctx, &mut out, "1", gate1);
+        let gate2a = ctx.and(p.accept, t2);
+        let gate2 = ctx.and(gate2a, seen1);
+        let (_seen2, in2, arch2, got2, out2) = mk_slot(ctx, &mut out, "2", gate2);
+
+        let both_got = ctx.and(got1, got2);
+        let in_eq = ctx.eq(in1, in2);
+        let arch_eq = match (arch1, arch2) {
+            (Some(a1), Some(a2)) => ctx.eq(a1, a2),
+            _ => ctx.tru(),
+        };
+        let out_neq = ctx.ne(out1, out2);
+        let c0 = ctx.and(both_got, in_eq);
+        let c1 = ctx.and(c0, arch_eq);
+        let fcg_bad = ctx.and(c1, out_neq);
+        out.add_bad("fcg.inconsistent", fcg_bad);
+    }
+
+    // --- RB: bounded response on copy 0 ---------------------------------
+    if cfg.checks.rb {
+        let p = &copies[0];
+        let rbc = ctx.state("rb.counter", rbw);
+        let outstanding = ctx.ne(p.acnt, p.ocnt);
+        // Don't count cycles where the environment itself stalls delivery:
+        // the response is ready, the env refuses it.
+        let (_, c0_out_ready) = p.sched_inputs;
+        let out_valid_c0 = {
+            // complete = out_valid && out_ready ⇒ out_valid is recoverable
+            // only through the probe; track it via a dedicated state-free
+            // relation: out_valid = complete || (pending-but-stalled). We
+            // conservatively pause counting whenever out_ready is low.
+            ctx.not(c0_out_ready)
+        };
+        let env_stall = out_valid_c0;
+        let not_stall = ctx.not(env_stall);
+        let tick = ctx.and(outstanding, not_stall);
+        let one_r = ctx.constant(1, rbw);
+        let rbc_inc = {
+            let all_ones = ctx.ones(rbw);
+            let maxed = ctx.eq(rbc, all_ones);
+            let inc = ctx.add(rbc, one_r);
+            ctx.ite(maxed, rbc, inc) // saturate
+        };
+        let zero_r = ctx.zero(rbw);
+        let n0 = ctx.ite(tick, rbc_inc, rbc);
+        let n1 = ctx.ite(p.complete, zero_r, n0);
+        let rbc_next = ctx.ite(p.accept, one_r, n1);
+        out.add_state(rbc, Some(zero_r), rbc_next);
+
+        let bound_c = ctx.constant(u128::from(rb_bound), rbw);
+        let rb_bad = ctx.ugt(rbc, bound_c);
+        out.add_bad("rb.timeout", rb_bad);
+    }
+
+    // --- Flow: no orphan responses (per copy) ----------------------------
+    if cfg.checks.flow {
+        for (c, p) in copies.iter().enumerate() {
+            let orphan0 = ctx.uge(p.ocnt, p.acnt);
+            let orphan = ctx.and(p.complete, orphan0);
+            out.add_bad(format!("flow.orphan.c{c}"), orphan);
+        }
+    }
+
+    WrappedModel {
+        ts: out,
+        tape,
+        copies,
+        rb_bound,
+    }
+}
+
+fn design_ctx_name(ctx: &Context, t: TermId) -> String {
+    ctx.var_name(t)
+        .unwrap_or_else(|| panic!("architectural state must be a named state variable"))
+        .to_string()
+}
+
+fn find_state_by_name(ctx: &Context, ts: &TransitionSystem, name: &str) -> TermId {
+    for s in &ts.states {
+        if ctx.var_name(s.term) == Some(name) {
+            return s.term;
+        }
+    }
+    panic!("copy state '{name}' not found in wrapped model");
+}
+
+fn ctx_width(ctx: &Context, t: TermId) -> u32 {
+    ctx.width(t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gqed_ha::designs::{accum, vecadd};
+
+    #[test]
+    fn gqed_wrapper_shape() {
+        let mut d = accum::build(&accum::Params::default(), None);
+        let m = synthesize(&mut d, &QedConfig::gqed());
+        assert_eq!(m.copies.len(), 2);
+        assert_eq!(m.tape.len(), 4);
+        let names: Vec<&str> = m.ts.bads.iter().map(|b| b.name.as_str()).collect();
+        assert!(names.contains(&"tld.mismatch"));
+        assert!(names.contains(&"fcg.inconsistent"));
+        assert!(names.contains(&"rb.timeout"));
+        assert!(names.contains(&"flow.orphan.c0"));
+        assert!(names.contains(&"flow.orphan.c1"));
+    }
+
+    #[test]
+    fn aqed_wrapper_is_single_copy() {
+        let mut d = vecadd::build(&vecadd::Params::default(), None);
+        let m = synthesize(&mut d, &QedConfig::aqed());
+        assert_eq!(m.copies.len(), 1);
+        let names: Vec<&str> = m.ts.bads.iter().map(|b| b.name.as_str()).collect();
+        assert!(!names.contains(&"tld.mismatch"));
+        assert!(names.contains(&"fcg.inconsistent"));
+    }
+
+    #[test]
+    fn rb_bound_defaults_from_latency() {
+        let mut d = accum::build(&accum::Params::default(), None);
+        let m = synthesize(&mut d, &QedConfig::gqed());
+        assert_eq!(m.rb_bound, d.meta.latency + 4);
+    }
+
+    #[test]
+    fn rejects_inputs_outside_the_interface() {
+        let mut d = accum::build(&accum::Params::default(), None);
+        // Declare a rogue primary input the interface does not mention.
+        let rogue = d.ctx.input("rogue", 1);
+        d.ts.inputs.push(rogue);
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            synthesize(&mut d, &QedConfig::gqed())
+        }));
+        assert!(r.is_err(), "undeclared inputs must be rejected");
+    }
+
+    #[test]
+    fn explicit_rb_bound_is_honored() {
+        let mut d = accum::build(&accum::Params::default(), None);
+        let cfg = QedConfig {
+            rb_bound: Some(9),
+            ..QedConfig::gqed()
+        };
+        let m = synthesize(&mut d, &cfg);
+        assert_eq!(m.rb_bound, 9);
+    }
+
+    #[test]
+    fn tape_depth_is_configurable() {
+        let mut d = accum::build(&accum::Params::default(), None);
+        let cfg = QedConfig {
+            tape_depth: 6,
+            ..QedConfig::gqed()
+        };
+        let m = synthesize(&mut d, &cfg);
+        assert_eq!(m.tape.len(), 6);
+    }
+
+    #[test]
+    fn wrapper_state_count_scales_with_copies() {
+        let mut d1 = accum::build(&accum::Params::default(), None);
+        let g = synthesize(&mut d1, &QedConfig::gqed());
+        let mut d2 = accum::build(&accum::Params::default(), None);
+        let a = synthesize(&mut d2, &QedConfig::aqed());
+        assert!(g.ts.states.len() > a.ts.states.len());
+    }
+}

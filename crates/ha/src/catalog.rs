@@ -1,0 +1,165 @@
+//! Registry of all designs and their bug catalogues.
+//!
+//! The evaluation harness iterates this catalogue to regenerate the
+//! paper's tables: every design in its bug-free and every buggy version.
+
+use crate::designs;
+use crate::iface::{BugInfo, Design};
+
+/// A catalogue entry: constructors and metadata for one design.
+pub struct DesignEntry {
+    /// Design name (matches `Design::meta.name`).
+    pub name: &'static str,
+    /// Whether the design is interfering.
+    pub interfering: bool,
+    /// Builds the design with default parameters and an optional bug.
+    pub build: fn(Option<&str>) -> Design,
+    /// The design's bug catalogue.
+    pub bugs: fn() -> Vec<BugInfo>,
+}
+
+impl DesignEntry {
+    /// Builds the bug-free version with default parameters.
+    pub fn build_clean(&self) -> Design {
+        (self.build)(None)
+    }
+
+    /// Builds the version with the given bug injected.
+    pub fn build_buggy(&self, bug: &str) -> Design {
+        (self.build)(Some(bug))
+    }
+}
+
+/// All designs in the evaluation suite, non-interfering first.
+pub fn all_designs() -> Vec<DesignEntry> {
+    vec![
+        DesignEntry {
+            name: "vecadd",
+            interfering: false,
+            build: |b| designs::vecadd::build(&designs::vecadd::Params::default(), b),
+            bugs: designs::vecadd::bugs,
+        },
+        DesignEntry {
+            name: "alu",
+            interfering: false,
+            build: |b| designs::alu::build(&designs::alu::Params::default(), b),
+            bugs: designs::alu::bugs,
+        },
+        DesignEntry {
+            name: "relu",
+            interfering: false,
+            build: |b| designs::relu::build(&designs::relu::Params::default(), b),
+            bugs: designs::relu::bugs,
+        },
+        DesignEntry {
+            name: "pipeadd",
+            interfering: false,
+            build: |b| designs::pipeadd::build(&designs::pipeadd::Params::default(), b),
+            bugs: designs::pipeadd::bugs,
+        },
+        DesignEntry {
+            name: "matvec",
+            interfering: false,
+            build: |b| designs::matvec::build(&designs::matvec::Params::default(), b),
+            bugs: designs::matvec::bugs,
+        },
+        DesignEntry {
+            name: "accum",
+            interfering: true,
+            build: |b| designs::accum::build(&designs::accum::Params::default(), b),
+            bugs: designs::accum::bugs,
+        },
+        DesignEntry {
+            name: "crc32",
+            interfering: true,
+            build: |b| designs::crc32::build(&designs::crc32::Params::default(), b),
+            bugs: designs::crc32::bugs,
+        },
+        DesignEntry {
+            name: "kvstore",
+            interfering: true,
+            build: |b| designs::kvstore::build(&designs::kvstore::Params::default(), b),
+            bugs: designs::kvstore::bugs,
+        },
+        DesignEntry {
+            name: "dma",
+            interfering: true,
+            build: |b| designs::dma::build(&designs::dma::Params::default(), b),
+            bugs: designs::dma::bugs,
+        },
+        DesignEntry {
+            name: "fir",
+            interfering: true,
+            build: |b| designs::fir::build(&designs::fir::Params::default(), b),
+            bugs: designs::fir::bugs,
+        },
+        DesignEntry {
+            name: "histogram",
+            interfering: true,
+            build: |b| designs::histogram::build(&designs::histogram::Params::default(), b),
+            bugs: designs::histogram::bugs,
+        },
+        DesignEntry {
+            name: "movavg",
+            interfering: true,
+            build: |b| designs::movavg::build(&designs::movavg::Params::default(), b),
+            bugs: designs::movavg::bugs,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalogue_is_consistent() {
+        let entries = all_designs();
+        assert_eq!(entries.len(), 12);
+        for e in &entries {
+            let d = e.build_clean();
+            assert_eq!(d.meta.name, e.name);
+            assert_eq!(d.meta.interfering, e.interfering);
+            assert!(!d.is_buggy());
+            // Interfering designs must declare architectural state;
+            // non-interfering ones must not.
+            assert_eq!(d.meta.interfering, !d.arch_state.is_empty());
+            // Every design needs at least one conventional assertion.
+            assert!(!d.conventional.is_empty());
+            // Interface sanity.
+            assert!(!d.iface.in_payload.is_empty());
+            assert!(!d.iface.out_payload.is_empty());
+        }
+    }
+
+    #[test]
+    fn every_bug_builds() {
+        for e in all_designs() {
+            for b in (e.bugs)() {
+                let d = e.build_buggy(b.id);
+                assert_eq!(d.injected_bug, Some(b.id));
+            }
+        }
+    }
+
+    #[test]
+    fn bug_counts_meet_evaluation_minimum() {
+        let total: usize = all_designs().iter().map(|e| (e.bugs)().len()).sum();
+        assert!(total >= 40, "bug catalogue too small: {total}");
+    }
+
+    #[test]
+    fn interfering_bugs_do_not_expect_aqed() {
+        // A-QED is inapplicable to interfering designs; no interfering
+        // design's bug may claim A-QED detection.
+        for e in all_designs().iter().filter(|e| e.interfering) {
+            for b in (e.bugs)() {
+                assert!(
+                    !b.expected.aqed,
+                    "{}::{} claims A-QED detection on an interfering design",
+                    e.name, b.id
+                );
+            }
+        }
+    }
+}

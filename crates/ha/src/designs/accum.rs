@@ -1,0 +1,394 @@
+//! `accum` — a multiply-free accumulate engine (interfering).
+//!
+//! Transactions (payload `op[1:0], data[W-1:0]`, response `res[W-1:0]`):
+//!
+//! | op | name | response            | architectural update |
+//! |----|------|---------------------|----------------------|
+//! | 0  | ACC  | `acc + data`        | `acc ← acc + data`   |
+//! | 1  | CLR  | `0`                 | `acc ← 0`            |
+//! | 2  | GET  | `acc`               | none                 |
+//! | 3  | GET  | (alias of GET)      | none                 |
+//!
+//! The response to ACC/GET depends on every earlier transaction — the
+//! canonical *interfering* accelerator for which plain A-QED raises false
+//! alarms (two equal GETs legitimately return different values).
+//!
+//! Architectural state: the accumulator register.
+
+use crate::iface::{resolve_bug, BugClass, BugInfo, Design, DesignMeta, Detectors, HaInterface};
+use crate::skeleton::{capture, get_next, override_next, remove_init, TxnControl, TxnOptions};
+use gqed_ir::{Context, TransitionSystem};
+
+/// Build parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct Params {
+    /// Data width in bits.
+    pub width: u32,
+    /// Compute latency in cycles.
+    pub latency: u32,
+}
+
+impl Default for Params {
+    fn default() -> Self {
+        Params {
+            width: 8,
+            latency: 2,
+        }
+    }
+}
+
+/// Opcode values.
+pub const OP_ACC: u128 = 0;
+/// Opcode values.
+pub const OP_CLR: u128 = 1;
+/// Opcode values.
+pub const OP_GET: u128 = 2;
+
+/// The injectable-bug catalogue.
+pub fn bugs() -> Vec<BugInfo> {
+    let g = |conv| Detectors {
+        gqed: true,
+        aqed: false, // A-QED is inapplicable to interfering designs
+        conventional: conv,
+    };
+    vec![
+        BugInfo {
+            id: "stale-result-overwrite",
+            description: "in_ready ignores an undelivered response; a newly accepted \
+                          transaction overwrites the response register under back-pressure",
+            class: BugClass::ContextDependent,
+            expected: g(false),
+            min_transactions: 2,
+        },
+        BugInfo {
+            id: "carry-leak",
+            description: "a micro-architectural carry flag from the previous ACC leaks \
+                          into the next ACC's sum",
+            class: BugClass::StateLeak,
+            expected: g(false),
+            min_transactions: 3,
+        },
+        BugInfo {
+            id: "uninit-acc",
+            description: "the accumulator register is not reset",
+            class: BugClass::Uninitialized,
+            expected: g(false),
+            min_transactions: 1,
+        },
+        BugInfo {
+            id: "clear-keeps-high-nibble",
+            description: "CLR clears only the low nibble of the accumulator \
+                          (deterministic functional error)",
+            class: BugClass::ConsistentFunctional,
+            expected: Detectors {
+                gqed: false, // consistent across contexts: outside the
+                // self-consistency bug class (see DESIGN.md §1)
+                aqed: false,
+                conventional: true,
+            },
+            min_transactions: 2,
+        },
+        BugInfo {
+            id: "backpressure-acc-corrupt",
+            description: "the accumulator increments once per cycle while the response \
+                          is stalled by back-pressure",
+            class: BugClass::ContextDependent,
+            expected: g(false),
+            min_transactions: 2,
+        },
+        BugInfo {
+            id: "capture-without-accept",
+            description: "the data register samples the bus whenever in_valid is high, \
+                          even when the request is not accepted (mid-computation corruption)",
+            class: BugClass::ContextDependent,
+            expected: g(false),
+            min_transactions: 2,
+        },
+        BugInfo {
+            id: "hang-on-zero-data",
+            description: "an ACC with data == 0 never completes (timer reload loop)",
+            class: BugClass::HandshakeProtocol,
+            expected: g(false),
+            min_transactions: 1,
+        },
+    ]
+}
+
+/// Builds the design, optionally injecting the named bug.
+pub fn build(params: &Params, bug: Option<&str>) -> Design {
+    let bug = bug.map(|id| resolve_bug(&bugs(), id));
+    let w = params.width;
+    let mut ctx = Context::new();
+    let mut ts = TransitionSystem::new("accum");
+
+    let opts = TxnOptions {
+        ready_ignores_pending: bug == Some("stale-result-overwrite"),
+    };
+    let ctl = TxnControl::build_with(&mut ctx, &mut ts, params.latency, opts);
+
+    // Request payload.
+    let op = ctx.input("op", 2);
+    let data = ctx.input("data", w);
+    ts.inputs.push(op);
+    ts.inputs.push(data);
+
+    // Captured request.
+    let cap_when = if bug == Some("capture-without-accept") {
+        ctl.in_valid
+    } else {
+        ctl.accept
+    };
+    let op_r = capture(&mut ctx, &mut ts, "op_r", ctl.accept, op);
+    let data_r = capture(&mut ctx, &mut ts, "data_r", cap_when, data);
+
+    // Architectural state: the accumulator.
+    let acc = ctx.state("acc", w);
+    // Micro-architectural carry flag (only harmful in the carry-leak bug).
+    let carry = ctx.state("carry", 1);
+
+    // Datapath (computed at `done`).
+    let sum_wide = {
+        let az = ctx.zext(acc, w + 1);
+        let dz = ctx.zext(data_r, w + 1);
+        let s = ctx.add(az, dz);
+        if bug == Some("carry-leak") {
+            let cz = ctx.zext(carry, w + 1);
+            ctx.add(s, cz)
+        } else {
+            s
+        }
+    };
+    let sum = ctx.extract(sum_wide, w - 1, 0);
+    let carry_out = ctx.extract(sum_wide, w, w);
+
+    let zero = ctx.zero(w);
+    let clr_value = if bug == Some("clear-keeps-high-nibble") {
+        let hi_mask = ctx.constant(!0u128 << 4, w);
+        ctx.and(acc, hi_mask)
+    } else {
+        zero
+    };
+
+    let opc_acc = ctx.constant(OP_ACC, 2);
+    let opc_clr = ctx.constant(OP_CLR, 2);
+    let is_acc = ctx.eq(op_r, opc_acc);
+    let is_clr = ctx.eq(op_r, opc_clr);
+
+    // Response value and architectural update per op.
+    let res_get = acc;
+    let res_val0 = ctx.ite(is_clr, clr_value, res_get);
+    let res_val = ctx.ite(is_acc, sum, res_val0);
+    let acc_upd0 = ctx.ite(is_clr, clr_value, acc);
+    let acc_upd = ctx.ite(is_acc, sum, acc_upd0);
+
+    // acc register update at done (+ optional back-pressure corruption).
+    let acc_next = {
+        let held = if bug == Some("backpressure-acc-corrupt") {
+            let not_ready = ctx.not(ctl.out_ready);
+            let stalled = ctx.and(ctl.pending, not_ready);
+            let bumped = ctx.inc(acc);
+            ctx.ite(stalled, bumped, acc)
+        } else {
+            acc
+        };
+        ctx.ite(ctl.done, acc_upd, held)
+    };
+    ts.add_state(acc, Some(zero), acc_next);
+    if bug == Some("uninit-acc") {
+        remove_init(&mut ts, acc);
+    }
+
+    // Carry flag updates on ACC completion.
+    let fls = ctx.fls();
+    let acc_done = ctx.and(ctl.done, is_acc);
+    let carry_next = ctx.ite(acc_done, carry_out, carry);
+    ts.add_state(carry, Some(fls), carry_next);
+
+    // Response register.
+    let res_r = capture(&mut ctx, &mut ts, "res_r", ctl.done, res_val);
+
+    // hang-on-zero-data: the timer reloads while computing an ACC of 0.
+    if bug == Some("hang-on-zero-data") {
+        let tw = ctx.width(ctl.timer);
+        let one_t = ctx.constant(1, tw);
+        let data_z = ctx.eq(data_r, zero);
+        let hang0 = ctx.and(ctl.busy, is_acc);
+        let hang = ctx.and(hang0, data_z);
+        let orig = get_next(&ts, ctl.timer);
+        let timer_next = ctx.ite(hang, one_t, orig);
+        override_next(&mut ts, ctl.timer, timer_next);
+    }
+
+    // Observability.
+    ts.outputs = vec![
+        ("in_ready".into(), ctl.in_ready),
+        ("out_valid".into(), ctl.out_valid),
+        ("res".into(), res_r),
+        ("acc".into(), acc),
+    ];
+
+    // Conventional assertions: the CLR and GET paths are covered, the ACC
+    // arithmetic path is (deliberately, realistically) not.
+    let conventional = {
+        let mut bads = Vec::new();
+        // After a CLR completes, the accumulator must be zero next cycle:
+        // check at the commit point.
+        let clr_done = ctx.and(ctl.done, is_clr);
+        let nz = ctx.ne(acc_upd, zero);
+        let clr_bad = ctx.and(clr_done, nz);
+        bads.push(gqed_ir::Bad {
+            name: "conv.clr_zeroes_acc".into(),
+            term: clr_bad,
+        });
+        // A GET response must equal the accumulator at the commit point.
+        let opc_get = ctx.constant(OP_GET, 2);
+        let op_hi = ctx.extract(op_r, 1, 1);
+        let is_get = {
+            let e2 = ctx.eq(op_r, opc_get);
+            ctx.or(e2, op_hi) // op 3 aliases GET
+        };
+        let get_done = ctx.and(ctl.done, is_get);
+        let neq = ctx.ne(res_val, acc);
+        let get_bad = ctx.and(get_done, neq);
+        bads.push(gqed_ir::Bad {
+            name: "conv.get_returns_acc".into(),
+            term: get_bad,
+        });
+        bads
+    };
+
+    let iface = HaInterface {
+        in_valid: ctl.in_valid,
+        in_ready: ctl.in_ready,
+        in_payload: vec![op, data],
+        out_valid: ctl.out_valid,
+        out_ready: ctl.out_ready,
+        out_payload: vec![res_r],
+    };
+
+    Design {
+        ctx,
+        ts,
+        iface,
+        arch_state: vec![acc],
+        conventional,
+        meta: DesignMeta {
+            name: "accum",
+            interfering: true,
+            description: "accumulate engine with ACC/CLR/GET transactions",
+            latency: params.latency,
+            recommended_bound: 12,
+        },
+        injected_bug: bug,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gqed_ir::Sim;
+    use std::collections::HashMap;
+
+    /// Drives one transaction to completion; returns the response.
+    fn run_txn(sim: &mut Sim, d: &Design, op: u128, data: u128) -> u128 {
+        let mut inp = HashMap::new();
+        inp.insert(d.iface.in_valid, 1u128);
+        inp.insert(d.iface.out_ready, 1u128);
+        inp.insert(d.iface.in_payload[0], op);
+        inp.insert(d.iface.in_payload[1], data);
+        // Offer until accepted.
+        loop {
+            let accepted = sim.peek(&inp, d.iface.in_ready) == 1;
+            sim.step(&inp);
+            if accepted {
+                break;
+            }
+        }
+        // Wait for the response.
+        inp.insert(d.iface.in_valid, 0);
+        for _ in 0..20 {
+            if sim.peek(&inp, d.iface.out_valid) == 1 {
+                let res = sim.peek(&inp, d.iface.out_payload[0]);
+                sim.step(&inp); // deliver
+                return res;
+            }
+            sim.step(&inp);
+        }
+        panic!("transaction did not complete");
+    }
+
+    #[test]
+    fn functional_acc_clr_get() {
+        let d = build(&Params::default(), None);
+        let mut sim = Sim::new(&d.ctx, &d.ts);
+        assert_eq!(run_txn(&mut sim, &d, OP_ACC, 5), 5);
+        assert_eq!(run_txn(&mut sim, &d, OP_ACC, 7), 12);
+        assert_eq!(run_txn(&mut sim, &d, OP_GET, 99), 12); // data ignored
+        assert_eq!(run_txn(&mut sim, &d, OP_CLR, 3), 0);
+        assert_eq!(run_txn(&mut sim, &d, OP_GET, 0), 0);
+    }
+
+    #[test]
+    fn accumulator_wraps() {
+        let d = build(&Params::default(), None);
+        let mut sim = Sim::new(&d.ctx, &d.ts);
+        assert_eq!(run_txn(&mut sim, &d, OP_ACC, 200), 200);
+        assert_eq!(run_txn(&mut sim, &d, OP_ACC, 100), 44); // 300 mod 256
+    }
+
+    #[test]
+    fn carry_leak_bug_changes_behavior() {
+        let d = build(&Params::default(), Some("carry-leak"));
+        let mut sim = Sim::new(&d.ctx, &d.ts);
+        // Provoke a carry: 1 + 255 = 256 → acc 0, carry 1.
+        assert_eq!(run_txn(&mut sim, &d, OP_ACC, 1), 1);
+        assert_eq!(run_txn(&mut sim, &d, OP_ACC, 255), 0);
+        // Correct design would answer 0; the bug adds the leaked carry.
+        assert_eq!(run_txn(&mut sim, &d, OP_ACC, 0), 1);
+    }
+
+    #[test]
+    fn clear_bug_keeps_high_nibble() {
+        let d = build(&Params::default(), Some("clear-keeps-high-nibble"));
+        let mut sim = Sim::new(&d.ctx, &d.ts);
+        assert_eq!(run_txn(&mut sim, &d, OP_ACC, 0xf3), 0xf3);
+        assert_eq!(run_txn(&mut sim, &d, OP_CLR, 0), 0xf0);
+    }
+
+    #[test]
+    fn hang_bug_never_responds() {
+        let d = build(&Params::default(), Some("hang-on-zero-data"));
+        let mut sim = Sim::new(&d.ctx, &d.ts);
+        let mut inp = HashMap::new();
+        inp.insert(d.iface.in_valid, 1u128);
+        inp.insert(d.iface.out_ready, 1u128);
+        inp.insert(d.iface.in_payload[0], OP_ACC);
+        inp.insert(d.iface.in_payload[1], 0u128);
+        sim.step(&inp); // accepted
+        inp.insert(d.iface.in_valid, 0);
+        for _ in 0..30 {
+            assert_eq!(sim.peek(&inp, d.iface.out_valid), 0, "must hang");
+            sim.step(&inp);
+        }
+    }
+
+    #[test]
+    fn bug_ids_are_unique_and_resolvable() {
+        let all = bugs();
+        let mut ids: Vec<&str> = all.iter().map(|b| b.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), all.len());
+        for b in &all {
+            let _ = build(&Params::default(), Some(b.id));
+        }
+    }
+
+    #[test]
+    fn bug_free_build_has_no_bug() {
+        let d = build(&Params::default(), None);
+        assert!(!d.is_buggy());
+        assert!(d.meta.interfering);
+        assert_eq!(d.arch_state.len(), 1);
+    }
+}

@@ -1,0 +1,314 @@
+//! `alu` — a four-operation ALU (non-interfering — unless a bug makes it
+//! secretly interfering).
+//!
+//! Payload: `op[1:0], a[W-1:0], b[W-1:0]`. Response: `res[W-1:0]`.
+//!
+//! | op | operation |
+//! |----|-----------|
+//! | 0  | `a + b`   |
+//! | 1  | `a - b`   |
+//! | 2  | `a & b`   |
+//! | 3  | `a ^ b`   |
+//!
+//! The `flag-leak` bug makes the response depend on the *previous*
+//! transaction — turning a nominally non-interfering design into an
+//! interfering one. This is the canonical case where A-QED's functional
+//! consistency check fires *soundly*: the design violates its own
+//! non-interference contract.
+
+use crate::iface::{resolve_bug, BugClass, BugInfo, Design, DesignMeta, Detectors, HaInterface};
+use crate::skeleton::{capture, get_next, override_next, TxnControl};
+use gqed_ir::{Context, TransitionSystem};
+
+/// Build parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct Params {
+    /// Operand width in bits.
+    pub width: u32,
+    /// Compute latency in cycles.
+    pub latency: u32,
+}
+
+impl Default for Params {
+    fn default() -> Self {
+        Params {
+            width: 8,
+            latency: 1,
+        }
+    }
+}
+
+/// Opcodes.
+pub const OP_ADD: u128 = 0;
+/// Opcodes.
+pub const OP_SUB: u128 = 1;
+/// Opcodes.
+pub const OP_AND: u128 = 2;
+/// Opcodes.
+pub const OP_XOR: u128 = 3;
+
+/// The injectable-bug catalogue.
+pub fn bugs() -> Vec<BugInfo> {
+    let both = |conv| Detectors {
+        gqed: true,
+        aqed: true,
+        conventional: conv,
+    };
+    vec![
+        BugInfo {
+            id: "flag-leak",
+            description: "the zero flag of the previous operation feeds the adder's \
+                          carry-in (micro-architectural state leak across transactions)",
+            class: BugClass::StateLeak,
+            expected: both(false),
+            min_transactions: 2,
+        },
+        BugInfo {
+            id: "sub-swap-on-pipelined-accept",
+            description: "a SUB accepted back-to-back (in the cycle right after a \
+                          response delivery) computes b - a",
+            class: BugClass::ContextDependent,
+            expected: both(false),
+            min_transactions: 2,
+        },
+        BugInfo {
+            id: "xor-as-or",
+            description: "XOR is decoded as OR (deterministic functional error)",
+            class: BugClass::ConsistentFunctional,
+            expected: Detectors {
+                gqed: false,
+                aqed: false,
+                conventional: true,
+            },
+            min_transactions: 1,
+        },
+        BugInfo {
+            id: "drop-on-and-zero",
+            description: "the response of an AND with a == 0 is silently dropped",
+            class: BugClass::HandshakeProtocol,
+            expected: both(false),
+            min_transactions: 1,
+        },
+    ]
+}
+
+/// Builds the design, optionally injecting the named bug.
+pub fn build(params: &Params, bug: Option<&str>) -> Design {
+    let bug = bug.map(|id| resolve_bug(&bugs(), id));
+    let w = params.width;
+    let mut ctx = Context::new();
+    let mut ts = TransitionSystem::new("alu");
+
+    let ctl = TxnControl::build(&mut ctx, &mut ts, params.latency);
+
+    let op = ctx.input("op", 2);
+    let a = ctx.input("a", w);
+    let b = ctx.input("b", w);
+    ts.inputs.push(op);
+    ts.inputs.push(a);
+    ts.inputs.push(b);
+
+    let op_r = capture(&mut ctx, &mut ts, "op_r", ctl.accept, op);
+    let a_r = capture(&mut ctx, &mut ts, "a_r", ctl.accept, a);
+    let b_r = capture(&mut ctx, &mut ts, "b_r", ctl.accept, b);
+
+    // Zero flag of the previous result (micro-architectural).
+    let zflag = ctx.state("zflag", 1);
+
+    // The sub-swap bug keys on back-to-back handoff: a request accepted in
+    // the cycle immediately after a response delivery. Track last cycle's
+    // completion and record the condition at accept time.
+    let prev_complete = {
+        let reg = ctx.state("prev_complete", 1);
+        let fls = ctx.fls();
+        ts.add_state(reg, Some(fls), ctl.complete);
+        reg
+    };
+    let hot_accept = {
+        let cond = ctx.and(ctl.accept, prev_complete);
+        capture(&mut ctx, &mut ts, "hot_accept", ctl.accept, cond)
+    };
+
+    let add = ctx.add(a_r, b_r);
+    let add_val = if bug == Some("flag-leak") {
+        let zf = ctx.zext(zflag, w);
+        ctx.add(add, zf)
+    } else {
+        add
+    };
+    let sub = ctx.sub(a_r, b_r);
+    let sub_val = if bug == Some("sub-swap-on-pipelined-accept") {
+        let swapped = ctx.sub(b_r, a_r);
+        ctx.ite(hot_accept, swapped, sub)
+    } else {
+        sub
+    };
+    let and_val = ctx.and(a_r, b_r);
+    let xor_val = if bug == Some("xor-as-or") {
+        ctx.or(a_r, b_r)
+    } else {
+        ctx.xor(a_r, b_r)
+    };
+
+    let opc_add = ctx.constant(OP_ADD, 2);
+    let opc_sub = ctx.constant(OP_SUB, 2);
+    let opc_and = ctx.constant(OP_AND, 2);
+    let is_add = ctx.eq(op_r, opc_add);
+    let is_sub = ctx.eq(op_r, opc_sub);
+    let is_and = ctx.eq(op_r, opc_and);
+
+    let r0 = ctx.ite(is_and, and_val, xor_val);
+    let r1 = ctx.ite(is_sub, sub_val, r0);
+    let res_val = ctx.ite(is_add, add_val, r1);
+
+    // Zero-flag update at commit.
+    let zero = ctx.zero(w);
+    let res_is_zero = ctx.eq(res_val, zero);
+    let zf_next = ctx.ite(ctl.done, res_is_zero, zflag);
+    let fls = ctx.fls();
+    ts.add_state(zflag, Some(fls), zf_next);
+
+    let res_r = capture(&mut ctx, &mut ts, "res_r", ctl.done, res_val);
+
+    if bug == Some("drop-on-and-zero") {
+        let a_zero = ctx.eq(a_r, zero);
+        let d0 = ctx.and(ctl.done, is_and);
+        let drop = ctx.and(d0, a_zero);
+        let fls = ctx.fls();
+        let orig = get_next(&ts, ctl.pending);
+        let pn = ctx.ite(drop, fls, orig);
+        override_next(&mut ts, ctl.pending, pn);
+    }
+
+    ts.outputs = vec![
+        ("in_ready".into(), ctl.in_ready),
+        ("out_valid".into(), ctl.out_valid),
+        ("res".into(), res_r),
+    ];
+
+    // Conventional assertions: only the logical ops are specified (the
+    // arithmetic path is "covered by simulation" — the realistic gap).
+    let conventional = {
+        let mut bads = Vec::new();
+        let and_ref = ctx.and(a_r, b_r);
+        let and_done = ctx.and(ctl.done, is_and);
+        let neq = ctx.ne(res_val, and_ref);
+        let t = ctx.and(and_done, neq);
+        bads.push(gqed_ir::Bad {
+            name: "conv.and_correct".into(),
+            term: t,
+        });
+        let opc_xor = ctx.constant(OP_XOR, 2);
+        let is_xor = ctx.eq(op_r, opc_xor);
+        let xor_ref = ctx.xor(a_r, b_r);
+        let xor_done = ctx.and(ctl.done, is_xor);
+        let neq2 = ctx.ne(res_val, xor_ref);
+        let t2 = ctx.and(xor_done, neq2);
+        bads.push(gqed_ir::Bad {
+            name: "conv.xor_correct".into(),
+            term: t2,
+        });
+        bads
+    };
+
+    let iface = HaInterface {
+        in_valid: ctl.in_valid,
+        in_ready: ctl.in_ready,
+        in_payload: vec![op, a, b],
+        out_valid: ctl.out_valid,
+        out_ready: ctl.out_ready,
+        out_payload: vec![res_r],
+    };
+
+    Design {
+        ctx,
+        ts,
+        iface,
+        arch_state: vec![], // contractually non-interfering
+        conventional,
+        meta: DesignMeta {
+            name: "alu",
+            interfering: false,
+            description: "four-operation ALU (add/sub/and/xor)",
+            latency: params.latency,
+            recommended_bound: 12,
+        },
+        injected_bug: bug,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gqed_ir::Sim;
+    use std::collections::HashMap;
+
+    fn run(sim: &mut Sim, d: &Design, op: u128, a: u128, b: u128) -> u128 {
+        let mut inp = HashMap::new();
+        inp.insert(d.iface.in_valid, 1u128);
+        inp.insert(d.iface.out_ready, 1u128);
+        inp.insert(d.iface.in_payload[0], op);
+        inp.insert(d.iface.in_payload[1], a);
+        inp.insert(d.iface.in_payload[2], b);
+        loop {
+            let accepted = sim.peek(&inp, d.iface.in_ready) == 1;
+            sim.step(&inp);
+            if accepted {
+                break;
+            }
+        }
+        inp.insert(d.iface.in_valid, 0);
+        for _ in 0..20 {
+            if sim.peek(&inp, d.iface.out_valid) == 1 {
+                let res = sim.peek(&inp, d.iface.out_payload[0]);
+                sim.step(&inp);
+                return res;
+            }
+            sim.step(&inp);
+        }
+        panic!("transaction did not complete");
+    }
+
+    #[test]
+    fn all_operations() {
+        let d = build(&Params::default(), None);
+        let mut sim = Sim::new(&d.ctx, &d.ts);
+        assert_eq!(run(&mut sim, &d, OP_ADD, 7, 9), 16);
+        assert_eq!(
+            run(&mut sim, &d, OP_SUB, 7, 9),
+            (7u128.wrapping_sub(9)) & 0xff
+        );
+        assert_eq!(run(&mut sim, &d, OP_AND, 0xcc, 0xaa), 0x88);
+        assert_eq!(run(&mut sim, &d, OP_XOR, 0xcc, 0xaa), 0x66);
+    }
+
+    #[test]
+    fn flag_leak_bug_adds_one_after_zero_result() {
+        let d = build(&Params::default(), Some("flag-leak"));
+        let mut sim = Sim::new(&d.ctx, &d.ts);
+        // Produce a zero result, then add: the leaked flag adds 1.
+        assert_eq!(run(&mut sim, &d, OP_SUB, 5, 5), 0);
+        assert_eq!(run(&mut sim, &d, OP_ADD, 2, 3), 6); // 5 + leaked 1
+                                                        // Flag now clear (6 != 0): same ADD gives 5.
+        assert_eq!(run(&mut sim, &d, OP_ADD, 2, 3), 5);
+    }
+
+    #[test]
+    fn xor_as_or_bug() {
+        let d = build(&Params::default(), Some("xor-as-or"));
+        let mut sim = Sim::new(&d.ctx, &d.ts);
+        assert_eq!(run(&mut sim, &d, OP_XOR, 0xcc, 0xaa), 0xee);
+    }
+
+    #[test]
+    fn bug_ids_unique_and_buildable() {
+        let all = bugs();
+        let mut ids: Vec<&str> = all.iter().map(|b| b.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), all.len());
+        for b in &all {
+            let _ = build(&Params::default(), Some(b.id));
+        }
+    }
+}

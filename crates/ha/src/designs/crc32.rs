@@ -1,0 +1,393 @@
+//! `crc32` — a running CRC engine (interfering).
+//!
+//! Keeps a CRC register across transactions (the paper's "result depends on
+//! the input's context" in its purest form). Transactions (payload
+//! `op[1:0], data[7:0]`, response `crc[W-1:0]`):
+//!
+//! | op | name | response               | architectural update        |
+//! |----|------|------------------------|-----------------------------|
+//! | 0  | INIT | the init constant      | `crc ← INIT_VAL`            |
+//! | 1  | FEED | updated CRC            | `crc ← crc_step(crc, data)` |
+//! | 2  | READ | current CRC            | none                        |
+//!
+//! The CRC step processes all 8 data bits combinationally (unrolled
+//! bitwise LFSR with the CRC-16/CCITT polynomial truncated to `W` bits).
+//!
+//! Architectural state: the CRC register.
+
+use crate::iface::{resolve_bug, BugClass, BugInfo, Design, DesignMeta, Detectors, HaInterface};
+use crate::skeleton::{capture, get_next, override_next, remove_init, TxnControl};
+use gqed_ir::{Context, TermId, TransitionSystem};
+
+/// Build parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct Params {
+    /// CRC register width.
+    pub width: u32,
+    /// Compute latency in cycles.
+    pub latency: u32,
+}
+
+impl Default for Params {
+    fn default() -> Self {
+        Params {
+            width: 16,
+            latency: 2,
+        }
+    }
+}
+
+/// Opcodes.
+pub const OP_INIT: u128 = 0;
+/// Opcodes.
+pub const OP_FEED: u128 = 1;
+/// Opcodes.
+pub const OP_READ: u128 = 2;
+
+/// Reset value loaded by INIT.
+pub const INIT_VAL: u128 = 0xffff;
+/// CRC-16/CCITT polynomial (x^16 + x^12 + x^5 + 1), truncated to width.
+pub const POLY: u128 = 0x1021;
+
+/// Reference software model of the 8-bit CRC step (used by tests and the
+/// conventional assertions' documentation).
+pub fn crc_step_model(crc: u128, byte: u128, width: u32) -> u128 {
+    let m = if width >= 128 {
+        u128::MAX
+    } else {
+        (1 << width) - 1
+    };
+    let mut crc = crc & m;
+    for i in (0..8).rev() {
+        let inbit = byte >> i & 1;
+        let top = crc >> (width - 1) & 1;
+        let fb = top ^ inbit;
+        crc = (crc << 1) & m;
+        if fb != 0 {
+            crc ^= POLY & m;
+        }
+    }
+    crc
+}
+
+fn crc_step_terms(ctx: &mut Context, crc: TermId, byte: TermId, width: u32) -> TermId {
+    let mut cur = crc;
+    let poly = ctx.constant(POLY, width);
+    let one = ctx.constant(1, width);
+    for i in (0..8).rev() {
+        let inbit = ctx.bit(byte, i);
+        let top = ctx.bit(cur, width - 1);
+        let fb = ctx.xor(top, inbit);
+        let shifted = ctx.shl(cur, one);
+        let xored = ctx.xor(shifted, poly);
+        cur = ctx.ite(fb, xored, shifted);
+    }
+    cur
+}
+
+/// The injectable-bug catalogue.
+pub fn bugs() -> Vec<BugInfo> {
+    let g = |conv| Detectors {
+        gqed: true,
+        aqed: false,
+        conventional: conv,
+    };
+    vec![
+        BugInfo {
+            id: "stall-shift-corrupt",
+            description: "the CRC register shifts left once per cycle while the response \
+                          is stalled by back-pressure",
+            class: BugClass::ContextDependent,
+            expected: g(false),
+            min_transactions: 2,
+        },
+        BugInfo {
+            id: "idle-phase-leak",
+            description: "a free-running phase flip-flop XORs into the FEED update, making \
+                          the CRC depend on idle time between transactions",
+            class: BugClass::ContextDependent,
+            expected: g(false),
+            min_transactions: 1,
+        },
+        BugInfo {
+            id: "uninit-crc",
+            description: "the CRC register is not reset",
+            class: BugClass::Uninitialized,
+            expected: g(false),
+            min_transactions: 1,
+        },
+        BugInfo {
+            id: "init-partial",
+            description: "INIT loads 0xff00 instead of 0xffff (deterministic functional error)",
+            class: BugClass::ConsistentFunctional,
+            expected: Detectors {
+                gqed: false,
+                aqed: false,
+                conventional: true,
+            },
+            min_transactions: 1,
+        },
+        BugInfo {
+            id: "feed-drop-on-stall",
+            description: "the architectural CRC update of a FEED is dropped when the \
+                          response is stalled at the commit cycle",
+            class: BugClass::ContextDependent,
+            expected: g(false),
+            min_transactions: 2,
+        },
+        BugInfo {
+            id: "read-hang-on-zero",
+            description: "a READ never completes while the CRC register is zero",
+            class: BugClass::HandshakeProtocol,
+            expected: g(false),
+            min_transactions: 2,
+        },
+    ]
+}
+
+/// Builds the design, optionally injecting the named bug.
+pub fn build(params: &Params, bug: Option<&str>) -> Design {
+    let bug = bug.map(|id| resolve_bug(&bugs(), id));
+    let w = params.width;
+    assert!(w >= 9, "crc width must exceed the byte width");
+    let mut ctx = Context::new();
+    let mut ts = TransitionSystem::new("crc32");
+
+    let ctl = TxnControl::build(&mut ctx, &mut ts, params.latency);
+
+    let op = ctx.input("op", 2);
+    let data = ctx.input("data", 8);
+    ts.inputs.push(op);
+    ts.inputs.push(data);
+
+    let op_r = capture(&mut ctx, &mut ts, "op_r", ctl.accept, op);
+    let data_r = capture(&mut ctx, &mut ts, "data_r", ctl.accept, data);
+
+    // Architectural state.
+    let crc = ctx.state("crc", w);
+    // Free-running phase bit (harmless unless the leak bug is injected).
+    let phase = ctx.state("phase", 1);
+
+    let fed = {
+        let stepped = crc_step_terms(&mut ctx, crc, data_r, w);
+        if bug == Some("idle-phase-leak") {
+            let pz = ctx.zext(phase, w);
+            ctx.xor(stepped, pz)
+        } else {
+            stepped
+        }
+    };
+    let init_const = if bug == Some("init-partial") {
+        ctx.constant(0xff00, w)
+    } else {
+        ctx.constant(INIT_VAL, w)
+    };
+
+    let opc_init = ctx.constant(OP_INIT, 2);
+    let opc_feed = ctx.constant(OP_FEED, 2);
+    let is_init = ctx.eq(op_r, opc_init);
+    let is_feed = ctx.eq(op_r, opc_feed);
+
+    let res0 = ctx.ite(is_feed, fed, crc);
+    let res_val = ctx.ite(is_init, init_const, res0);
+    let upd0 = ctx.ite(is_feed, fed, crc);
+    let crc_upd = ctx.ite(is_init, init_const, upd0);
+
+    // Commit (with optional drop / stall-corruption bugs).
+    let commit = if bug == Some("feed-drop-on-stall") {
+        // The architectural update only lands when out_ready is high at
+        // the commit cycle.
+        ctx.and(ctl.done, ctl.out_ready)
+    } else {
+        ctl.done
+    };
+    let crc_held = if bug == Some("stall-shift-corrupt") {
+        let not_rdy = ctx.not(ctl.out_ready);
+        let stalled = ctx.and(ctl.pending, not_rdy);
+        let one = ctx.constant(1, w);
+        let shifted = ctx.shl(crc, one);
+        ctx.ite(stalled, shifted, crc)
+    } else {
+        crc
+    };
+    let crc_next = ctx.ite(commit, crc_upd, crc_held);
+    let zero = ctx.zero(w);
+    ts.add_state(crc, Some(zero), crc_next);
+    if bug == Some("uninit-crc") {
+        remove_init(&mut ts, crc);
+    }
+    let phase_next = ctx.not(phase);
+    let fls = ctx.fls();
+    ts.add_state(phase, Some(fls), phase_next);
+
+    let res_r = capture(&mut ctx, &mut ts, "res_r", ctl.done, res_val);
+
+    if bug == Some("read-hang-on-zero") {
+        let opc_read = ctx.constant(OP_READ, 2);
+        let is_read = ctx.eq(op_r, opc_read);
+        let crc_z = ctx.eq(crc, zero);
+        let h0 = ctx.and(ctl.busy, is_read);
+        let hang = ctx.and(h0, crc_z);
+        let tw = ctx.width(ctl.timer);
+        let one_t = ctx.constant(1, tw);
+        let orig = get_next(&ts, ctl.timer);
+        let tn = ctx.ite(hang, one_t, orig);
+        override_next(&mut ts, ctl.timer, tn);
+    }
+
+    ts.outputs = vec![
+        ("in_ready".into(), ctl.in_ready),
+        ("out_valid".into(), ctl.out_valid),
+        ("res".into(), res_r),
+        ("crc".into(), crc),
+    ];
+
+    // Conventional assertions: INIT and READ paths only.
+    let conventional = {
+        let mut bads = Vec::new();
+        let init_expected = ctx.constant(INIT_VAL, w);
+        let init_done = ctx.and(ctl.done, is_init);
+        let bad_val = ctx.ne(crc_upd, init_expected);
+        let t = ctx.and(init_done, bad_val);
+        bads.push(gqed_ir::Bad {
+            name: "conv.init_loads_const".into(),
+            term: t,
+        });
+        let opc_read = ctx.constant(OP_READ, 2);
+        let is_read = ctx.eq(op_r, opc_read);
+        let read_done = ctx.and(ctl.done, is_read);
+        let neq = ctx.ne(res_val, crc);
+        let t2 = ctx.and(read_done, neq);
+        bads.push(gqed_ir::Bad {
+            name: "conv.read_returns_crc".into(),
+            term: t2,
+        });
+        bads
+    };
+
+    let iface = HaInterface {
+        in_valid: ctl.in_valid,
+        in_ready: ctl.in_ready,
+        in_payload: vec![op, data],
+        out_valid: ctl.out_valid,
+        out_ready: ctl.out_ready,
+        out_payload: vec![res_r],
+    };
+
+    Design {
+        ctx,
+        ts,
+        iface,
+        arch_state: vec![crc],
+        conventional,
+        meta: DesignMeta {
+            name: "crc32",
+            interfering: true,
+            description: "running CRC engine with INIT/FEED/READ transactions",
+            latency: params.latency,
+            recommended_bound: 12,
+        },
+        injected_bug: bug,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gqed_ir::Sim;
+    use std::collections::HashMap;
+
+    fn run_txn(sim: &mut Sim, d: &Design, op: u128, data: u128) -> u128 {
+        let mut inp = HashMap::new();
+        inp.insert(d.iface.in_valid, 1u128);
+        inp.insert(d.iface.out_ready, 1u128);
+        inp.insert(d.iface.in_payload[0], op);
+        inp.insert(d.iface.in_payload[1], data);
+        loop {
+            let accepted = sim.peek(&inp, d.iface.in_ready) == 1;
+            sim.step(&inp);
+            if accepted {
+                break;
+            }
+        }
+        inp.insert(d.iface.in_valid, 0);
+        for _ in 0..20 {
+            if sim.peek(&inp, d.iface.out_valid) == 1 {
+                let res = sim.peek(&inp, d.iface.out_payload[0]);
+                sim.step(&inp);
+                return res;
+            }
+            sim.step(&inp);
+        }
+        panic!("transaction did not complete");
+    }
+
+    #[test]
+    fn matches_software_model() {
+        let p = Params::default();
+        let d = build(&p, None);
+        let mut sim = Sim::new(&d.ctx, &d.ts);
+        assert_eq!(run_txn(&mut sim, &d, OP_INIT, 0), INIT_VAL);
+        let mut model = INIT_VAL;
+        for byte in [0x31u128, 0x32, 0x33, 0xff, 0x00] {
+            model = crc_step_model(model, byte, p.width);
+            assert_eq!(run_txn(&mut sim, &d, OP_FEED, byte), model);
+        }
+        assert_eq!(run_txn(&mut sim, &d, OP_READ, 0), model);
+    }
+
+    #[test]
+    fn known_answer_crc16_ccitt() {
+        // CRC-16/CCITT-FALSE of "123456789" is 0x29B1.
+        let p = Params::default();
+        let mut crc = 0xffffu128;
+        for b in b"123456789" {
+            crc = crc_step_model(crc, *b as u128, p.width);
+        }
+        assert_eq!(crc, 0x29b1);
+    }
+
+    #[test]
+    fn init_partial_bug_loads_wrong_constant() {
+        let d = build(&Params::default(), Some("init-partial"));
+        let mut sim = Sim::new(&d.ctx, &d.ts);
+        assert_eq!(run_txn(&mut sim, &d, OP_INIT, 0), 0xff00);
+    }
+
+    #[test]
+    fn feed_drop_on_stall_changes_state() {
+        let p = Params::default();
+        let d = build(&p, Some("feed-drop-on-stall"));
+        let mut sim = Sim::new(&d.ctx, &d.ts);
+        let _ = run_txn(&mut sim, &d, OP_INIT, 0);
+        // Feed with back-pressure held low through the commit cycle so the
+        // architectural update is dropped.
+        let mut inp = HashMap::new();
+        inp.insert(d.iface.in_valid, 1u128);
+        inp.insert(d.iface.out_ready, 0u128);
+        inp.insert(d.iface.in_payload[0], OP_FEED);
+        inp.insert(d.iface.in_payload[1], 0x55u128);
+        sim.step(&inp); // accept
+        inp.insert(d.iface.in_valid, 0);
+        for _ in 0..6 {
+            sim.step(&inp); // compute + wait, out_ready low
+        }
+        inp.insert(d.iface.out_ready, 1);
+        sim.step(&inp); // deliver
+                        // READ exposes the inconsistency: crc was never updated.
+        let got = run_txn(&mut sim, &d, OP_READ, 0);
+        assert_eq!(got, INIT_VAL, "update should have been dropped (bug)");
+    }
+
+    #[test]
+    fn bug_ids_unique_and_buildable() {
+        let all = bugs();
+        let mut ids: Vec<&str> = all.iter().map(|b| b.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), all.len());
+        for b in &all {
+            let _ = build(&Params::default(), Some(b.id));
+        }
+    }
+}

@@ -1,0 +1,446 @@
+//! `dma` — a configuration-driven transfer engine (interfering).
+//!
+//! **Stand-in for the paper's industrial case study**: a descriptor-driven
+//! DMA-style block whose transfer behavior depends on configuration
+//! registers programmed by earlier transactions — the interference pattern
+//! that motivated G-QED at Infineon. The "bus" is replaced by an on-chip
+//! pattern generator (we have no bus model), which preserves the property
+//! that a transfer's response is a function of the configuration *history*.
+//!
+//! Transactions (payload `op[1:0], data[W-1:0]`, response `res[W-1:0]`):
+//!
+//! | op | name       | response          | architectural update |
+//! |----|------------|-------------------|----------------------|
+//! | 0  | CFG_STRIDE | previous stride   | `stride ← data`      |
+//! | 1  | CFG_SEED   | previous seed     | `seed ← data`        |
+//! | 2  | CFG_MODE   | previous mode     | `mode ← data[0]`     |
+//! | 3  | XFER       | checksum of burst | none                 |
+//!
+//! An XFER with length field `len = data[1:0]` processes `len + 1` words,
+//! one per cycle:
+//! starting from `cur = seed`, each cycle does `sum += cur` and
+//! `cur += stride` (mode 0) or `sum ^= cur`, `cur += stride` (mode 1); the
+//! response is `sum`.
+//!
+//! Architectural state: `stride`, `seed`, `mode`.
+
+use crate::iface::{resolve_bug, BugClass, BugInfo, Design, DesignMeta, Detectors, HaInterface};
+use crate::skeleton::{capture, get_next, override_next, remove_init, TxnControl};
+use gqed_ir::{Context, TransitionSystem};
+
+/// Build parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct Params {
+    /// Data width in bits.
+    pub width: u32,
+}
+
+impl Default for Params {
+    fn default() -> Self {
+        Params { width: 8 }
+    }
+}
+
+/// Opcodes.
+pub const OP_CFG_STRIDE: u128 = 0;
+/// Opcodes.
+pub const OP_CFG_SEED: u128 = 1;
+/// Opcodes.
+pub const OP_CFG_MODE: u128 = 2;
+/// Opcodes.
+pub const OP_XFER: u128 = 3;
+
+/// Reference model of an XFER burst.
+pub fn xfer_model(stride: u128, seed: u128, mode: u128, len: u128, width: u32) -> u128 {
+    let m = if width >= 128 {
+        u128::MAX
+    } else {
+        (1 << width) - 1
+    };
+    let mut cur = seed & m;
+    let mut sum = 0u128;
+    for _ in 0..len {
+        if mode & 1 == 0 {
+            sum = sum.wrapping_add(cur) & m;
+        } else {
+            sum ^= cur;
+        }
+        cur = cur.wrapping_add(stride) & m;
+    }
+    sum & m
+}
+
+/// The injectable-bug catalogue.
+pub fn bugs() -> Vec<BugInfo> {
+    let g = |conv| Detectors {
+        gqed: true,
+        aqed: false,
+        conventional: conv,
+    };
+    vec![
+        BugInfo {
+            id: "cfg-leak-while-busy",
+            description: "an *unaccepted* request offered while an XFER is in flight \
+                          writes the configuration registers anyway (the classic \
+                          config-during-transfer industrial bug)",
+            class: BugClass::ContextDependent,
+            expected: g(false),
+            min_transactions: 2,
+        },
+        BugInfo {
+            id: "stall-seed-drift",
+            description: "the seed configuration register increments once per cycle \
+                          while a response is stalled by back-pressure",
+            class: BugClass::ContextDependent,
+            expected: g(false),
+            min_transactions: 2,
+        },
+        BugInfo {
+            id: "len-zero-hang",
+            description: "an XFER whose descriptor length field is 0 never completes",
+            class: BugClass::HandshakeProtocol,
+            expected: g(false),
+            min_transactions: 1,
+        },
+        BugInfo {
+            id: "uninit-stride",
+            description: "the stride configuration register is not reset",
+            class: BugClass::Uninitialized,
+            expected: g(false),
+            min_transactions: 1,
+        },
+        BugInfo {
+            id: "cfg-returns-new",
+            description: "CFG_* responses return the new register value instead of the \
+                          previous one (deterministic functional error)",
+            class: BugClass::ConsistentFunctional,
+            expected: Detectors {
+                gqed: false,
+                aqed: false,
+                conventional: true,
+            },
+            min_transactions: 1,
+        },
+    ]
+}
+
+/// Builds the design, optionally injecting the named bug.
+pub fn build(params: &Params, bug: Option<&str>) -> Design {
+    let bug = bug.map(|id| resolve_bug(&bugs(), id));
+    let w = params.width;
+    assert!(w >= 3, "width must hold the 2-bit length field");
+    let mut ctx = Context::new();
+    let mut ts = TransitionSystem::new("dma");
+
+    // Latency 2 skeleton; XFER stretches the busy phase below so a
+    // transfer of length field `len` processes len + 1 words.
+    let ctl = TxnControl::build(&mut ctx, &mut ts, 2);
+
+    let op = ctx.input("op", 2);
+    let data = ctx.input("data", w);
+    ts.inputs.push(op);
+    ts.inputs.push(data);
+
+    let op_r = capture(&mut ctx, &mut ts, "op_r", ctl.accept, op);
+    let data_r = capture(&mut ctx, &mut ts, "data_r", ctl.accept, data);
+
+    // Configuration registers (architectural state).
+    let stride = ctx.state("stride", w);
+    let seed = ctx.state("seed", w);
+    let mode = ctx.state("mode", 1);
+
+    let opc_stride = ctx.constant(OP_CFG_STRIDE, 2);
+    let opc_seed = ctx.constant(OP_CFG_SEED, 2);
+    let opc_mode = ctx.constant(OP_CFG_MODE, 2);
+    let opc_xfer = ctx.constant(OP_XFER, 2);
+    let is_cfg_stride = ctx.eq(op_r, opc_stride);
+    let is_cfg_seed = ctx.eq(op_r, opc_seed);
+    let is_cfg_mode = ctx.eq(op_r, opc_mode);
+    let is_xfer = ctx.eq(op_r, opc_xfer);
+
+    // XFER burst engine: the skeleton timer is reloaded with len-1 at
+    // accept; `cur`/`sum` run one word per busy cycle.
+    let len_bits = ctx.extract(data, 1, 0); // live bus at the accept cycle
+                                            // A separate burst counter stretches the busy phase: while it is
+                                            // non-zero the skeleton timer is held at 1, so `done` cannot fire.
+    let burst = ctx.state("burst", 2);
+    let zero3 = ctx.zero(2);
+    let one3 = ctx.constant(1, 2);
+    let burst_nz = ctx.ne(burst, zero3);
+    let burst_dec = ctx.sub(burst, one3);
+    let accept_is_xfer = {
+        let opc = ctx.constant(OP_XFER, 2);
+        let e = ctx.eq(op, opc); // live op bus at accept
+        ctx.and(ctl.accept, e)
+    };
+    let burst_next0 = ctx.ite(burst_nz, burst_dec, burst);
+    let burst_next = ctx.ite(accept_is_xfer, len_bits, burst_next0);
+    ts.add_state(burst, Some(zero3), burst_next);
+
+    // Stretch busy: while burst != 0, `done` must not fire. The skeleton's
+    // timer reaches 0 after one cycle; override it to stay 1 while the
+    // burst is still draining.
+    {
+        let tw = ctx.width(ctl.timer);
+        let one_t = ctx.constant(1, tw);
+        let orig = get_next(&ts, ctl.timer);
+        let burst_active = ctx.ne(burst, zero3);
+        let hold = ctx.and(ctl.busy, burst_active);
+        let tn = ctx.ite(hold, one_t, orig);
+        override_next(&mut ts, ctl.timer, tn);
+    }
+
+    // Burst datapath.
+    let cur = ctx.state("cur", w);
+    let sum = ctx.state("sum", w);
+    let zero_w = ctx.zero(w);
+    let step = ctx.and(ctl.busy, is_xfer); // one word per busy cycle
+    let cur_adv = ctx.add(cur, stride);
+    let cur_next0 = ctx.ite(step, cur_adv, cur);
+    let cur_next = ctx.ite(accept_is_xfer, seed, cur_next0);
+    ts.add_state(cur, Some(zero_w), cur_next);
+
+    let sum_add = ctx.add(sum, cur);
+    let sum_xor = ctx.xor(sum, cur);
+    let sum_word = ctx.ite(mode, sum_xor, sum_add);
+    let sum_next0 = ctx.ite(step, sum_word, sum);
+    let sum_next = ctx.ite(accept_is_xfer, zero_w, sum_next0);
+    ts.add_state(sum, Some(zero_w), sum_next);
+
+    // Configuration register updates at commit (CFG ops), plus the
+    // leak-while-busy bug path.
+    let commit = ctl.done;
+    let leak = if bug == Some("cfg-leak-while-busy") {
+        // An offered-but-unaccepted request writes the registers live.
+        let not_ready = ctx.not(ctl.in_ready);
+        ctx.and(ctl.in_valid, not_ready)
+    } else {
+        ctx.fls()
+    };
+    let cfg_stride_commit = ctx.and(commit, is_cfg_stride);
+    let stride_leak = {
+        let opc = ctx.constant(OP_CFG_STRIDE, 2);
+        let e = ctx.eq(op, opc);
+        ctx.and(leak, e)
+    };
+    let stride_next0 = ctx.ite(cfg_stride_commit, data_r, stride);
+    let stride_next = ctx.ite(stride_leak, data, stride_next0);
+    ts.add_state(stride, Some(zero_w), stride_next);
+    if bug == Some("uninit-stride") {
+        remove_init(&mut ts, stride);
+    }
+    let cfg_seed_commit = ctx.and(commit, is_cfg_seed);
+    let seed_leak = {
+        let opc = ctx.constant(OP_CFG_SEED, 2);
+        let e = ctx.eq(op, opc);
+        ctx.and(leak, e)
+    };
+    let seed_next0 = ctx.ite(cfg_seed_commit, data_r, seed);
+    let seed_next1 = ctx.ite(seed_leak, data, seed_next0);
+    let seed_next = if bug == Some("stall-seed-drift") {
+        let not_rdy = ctx.not(ctl.out_ready);
+        let stalled = ctx.and(ctl.pending, not_rdy);
+        let drifted = ctx.inc(seed);
+        ctx.ite(stalled, drifted, seed_next1)
+    } else {
+        seed_next1
+    };
+    ts.add_state(seed, Some(zero_w), seed_next);
+    let cfg_mode_commit = ctx.and(commit, is_cfg_mode);
+    let mode_bit = ctx.bit(data_r, 0);
+    let mode_next = ctx.ite(cfg_mode_commit, mode_bit, mode);
+    let fls = ctx.fls();
+    ts.add_state(mode, Some(fls), mode_next);
+
+    // Response.
+    let old_cfg0 = ctx.ite(is_cfg_seed, seed, stride);
+    let mode_z = ctx.zext(mode, w);
+    let old_cfg = ctx.ite(is_cfg_mode, mode_z, old_cfg0);
+    let data_bit0 = ctx.bit(data_r, 0);
+    let data_mode = ctx.zext(data_bit0, w);
+    let new_cfg = ctx.ite(is_cfg_mode, data_mode, data_r);
+    let cfg_res = if bug == Some("cfg-returns-new") {
+        new_cfg
+    } else {
+        old_cfg
+    };
+    let res_val = ctx.ite(is_xfer, sum, cfg_res);
+
+    if bug == Some("len-zero-hang") {
+        // XFER with len field 0: keep the timer at 1 forever.
+        let len_r = ctx.extract(data_r, 1, 0);
+        let len_z = ctx.eq(len_r, zero3);
+        let h0 = ctx.and(ctl.busy, is_xfer);
+        let hang = ctx.and(h0, len_z);
+        let tw = ctx.width(ctl.timer);
+        let one_t = ctx.constant(1, tw);
+        let orig = get_next(&ts, ctl.timer);
+        let tn = ctx.ite(hang, one_t, orig);
+        override_next(&mut ts, ctl.timer, tn);
+    }
+
+    let res_r = capture(&mut ctx, &mut ts, "res_r", ctl.done, res_val);
+
+    ts.outputs = vec![
+        ("in_ready".into(), ctl.in_ready),
+        ("out_valid".into(), ctl.out_valid),
+        ("res".into(), res_r),
+        ("stride".into(), stride),
+        ("seed".into(), seed),
+    ];
+
+    // Conventional assertion: CFG responses return the *previous* value.
+    let conventional = {
+        let is_cfg = ctx.not(is_xfer);
+        let cfg_done = ctx.and(ctl.done, is_cfg);
+        let neq = ctx.ne(res_val, old_cfg);
+        let t = ctx.and(cfg_done, neq);
+        vec![gqed_ir::Bad {
+            name: "conv.cfg_returns_old".into(),
+            term: t,
+        }]
+    };
+
+    let iface = HaInterface {
+        in_valid: ctl.in_valid,
+        in_ready: ctl.in_ready,
+        in_payload: vec![op, data],
+        out_valid: ctl.out_valid,
+        out_ready: ctl.out_ready,
+        out_payload: vec![res_r],
+    };
+
+    Design {
+        ctx,
+        ts,
+        iface,
+        arch_state: vec![stride, seed, mode],
+        conventional,
+        meta: DesignMeta {
+            name: "dma",
+            interfering: true,
+            description:
+                "configuration-driven burst transfer engine (industrial case-study stand-in)",
+            latency: 4,
+            recommended_bound: 12,
+        },
+        injected_bug: bug,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gqed_ir::Sim;
+    use std::collections::HashMap;
+
+    fn run_txn(sim: &mut Sim, d: &Design, op: u128, data: u128) -> u128 {
+        let mut inp = HashMap::new();
+        inp.insert(d.iface.in_valid, 1u128);
+        inp.insert(d.iface.out_ready, 1u128);
+        inp.insert(d.iface.in_payload[0], op);
+        inp.insert(d.iface.in_payload[1], data);
+        loop {
+            let accepted = sim.peek(&inp, d.iface.in_ready) == 1;
+            sim.step(&inp);
+            if accepted {
+                break;
+            }
+        }
+        inp.insert(d.iface.in_valid, 0);
+        for _ in 0..30 {
+            if sim.peek(&inp, d.iface.out_valid) == 1 {
+                let res = sim.peek(&inp, d.iface.out_payload[0]);
+                sim.step(&inp);
+                return res;
+            }
+            sim.step(&inp);
+        }
+        panic!("transaction did not complete");
+    }
+
+    #[test]
+    fn cfg_returns_previous_value() {
+        let d = build(&Params::default(), None);
+        let mut sim = Sim::new(&d.ctx, &d.ts);
+        assert_eq!(run_txn(&mut sim, &d, OP_CFG_STRIDE, 3), 0);
+        assert_eq!(run_txn(&mut sim, &d, OP_CFG_STRIDE, 7), 3);
+        assert_eq!(run_txn(&mut sim, &d, OP_CFG_SEED, 10), 0);
+    }
+
+    #[test]
+    fn xfer_matches_model() {
+        let p = Params::default();
+        let d = build(&p, None);
+        let mut sim = Sim::new(&d.ctx, &d.ts);
+        let _ = run_txn(&mut sim, &d, OP_CFG_STRIDE, 3);
+        let _ = run_txn(&mut sim, &d, OP_CFG_SEED, 5);
+        for len_field in [0u128, 1, 2, 3] {
+            let got = run_txn(&mut sim, &d, OP_XFER, len_field);
+            // The burst engine processes len_field + 1 words (the commit
+            // cycle processes the last one).
+            let expect = xfer_model(3, 5, 0, len_field + 1, p.width);
+            assert_eq!(got, expect, "len_field={len_field}");
+        }
+    }
+
+    #[test]
+    fn xfer_mode_xor() {
+        let p = Params::default();
+        let d = build(&p, None);
+        let mut sim = Sim::new(&d.ctx, &d.ts);
+        let _ = run_txn(&mut sim, &d, OP_CFG_STRIDE, 1);
+        let _ = run_txn(&mut sim, &d, OP_CFG_SEED, 9);
+        let _ = run_txn(&mut sim, &d, OP_CFG_MODE, 1);
+        let got = run_txn(&mut sim, &d, OP_XFER, 3);
+        assert_eq!(got, xfer_model(1, 9, 1, 4, p.width));
+    }
+
+    #[test]
+    fn interference_config_changes_xfer() {
+        let d = build(&Params::default(), None);
+        let mut sim = Sim::new(&d.ctx, &d.ts);
+        let _ = run_txn(&mut sim, &d, OP_CFG_STRIDE, 1);
+        let _ = run_txn(&mut sim, &d, OP_CFG_SEED, 0);
+        let r1 = run_txn(&mut sim, &d, OP_XFER, 2);
+        let _ = run_txn(&mut sim, &d, OP_CFG_STRIDE, 5);
+        let r2 = run_txn(&mut sim, &d, OP_XFER, 2);
+        assert_ne!(r1, r2, "same XFER payload must differ across configs");
+    }
+
+    #[test]
+    fn cfg_leak_bug_reacts_to_unaccepted_requests() {
+        let d = build(&Params::default(), Some("cfg-leak-while-busy"));
+        let mut sim = Sim::new(&d.ctx, &d.ts);
+        let _ = run_txn(&mut sim, &d, OP_CFG_SEED, 5);
+        let _ = run_txn(&mut sim, &d, OP_CFG_STRIDE, 1);
+        // Start a long XFER and keep offering a CFG_STRIDE while busy.
+        let mut inp = HashMap::new();
+        inp.insert(d.iface.in_valid, 1u128);
+        inp.insert(d.iface.out_ready, 1u128);
+        inp.insert(d.iface.in_payload[0], OP_XFER);
+        inp.insert(d.iface.in_payload[1], 3u128);
+        sim.step(&inp); // accept the XFER
+                        // While busy, offer (unaccepted) CFG_STRIDE=0xf.
+        inp.insert(d.iface.in_payload[0], OP_CFG_STRIDE);
+        inp.insert(d.iface.in_payload[1], 0xfu128);
+        sim.step(&inp);
+        assert_eq!(
+            sim.state_value(d.ts.output("stride").unwrap()),
+            0xf,
+            "leak bug must write stride from an unaccepted request"
+        );
+    }
+
+    #[test]
+    fn bug_ids_unique_and_buildable() {
+        let all = bugs();
+        let mut ids: Vec<&str> = all.iter().map(|b| b.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), all.len());
+        for b in &all {
+            let _ = build(&Params::default(), Some(b.id));
+        }
+    }
+}

@@ -1,0 +1,334 @@
+//! `fir` — a 4-tap FIR filter with loadable coefficients (interfering).
+//!
+//! Two transaction kinds (payload `op[0], idx[1:0], data[W-1:0]`, response
+//! `y[2W+2-1:0]`):
+//!
+//! | op | name         | response                   | architectural update |
+//! |----|--------------|----------------------------|----------------------|
+//! | 0  | LOAD(idx, c) | previous coefficient `idx` | `coef[idx] ← c`      |
+//! | 1  | FEED(x)      | `Σ coef[i] · win[i]`       | window shifts in `x` |
+//!
+//! Responses interfere through both the coefficient bank (configuration
+//! state) and the sample window (data state) — a two-dimensional
+//! architectural state, the richest in the library.
+
+use crate::iface::{resolve_bug, BugClass, BugInfo, Design, DesignMeta, Detectors, HaInterface};
+use crate::skeleton::{capture, remove_init, TxnControl};
+use gqed_ir::{Context, TermId, TransitionSystem};
+
+/// Number of filter taps.
+pub const TAPS: usize = 4;
+
+/// Opcodes.
+pub const OP_LOAD: u128 = 0;
+/// Opcodes.
+pub const OP_FEED: u128 = 1;
+
+/// Build parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct Params {
+    /// Sample/coefficient width in bits.
+    pub width: u32,
+    /// Compute latency in cycles.
+    pub latency: u32,
+}
+
+impl Default for Params {
+    fn default() -> Self {
+        Params {
+            width: 4,
+            latency: 2,
+        }
+    }
+}
+
+/// Reference model: the response to FEED(x) given coefficients and the
+/// window *after* shifting in `x` (newest sample first).
+pub fn fir_model(coefs: &[u128], window: &[u128], width: u32) -> u128 {
+    let rw = 2 * width + 2;
+    let rm = (1u128 << rw) - 1;
+    coefs
+        .iter()
+        .zip(window)
+        .fold(0u128, |acc, (&c, &w)| acc.wrapping_add(c * w) & rm)
+}
+
+/// The injectable-bug catalogue.
+pub fn bugs() -> Vec<BugInfo> {
+    let g = |conv| Detectors {
+        gqed: true,
+        aqed: false,
+        conventional: conv,
+    };
+    vec![
+        BugInfo {
+            id: "coef-write-during-stall",
+            description: "a LOAD committed under back-pressure writes the coefficient of \
+                          the *live bus* index instead of the captured one",
+            class: BugClass::ContextDependent,
+            expected: g(false),
+            min_transactions: 2,
+        },
+        BugInfo {
+            id: "window-shift-on-load",
+            description: "a LOAD erroneously shifts the sample window too",
+            class: BugClass::ConsistentFunctional,
+            expected: Detectors {
+                gqed: false, // deterministic per transaction sequence
+                aqed: false,
+                conventional: true,
+            },
+            min_transactions: 3,
+        },
+        BugInfo {
+            id: "uninit-coefs",
+            description: "the coefficient bank is not reset",
+            class: BugClass::Uninitialized,
+            expected: g(false),
+            min_transactions: 1,
+        },
+        BugInfo {
+            id: "stall-rotates-window",
+            description: "the sample window rotates once per stalled response cycle",
+            class: BugClass::ContextDependent,
+            expected: g(false),
+            min_transactions: 2,
+        },
+    ]
+}
+
+/// Builds the design, optionally injecting the named bug.
+pub fn build(params: &Params, bug: Option<&str>) -> Design {
+    let bug = bug.map(|id| resolve_bug(&bugs(), id));
+    let w = params.width;
+    let rw = 2 * w + 2;
+    let mut ctx = Context::new();
+    let mut ts = TransitionSystem::new("fir");
+
+    let ctl = TxnControl::build(&mut ctx, &mut ts, params.latency);
+
+    let op = ctx.input("op", 1);
+    let idx = ctx.input("idx", 2);
+    let data = ctx.input("data", w);
+    ts.inputs.push(op);
+    ts.inputs.push(idx);
+    ts.inputs.push(data);
+
+    let op_r = capture(&mut ctx, &mut ts, "op_r", ctl.accept, op);
+    let idx_r = capture(&mut ctx, &mut ts, "idx_r", ctl.accept, idx);
+    let data_r = capture(&mut ctx, &mut ts, "data_r", ctl.accept, data);
+
+    // Architectural state: coefficient bank + sample window.
+    let coefs: Vec<TermId> = (0..TAPS)
+        .map(|i| ctx.state(format!("coef[{i}]"), w))
+        .collect();
+    let win: Vec<TermId> = (0..TAPS)
+        .map(|i| ctx.state(format!("win[{i}]"), w))
+        .collect();
+
+    let is_feed = op_r;
+    let is_load = ctx.not(op_r);
+
+    // Response: LOAD returns the previous coefficient; FEED returns the
+    // dot product over the window *including* the incoming sample.
+    let mut old_coef = coefs[0];
+    for (i, &c) in coefs.iter().enumerate().skip(1) {
+        let ic = ctx.constant(i as u128, 2);
+        let hit = ctx.eq(idx_r, ic);
+        old_coef = ctx.ite(hit, c, old_coef);
+    }
+    let old_coef_z = ctx.zext(old_coef, rw);
+
+    // Effective window during a FEED: data_r is the newest sample.
+    let eff_win: Vec<TermId> = std::iter::once(data_r)
+        .chain(win.iter().copied().take(TAPS - 1))
+        .collect();
+    let mut dot = ctx.zero(rw);
+    for (c, s) in coefs.iter().zip(&eff_win) {
+        let cz = ctx.zext(*c, rw);
+        let sz = ctx.zext(*s, rw);
+        let p = ctx.mul(cz, sz);
+        dot = ctx.add(dot, p);
+    }
+    let res_val = ctx.ite(is_feed, dot, old_coef_z);
+
+    // Coefficient updates.
+    let commit = ctl.done;
+    let load_commit = ctx.and(commit, is_load);
+    let wr_idx = if bug == Some("coef-write-during-stall") {
+        // Under back-pressure at commit, the live bus index is used.
+        let not_rdy = ctx.not(ctl.out_ready);
+        let stalled = ctx.and(commit, not_rdy);
+        ctx.ite(stalled, idx, idx_r)
+    } else {
+        idx_r
+    };
+    for (i, &c) in coefs.iter().enumerate() {
+        let ic = ctx.constant(i as u128, 2);
+        let here0 = ctx.eq(wr_idx, ic);
+        let here = ctx.and(load_commit, here0);
+        let next = ctx.ite(here, data_r, c);
+        let zero = ctx.zero(w);
+        ts.add_state(c, Some(zero), next);
+        if bug == Some("uninit-coefs") {
+            remove_init(&mut ts, c);
+        }
+    }
+
+    // Window updates.
+    let feed_commit = ctx.and(commit, is_feed);
+    let shift = if bug == Some("window-shift-on-load") {
+        commit // every commit shifts, LOADs included
+    } else {
+        feed_commit
+    };
+    let rotate = if bug == Some("stall-rotates-window") {
+        let not_rdy = ctx.not(ctl.out_ready);
+        ctx.and(ctl.pending, not_rdy)
+    } else {
+        ctx.fls()
+    };
+    for i in 0..TAPS {
+        let incoming = if i == 0 { data_r } else { win[i - 1] };
+        let rotated = win[(i + 1) % TAPS];
+        let n0 = ctx.ite(rotate, rotated, win[i]);
+        let next = ctx.ite(shift, incoming, n0);
+        let zero = ctx.zero(w);
+        ts.add_state(win[i], Some(zero), next);
+    }
+
+    let res_r = capture(&mut ctx, &mut ts, "res_r", ctl.done, res_val);
+
+    ts.outputs = vec![
+        ("in_ready".into(), ctl.in_ready),
+        ("out_valid".into(), ctl.out_valid),
+        ("y".into(), res_r),
+    ];
+
+    // Conventional assertion: a LOAD must not disturb the window.
+    let conventional = {
+        let mut moved = ctx.fls();
+        for (i, &wreg) in win.iter().enumerate() {
+            let incoming = if i == 0 { data_r } else { win[i - 1] };
+            let will_change = ctx.ne(incoming, wreg);
+            // On a LOAD commit the window must hold its values; flag any
+            // slot that would take a new value.
+            let shift_now = ctx.and(load_commit, shift);
+            let bad_here = ctx.and(shift_now, will_change);
+            moved = ctx.or(moved, bad_here);
+        }
+        vec![gqed_ir::Bad {
+            name: "conv.load_preserves_window".into(),
+            term: moved,
+        }]
+    };
+
+    let mut arch_state = coefs.clone();
+    arch_state.extend(win.iter().copied());
+
+    let iface = HaInterface {
+        in_valid: ctl.in_valid,
+        in_ready: ctl.in_ready,
+        in_payload: vec![op, idx, data],
+        out_valid: ctl.out_valid,
+        out_ready: ctl.out_ready,
+        out_payload: vec![res_r],
+    };
+
+    Design {
+        ctx,
+        ts,
+        iface,
+        arch_state,
+        conventional,
+        meta: DesignMeta {
+            name: "fir",
+            interfering: true,
+            description: "4-tap FIR filter with loadable coefficients",
+            latency: params.latency,
+            recommended_bound: 8,
+        },
+        injected_bug: bug,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::Driver;
+
+    fn load(drv: &mut Driver, idx: u128, c: u128) -> u128 {
+        drv.txn(&[OP_LOAD, idx, c]).unwrap()[0]
+    }
+
+    fn feed(drv: &mut Driver, x: u128) -> u128 {
+        drv.txn(&[OP_FEED, 0, x]).unwrap()[0]
+    }
+
+    #[test]
+    fn computes_filter_response() {
+        let p = Params::default();
+        let d = build(&p, None);
+        let mut drv = Driver::new(&d);
+        for (i, c) in [3u128, 1, 2, 1].into_iter().enumerate() {
+            assert_eq!(load(&mut drv, i as u128, c), 0, "prev coef is 0");
+        }
+        // Feed 5: window = [5,0,0,0], y = 3*5.
+        assert_eq!(feed(&mut drv, 5), 15);
+        // Feed 7: window = [7,5,0,0], y = 3*7 + 1*5 = 26.
+        assert_eq!(feed(&mut drv, 7), 26);
+        // Feed 1: window = [1,7,5,0], y = 3 + 7 + 10 = 20.
+        assert_eq!(feed(&mut drv, 1), 20);
+    }
+
+    #[test]
+    fn matches_reference_model() {
+        let p = Params::default();
+        let d = build(&p, None);
+        let mut drv = Driver::new(&d);
+        let coefs = [2u128, 0, 3, 1];
+        for (i, &c) in coefs.iter().enumerate() {
+            let _ = load(&mut drv, i as u128, c);
+        }
+        let mut window = vec![0u128; TAPS];
+        for x in [1u128, 9, 4, 15, 2, 8] {
+            window.insert(0, x);
+            window.truncate(TAPS);
+            assert_eq!(feed(&mut drv, x), fir_model(&coefs, &window, p.width));
+        }
+    }
+
+    #[test]
+    fn load_returns_previous_coefficient() {
+        let d = build(&Params::default(), None);
+        let mut drv = Driver::new(&d);
+        assert_eq!(load(&mut drv, 2, 9), 0);
+        assert_eq!(load(&mut drv, 2, 4), 9);
+        assert_eq!(load(&mut drv, 2, 0), 4);
+    }
+
+    #[test]
+    fn window_shift_on_load_bug_changes_output() {
+        let d = build(&Params::default(), Some("window-shift-on-load"));
+        let mut drv = Driver::new(&d);
+        let _ = load(&mut drv, 0, 1);
+        let _ = feed(&mut drv, 5); // clean: window [5,...]
+        let _ = load(&mut drv, 1, 1); // bug: shifts window again
+                                      // With coef = [1,1,0,0]: clean y(3) = 3 + 5; buggy window lost 5's
+                                      // position — y = 3 + (garbage shifted) ⇒ differs from 8.
+        let y = feed(&mut drv, 3);
+        assert_ne!(y, 8, "bug must disturb the window");
+    }
+
+    #[test]
+    fn bug_ids_unique_and_buildable() {
+        let all = bugs();
+        let mut ids: Vec<&str> = all.iter().map(|b| b.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), all.len());
+        for b in &all {
+            let _ = build(&Params::default(), Some(b.id));
+        }
+    }
+}

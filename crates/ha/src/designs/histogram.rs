@@ -1,0 +1,315 @@
+//! `histogram` — a binning accelerator (interfering).
+//!
+//! Eight counting bins. Transactions (payload `op[0], bin[2:0]`, response
+//! `count[W-1:0]`):
+//!
+//! | op | name    | response                  | architectural update |
+//! |----|---------|---------------------------|----------------------|
+//! | 0  | ADD     | incremented count         | `bins[bin] += 1`     |
+//! | 1  | READCLR | count before clearing     | `bins[bin] ← 0`      |
+//!
+//! Architectural state: all bins.
+
+use crate::iface::{resolve_bug, BugClass, BugInfo, Design, DesignMeta, Detectors, HaInterface};
+use crate::skeleton::{capture, get_next, override_next, remove_init, TxnControl};
+use gqed_ir::{Context, RegFile, TransitionSystem};
+
+/// Build parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct Params {
+    /// Count width in bits.
+    pub width: u32,
+    /// Compute latency in cycles.
+    pub latency: u32,
+}
+
+impl Default for Params {
+    fn default() -> Self {
+        Params {
+            width: 8,
+            latency: 1,
+        }
+    }
+}
+
+/// Opcodes.
+pub const OP_ADD: u128 = 0;
+/// Opcodes.
+pub const OP_READCLR: u128 = 1;
+
+const DEPTH: usize = 8;
+
+/// The injectable-bug catalogue.
+pub fn bugs() -> Vec<BugInfo> {
+    let g = |conv| Detectors {
+        gqed: true,
+        aqed: false,
+        conventional: conv,
+    };
+    vec![
+        BugInfo {
+            id: "readclr-returns-cleared",
+            description: "a READCLR stalled by back-pressure at commit responds with the \
+                          already-cleared count (0) instead of the pre-clear value",
+            class: BugClass::ContextDependent,
+            expected: g(false),
+            min_transactions: 2,
+        },
+        BugInfo {
+            id: "double-inc-on-early-valid",
+            description: "a request offered (not accepted) while busy increments the \
+                          captured bin a second time",
+            class: BugClass::ContextDependent,
+            expected: g(false),
+            min_transactions: 1,
+        },
+        BugInfo {
+            id: "uninit-bins",
+            description: "the bins are not reset",
+            class: BugClass::Uninitialized,
+            expected: g(false),
+            min_transactions: 1,
+        },
+        BugInfo {
+            id: "saturate-at-2",
+            description: "counts silently saturate at 2 (deterministic functional error)",
+            class: BugClass::ConsistentFunctional,
+            expected: Detectors {
+                gqed: false,
+                aqed: false,
+                conventional: true,
+            },
+            min_transactions: 3,
+        },
+        BugInfo {
+            id: "drop-on-bin5",
+            description: "the response of an ADD to bin 5 is silently dropped",
+            class: BugClass::HandshakeProtocol,
+            expected: g(false),
+            min_transactions: 1,
+        },
+    ]
+}
+
+/// Builds the design, optionally injecting the named bug.
+pub fn build(params: &Params, bug: Option<&str>) -> Design {
+    let bug = bug.map(|id| resolve_bug(&bugs(), id));
+    let w = params.width;
+    let mut ctx = Context::new();
+    let mut ts = TransitionSystem::new("histogram");
+
+    let ctl = TxnControl::build(&mut ctx, &mut ts, params.latency);
+
+    let op = ctx.input("op", 1);
+    let bin = ctx.input("bin", 3);
+    ts.inputs.push(op);
+    ts.inputs.push(bin);
+
+    let op_r = capture(&mut ctx, &mut ts, "op_r", ctl.accept, op);
+    let bin_r = capture(&mut ctx, &mut ts, "bin_r", ctl.accept, bin);
+
+    let bins = RegFile::new(&mut ctx, "bins", DEPTH, w);
+    let cur = bins.read(&mut ctx, bin_r);
+
+    let is_add = ctx.not(op_r); // op 0 = ADD
+    let is_rdc = op_r;
+
+    let inc = ctx.inc(cur);
+    let new_count = if bug == Some("saturate-at-2") {
+        let limit = ctx.constant(2, w);
+        let at_limit = ctx.uge(cur, limit);
+        ctx.ite(at_limit, cur, inc)
+    } else {
+        inc
+    };
+
+    let zero = ctx.zero(w);
+    // Response: ADD → incremented count; READCLR → pre-clear count.
+    let rdc_res = if bug == Some("readclr-returns-cleared") {
+        // When stalled at commit, the response mux reads the post-clear
+        // value.
+        let not_rdy = ctx.not(ctl.out_ready);
+        let stalled = ctx.and(ctl.done, not_rdy);
+        ctx.ite(stalled, zero, cur)
+    } else {
+        cur
+    };
+    let res_val = ctx.ite(is_add, new_count, rdc_res);
+
+    // Bin writes.
+    let commit = ctl.done;
+    let add_commit = ctx.and(commit, is_add);
+    let rdc_commit = ctx.and(commit, is_rdc);
+    let extra_inc = if bug == Some("double-inc-on-early-valid") {
+        let not_ready = ctx.not(ctl.in_ready);
+        ctx.and(ctl.in_valid, not_ready)
+    } else {
+        ctx.fls()
+    };
+    for i in 0..DEPTH {
+        let word = bins.word(i);
+        let idx = ctx.constant(i as u128, 3);
+        let here = ctx.eq(bin_r, idx);
+        let add_here = ctx.and(add_commit, here);
+        let rdc_here = ctx.and(rdc_commit, here);
+        let extra_here = ctx.and(extra_inc, here);
+        let winc = ctx.inc(word);
+        let n0 = ctx.ite(extra_here, winc, word);
+        let n1 = ctx.ite(add_here, new_count, n0);
+        let next = ctx.ite(rdc_here, zero, n1);
+        ts.add_state(word, Some(zero), next);
+        if bug == Some("uninit-bins") {
+            remove_init(&mut ts, word);
+        }
+    }
+
+    let res_r = capture(&mut ctx, &mut ts, "res_r", ctl.done, res_val);
+
+    if bug == Some("drop-on-bin5") {
+        let b5 = ctx.constant(5, 3);
+        let at5 = ctx.eq(bin_r, b5);
+        let d0 = ctx.and(ctl.done, is_add);
+        let drop = ctx.and(d0, at5);
+        let fls = ctx.fls();
+        let orig = get_next(&ts, ctl.pending);
+        let pn = ctx.ite(drop, fls, orig);
+        override_next(&mut ts, ctl.pending, pn);
+    }
+
+    ts.outputs = vec![
+        ("in_ready".into(), ctl.in_ready),
+        ("out_valid".into(), ctl.out_valid),
+        ("res".into(), res_r),
+    ];
+
+    // Conventional assertion: an ADD response equals the stored count + 1.
+    let conventional = {
+        let add_done = ctx.and(ctl.done, is_add);
+        let expect = ctx.inc(cur);
+        let neq = ctx.ne(res_val, expect);
+        let t = ctx.and(add_done, neq);
+        vec![gqed_ir::Bad {
+            name: "conv.add_increments".into(),
+            term: t,
+        }]
+    };
+
+    let arch_state = bins.words().to_vec();
+
+    let iface = HaInterface {
+        in_valid: ctl.in_valid,
+        in_ready: ctl.in_ready,
+        in_payload: vec![op, bin],
+        out_valid: ctl.out_valid,
+        out_ready: ctl.out_ready,
+        out_payload: vec![res_r],
+    };
+
+    Design {
+        ctx,
+        ts,
+        iface,
+        arch_state,
+        conventional,
+        meta: DesignMeta {
+            name: "histogram",
+            interfering: true,
+            description: "8-bin counting histogram with ADD/READCLR transactions",
+            latency: params.latency,
+            recommended_bound: 12,
+        },
+        injected_bug: bug,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gqed_ir::Sim;
+    use std::collections::HashMap;
+
+    fn run_txn(sim: &mut Sim, d: &Design, op: u128, bin: u128) -> u128 {
+        let mut inp = HashMap::new();
+        inp.insert(d.iface.in_valid, 1u128);
+        inp.insert(d.iface.out_ready, 1u128);
+        inp.insert(d.iface.in_payload[0], op);
+        inp.insert(d.iface.in_payload[1], bin);
+        loop {
+            let accepted = sim.peek(&inp, d.iface.in_ready) == 1;
+            sim.step(&inp);
+            if accepted {
+                break;
+            }
+        }
+        inp.insert(d.iface.in_valid, 0);
+        for _ in 0..20 {
+            if sim.peek(&inp, d.iface.out_valid) == 1 {
+                let res = sim.peek(&inp, d.iface.out_payload[0]);
+                sim.step(&inp);
+                return res;
+            }
+            sim.step(&inp);
+        }
+        panic!("transaction did not complete");
+    }
+
+    #[test]
+    fn add_and_readclr() {
+        let d = build(&Params::default(), None);
+        let mut sim = Sim::new(&d.ctx, &d.ts);
+        assert_eq!(run_txn(&mut sim, &d, OP_ADD, 3), 1);
+        assert_eq!(run_txn(&mut sim, &d, OP_ADD, 3), 2);
+        assert_eq!(run_txn(&mut sim, &d, OP_ADD, 5), 1);
+        assert_eq!(run_txn(&mut sim, &d, OP_READCLR, 3), 2);
+        assert_eq!(run_txn(&mut sim, &d, OP_ADD, 3), 1);
+    }
+
+    #[test]
+    fn bins_are_independent() {
+        let d = build(&Params::default(), None);
+        let mut sim = Sim::new(&d.ctx, &d.ts);
+        for b in 0..8u128 {
+            assert_eq!(run_txn(&mut sim, &d, OP_ADD, b), 1);
+        }
+        for b in 0..8u128 {
+            assert_eq!(run_txn(&mut sim, &d, OP_READCLR, b), 1);
+        }
+    }
+
+    #[test]
+    fn double_inc_bug_counts_offered_requests() {
+        let d = build(&Params::default(), Some("double-inc-on-early-valid"));
+        let mut sim = Sim::new(&d.ctx, &d.ts);
+        // Keep in_valid high continuously: while busy, the offered request
+        // leaks an extra increment into the captured bin.
+        let mut inp = HashMap::new();
+        inp.insert(d.iface.in_valid, 1u128);
+        inp.insert(d.iface.out_ready, 1u128);
+        inp.insert(d.iface.in_payload[0], OP_ADD);
+        inp.insert(d.iface.in_payload[1], 2u128);
+        for _ in 0..8 {
+            sim.step(&inp);
+        }
+        inp.insert(d.iface.in_valid, 0);
+        for _ in 0..6 {
+            sim.step(&inp);
+        }
+        // Drain and read: the count exceeds the number of accepted ADDs.
+        let count = run_txn(&mut sim, &d, OP_READCLR, 2);
+        // With a correct design, 8 cycles of continuous offer at latency 1
+        // accept at most 3 transactions; the bug inflates the count.
+        assert!(count > 3, "bug must inflate count, got {count}");
+    }
+
+    #[test]
+    fn bug_ids_unique_and_buildable() {
+        let all = bugs();
+        let mut ids: Vec<&str> = all.iter().map(|b| b.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), all.len());
+        for b in &all {
+            let _ = build(&Params::default(), Some(b.id));
+        }
+    }
+}

@@ -1,0 +1,354 @@
+//! `kvstore` — a direct-mapped key-value store accelerator (interfering).
+//!
+//! An 8-slot direct-mapped table (slot = low key bits, full key stored as
+//! tag). Transactions (payload `op[1:0], key[K-1:0], value[W-1:0]`,
+//! response `found[0], value[W-1:0]`):
+//!
+//! | op | name | response                         | architectural update |
+//! |----|------|----------------------------------|----------------------|
+//! | 0  | PUT  | (prev-hit, previous value)       | slot ← (key, value)  |
+//! | 1  | GET  | (hit, stored value or 0)         | none                 |
+//! | 2  | DEL  | (hit, stored value or 0)         | slot invalidated     |
+//!
+//! Architectural state: all valid bits, tags and values.
+
+use crate::iface::{resolve_bug, BugClass, BugInfo, Design, DesignMeta, Detectors, HaInterface};
+use crate::skeleton::{capture, get_next, override_next, remove_init, TxnControl};
+use gqed_ir::{Context, RegFile, TransitionSystem};
+
+/// Build parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct Params {
+    /// Value width in bits.
+    pub value_width: u32,
+    /// Key width in bits (≥ 3; the low 3 bits index the table).
+    pub key_width: u32,
+    /// Compute latency in cycles.
+    pub latency: u32,
+}
+
+impl Default for Params {
+    fn default() -> Self {
+        Params {
+            value_width: 8,
+            key_width: 4,
+            latency: 2,
+        }
+    }
+}
+
+/// Opcodes.
+pub const OP_PUT: u128 = 0;
+/// Opcodes.
+pub const OP_GET: u128 = 1;
+/// Opcodes.
+pub const OP_DEL: u128 = 2;
+
+const DEPTH: usize = 8;
+
+/// The injectable-bug catalogue.
+pub fn bugs() -> Vec<BugInfo> {
+    let g = |conv| Detectors {
+        gqed: true,
+        aqed: false,
+        conventional: conv,
+    };
+    vec![
+        BugInfo {
+            id: "del-uses-live-bus",
+            description: "DEL indexes the table with the live key bus at the commit cycle \
+                          instead of the captured key (clears whatever the bus holds)",
+            class: BugClass::ContextDependent,
+            expected: g(false),
+            min_transactions: 3,
+        },
+        BugInfo {
+            id: "put-tag-skip-on-stall",
+            description: "a PUT committed under back-pressure writes the value but not the \
+                          tag, leaving a stale tag in the slot",
+            class: BugClass::ContextDependent,
+            expected: g(false),
+            min_transactions: 3,
+        },
+        BugInfo {
+            id: "uninit-valid",
+            description: "the valid bits are not reset (slots may appear full after reset)",
+            class: BugClass::Uninitialized,
+            expected: g(false),
+            min_transactions: 1,
+        },
+        BugInfo {
+            id: "get-value-from-next-slot",
+            description: "GET reports the hit correctly but returns the value of slot+1 \
+                          (deterministic functional error)",
+            class: BugClass::ConsistentFunctional,
+            expected: Detectors {
+                gqed: false,
+                aqed: false,
+                conventional: true,
+            },
+            min_transactions: 2,
+        },
+        BugInfo {
+            id: "hang-on-del-miss",
+            description: "a DEL whose key misses never completes",
+            class: BugClass::HandshakeProtocol,
+            expected: g(false),
+            min_transactions: 1,
+        },
+    ]
+}
+
+/// Builds the design, optionally injecting the named bug.
+pub fn build(params: &Params, bug: Option<&str>) -> Design {
+    let bug = bug.map(|id| resolve_bug(&bugs(), id));
+    let (wv, wk) = (params.value_width, params.key_width);
+    assert!(wk >= 3, "key width must cover the 8-slot index");
+    let mut ctx = Context::new();
+    let mut ts = TransitionSystem::new("kvstore");
+
+    let ctl = TxnControl::build(&mut ctx, &mut ts, params.latency);
+
+    let op = ctx.input("op", 2);
+    let key = ctx.input("key", wk);
+    let value = ctx.input("value", wv);
+    ts.inputs.push(op);
+    ts.inputs.push(key);
+    ts.inputs.push(value);
+
+    let op_r = capture(&mut ctx, &mut ts, "op_r", ctl.accept, op);
+    let key_r = capture(&mut ctx, &mut ts, "key_r", ctl.accept, key);
+    let val_r = capture(&mut ctx, &mut ts, "val_r", ctl.accept, value);
+
+    // Table state.
+    let vals = RegFile::new(&mut ctx, "vals", DEPTH, wv);
+    let tags = RegFile::new(&mut ctx, "tags", DEPTH, wk);
+    let valids = RegFile::new(&mut ctx, "valid", DEPTH, 1);
+
+    let slot = ctx.extract(key_r, 2, 0);
+    let cur_val = vals.read(&mut ctx, slot);
+    let cur_tag = tags.read(&mut ctx, slot);
+    let cur_valid = valids.read(&mut ctx, slot);
+
+    let tag_match = ctx.eq(cur_tag, key_r);
+    let hit = ctx.and(cur_valid, tag_match);
+
+    let opc_put = ctx.constant(OP_PUT, 2);
+    let opc_get = ctx.constant(OP_GET, 2);
+    let opc_del = ctx.constant(OP_DEL, 2);
+    let is_put = ctx.eq(op_r, opc_put);
+    let is_get = ctx.eq(op_r, opc_get);
+    let is_del = ctx.eq(op_r, opc_del);
+
+    // Response.
+    let zero_v = ctx.zero(wv);
+    let hit_val = ctx.ite(hit, cur_val, zero_v);
+    let read_val = if bug == Some("get-value-from-next-slot") {
+        let one3 = ctx.constant(1, 3);
+        let next_slot = ctx.add(slot, one3);
+        let nv = vals.read(&mut ctx, next_slot);
+        let wrong = ctx.ite(hit, nv, zero_v);
+        ctx.ite(is_get, wrong, hit_val)
+    } else {
+        hit_val
+    };
+    let res_found = hit;
+    let res_value = read_val;
+
+    // Table writes at commit.
+    let commit = ctl.done;
+    let put_commit = ctx.and(commit, is_put);
+    let del_commit = ctx.and(commit, is_del);
+
+    // Values: written on PUT.
+    for (word, next) in vals.write_next(&mut ctx, put_commit, slot, val_r) {
+        let zero = ctx.zero(wv);
+        ts.add_state(word, Some(zero), next);
+    }
+    // Tags: written on PUT (optionally skipped under back-pressure).
+    let tag_we = if bug == Some("put-tag-skip-on-stall") {
+        ctx.and(put_commit, ctl.out_ready)
+    } else {
+        put_commit
+    };
+    for (word, next) in tags.write_next(&mut ctx, tag_we, slot, key_r) {
+        let zero = ctx.zero(wk);
+        ts.add_state(word, Some(zero), next);
+    }
+    // Valid bits: set on PUT, cleared on DEL.
+    let del_slot = if bug == Some("del-uses-live-bus") {
+        ctx.extract(key, 2, 0) // live bus instead of the captured key
+    } else {
+        slot
+    };
+    {
+        let tru = ctx.tru();
+        let fls = ctx.fls();
+        let set_nexts = valids.write_next(&mut ctx, put_commit, slot, tru);
+        // Apply the DEL clear on top of the PUT set per word.
+        for (i, (word, set_next)) in set_nexts.into_iter().enumerate() {
+            let idx = ctx.constant(i as u128, 3);
+            let del_here0 = ctx.eq(del_slot, idx);
+            let del_here = ctx.and(del_commit, del_here0);
+            let next = ctx.ite(del_here, fls, set_next);
+            let zero = ctx.fls();
+            ts.add_state(word, Some(zero), next);
+        }
+        if bug == Some("uninit-valid") {
+            for i in 0..DEPTH {
+                remove_init(&mut ts, valids.word(i));
+            }
+        }
+    }
+
+    let res_found_r = capture(&mut ctx, &mut ts, "res_found_r", ctl.done, res_found);
+    let res_value_r = capture(&mut ctx, &mut ts, "res_value_r", ctl.done, res_value);
+
+    if bug == Some("hang-on-del-miss") {
+        let miss = ctx.not(hit);
+        let h0 = ctx.and(ctl.busy, is_del);
+        let hang = ctx.and(h0, miss);
+        let tw = ctx.width(ctl.timer);
+        let one_t = ctx.constant(1, tw);
+        let orig = get_next(&ts, ctl.timer);
+        let tn = ctx.ite(hang, one_t, orig);
+        override_next(&mut ts, ctl.timer, tn);
+    }
+
+    ts.outputs = vec![
+        ("in_ready".into(), ctl.in_ready),
+        ("out_valid".into(), ctl.out_valid),
+        ("found".into(), res_found_r),
+        ("value".into(), res_value_r),
+    ];
+
+    // Conventional assertion: at a GET commit that hits, the response
+    // value must equal the stored value of the addressed slot.
+    let conventional = {
+        let get_commit = ctx.and(commit, is_get);
+        let ok_path = ctx.and(get_commit, hit);
+        let neq = ctx.ne(res_value, cur_val);
+        let t = ctx.and(ok_path, neq);
+        vec![gqed_ir::Bad {
+            name: "conv.get_hit_returns_stored".into(),
+            term: t,
+        }]
+    };
+
+    // Architectural state: every table word and valid bit.
+    let mut arch_state = Vec::new();
+    arch_state.extend(valids.words().iter().copied());
+    arch_state.extend(tags.words().iter().copied());
+    arch_state.extend(vals.words().iter().copied());
+
+    let iface = HaInterface {
+        in_valid: ctl.in_valid,
+        in_ready: ctl.in_ready,
+        in_payload: vec![op, key, value],
+        out_valid: ctl.out_valid,
+        out_ready: ctl.out_ready,
+        out_payload: vec![res_found_r, res_value_r],
+    };
+
+    Design {
+        ctx,
+        ts,
+        iface,
+        arch_state,
+        conventional,
+        meta: DesignMeta {
+            name: "kvstore",
+            interfering: true,
+            description: "direct-mapped key-value store with PUT/GET/DEL transactions",
+            latency: params.latency,
+            recommended_bound: 12,
+        },
+        injected_bug: bug,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gqed_ir::Sim;
+    use std::collections::HashMap;
+
+    fn run_txn(sim: &mut Sim, d: &Design, op: u128, key: u128, value: u128) -> (u128, u128) {
+        let mut inp = HashMap::new();
+        inp.insert(d.iface.in_valid, 1u128);
+        inp.insert(d.iface.out_ready, 1u128);
+        inp.insert(d.iface.in_payload[0], op);
+        inp.insert(d.iface.in_payload[1], key);
+        inp.insert(d.iface.in_payload[2], value);
+        loop {
+            let accepted = sim.peek(&inp, d.iface.in_ready) == 1;
+            sim.step(&inp);
+            if accepted {
+                break;
+            }
+        }
+        inp.insert(d.iface.in_valid, 0);
+        for _ in 0..20 {
+            if sim.peek(&inp, d.iface.out_valid) == 1 {
+                let f = sim.peek(&inp, d.iface.out_payload[0]);
+                let v = sim.peek(&inp, d.iface.out_payload[1]);
+                sim.step(&inp);
+                return (f, v);
+            }
+            sim.step(&inp);
+        }
+        panic!("transaction did not complete");
+    }
+
+    #[test]
+    fn put_get_del_lifecycle() {
+        let d = build(&Params::default(), None);
+        let mut sim = Sim::new(&d.ctx, &d.ts);
+        assert_eq!(run_txn(&mut sim, &d, OP_GET, 5, 0), (0, 0)); // miss
+        assert_eq!(run_txn(&mut sim, &d, OP_PUT, 5, 0x42), (0, 0)); // fresh put
+        assert_eq!(run_txn(&mut sim, &d, OP_GET, 5, 0), (1, 0x42)); // hit
+        assert_eq!(run_txn(&mut sim, &d, OP_PUT, 5, 0x43), (1, 0x42)); // overwrite
+        assert_eq!(run_txn(&mut sim, &d, OP_GET, 5, 0), (1, 0x43));
+        assert_eq!(run_txn(&mut sim, &d, OP_DEL, 5, 0), (1, 0x43));
+        assert_eq!(run_txn(&mut sim, &d, OP_GET, 5, 0), (0, 0)); // gone
+    }
+
+    #[test]
+    fn direct_mapping_conflicts_evict() {
+        let d = build(&Params::default(), None);
+        let mut sim = Sim::new(&d.ctx, &d.ts);
+        // Keys 2 and 10 share slot 2 (low 3 bits).
+        assert_eq!(run_txn(&mut sim, &d, OP_PUT, 2, 0x11), (0, 0));
+        assert_eq!(run_txn(&mut sim, &d, OP_PUT, 10, 0x22), (0, 0)); // tag differs: miss
+        assert_eq!(run_txn(&mut sim, &d, OP_GET, 2, 0), (0, 0)); // evicted
+        assert_eq!(run_txn(&mut sim, &d, OP_GET, 10, 0), (1, 0x22));
+    }
+
+    #[test]
+    fn next_slot_bug_returns_wrong_value() {
+        let d = build(&Params::default(), Some("get-value-from-next-slot"));
+        let mut sim = Sim::new(&d.ctx, &d.ts);
+        let _ = run_txn(&mut sim, &d, OP_PUT, 3, 0x33);
+        let _ = run_txn(&mut sim, &d, OP_PUT, 4, 0x44);
+        // GET key 3 hits but returns slot 4's value.
+        assert_eq!(run_txn(&mut sim, &d, OP_GET, 3, 0), (1, 0x44));
+    }
+
+    #[test]
+    fn bug_ids_unique_and_buildable() {
+        let all = bugs();
+        let mut ids: Vec<&str> = all.iter().map(|b| b.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), all.len());
+        for b in &all {
+            let _ = build(&Params::default(), Some(b.id));
+        }
+    }
+
+    #[test]
+    fn arch_state_covers_table() {
+        let d = build(&Params::default(), None);
+        assert_eq!(d.arch_state.len(), 3 * DEPTH);
+    }
+}

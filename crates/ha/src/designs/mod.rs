@@ -1,0 +1,18 @@
+//! The accelerator designs under verification.
+//!
+//! Non-interfering (A-QED applies): [`vecadd`], [`alu`], [`relu`],
+//! [`matvec`]. Interfering (G-QED required): [`accum`], [`crc32`],
+//! [`kvstore`], [`dma`], [`histogram`], [`movavg`].
+
+pub mod accum;
+pub mod alu;
+pub mod crc32;
+pub mod dma;
+pub mod fir;
+pub mod histogram;
+pub mod kvstore;
+pub mod matvec;
+pub mod movavg;
+pub mod pipeadd;
+pub mod relu;
+pub mod vecadd;

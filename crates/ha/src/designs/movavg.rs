@@ -1,0 +1,261 @@
+//! `movavg` — a windowed moving-sum filter (interfering).
+//!
+//! A shift-register window of the last `TAPS` samples. A FEED(x)
+//! transaction shifts `x` in and responds with the sum of the window
+//! (including `x`). The response depends on the previous `TAPS - 1`
+//! transactions — bounded interference.
+//!
+//! Payload: `data[W-1:0]`. Response: `sum[W+2-1:0]`.
+//!
+//! Architectural state: the window registers.
+
+use crate::iface::{resolve_bug, BugClass, BugInfo, Design, DesignMeta, Detectors, HaInterface};
+use crate::skeleton::{capture, remove_init, TxnControl};
+use gqed_ir::{Context, TermId, TransitionSystem};
+
+/// Number of window taps.
+pub const TAPS: usize = 4;
+
+/// Build parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct Params {
+    /// Sample width in bits.
+    pub width: u32,
+    /// Compute latency in cycles.
+    pub latency: u32,
+}
+
+impl Default for Params {
+    fn default() -> Self {
+        Params {
+            width: 8,
+            latency: 1,
+        }
+    }
+}
+
+/// The injectable-bug catalogue.
+pub fn bugs() -> Vec<BugInfo> {
+    let g = |conv| Detectors {
+        gqed: true,
+        aqed: false,
+        conventional: conv,
+    };
+    vec![
+        BugInfo {
+            id: "shift-during-stall",
+            description: "the window shifts once per cycle while the response is stalled \
+                          by back-pressure (samples drop out of the window)",
+            class: BugClass::ContextDependent,
+            expected: g(false),
+            min_transactions: 2,
+        },
+        BugInfo {
+            id: "uninit-window",
+            description: "the window registers are not reset",
+            class: BugClass::Uninitialized,
+            expected: g(false),
+            min_transactions: 1,
+        },
+        BugInfo {
+            id: "double-shift-on-early-valid",
+            description: "a request offered (not accepted) while busy shifts the window \
+                          a second time",
+            class: BugClass::ContextDependent,
+            expected: g(false),
+            min_transactions: 1,
+        },
+        BugInfo {
+            id: "sum-truncated",
+            description: "the window sum is computed at sample width, dropping carries \
+                          (deterministic functional error)",
+            class: BugClass::ConsistentFunctional,
+            expected: Detectors {
+                gqed: false,
+                aqed: false,
+                conventional: true,
+            },
+            min_transactions: 2,
+        },
+    ]
+}
+
+/// Builds the design, optionally injecting the named bug.
+pub fn build(params: &Params, bug: Option<&str>) -> Design {
+    let bug = bug.map(|id| resolve_bug(&bugs(), id));
+    let w = params.width;
+    let sw = w + 2; // log2(TAPS) headroom
+    let mut ctx = Context::new();
+    let mut ts = TransitionSystem::new("movavg");
+
+    let ctl = TxnControl::build(&mut ctx, &mut ts, params.latency);
+
+    let data = ctx.input("data", w);
+    ts.inputs.push(data);
+    let data_r = capture(&mut ctx, &mut ts, "data_r", ctl.accept, data);
+
+    // Window shift registers: win[0] is the newest *committed* sample.
+    let win: Vec<TermId> = (0..TAPS - 1)
+        .map(|i| ctx.state(format!("win[{i}]"), w))
+        .collect();
+
+    // Sum of the window including the in-flight sample.
+    let full_sum = {
+        let mut acc = ctx.zext(data_r, sw);
+        for &t in &win {
+            let tz = ctx.zext(t, sw);
+            acc = ctx.add(acc, tz);
+        }
+        acc
+    };
+    let res_val = if bug == Some("sum-truncated") {
+        let mut acc = data_r;
+        for &t in &win {
+            acc = ctx.add(acc, t);
+        }
+        ctx.zext(acc, sw)
+    } else {
+        full_sum
+    };
+
+    // Shift condition(s).
+    let commit = ctl.done;
+    let spurious = match bug {
+        Some("shift-during-stall") => {
+            let not_rdy = ctx.not(ctl.out_ready);
+            ctx.and(ctl.pending, not_rdy)
+        }
+        Some("double-shift-on-early-valid") => {
+            let not_ready = ctx.not(ctl.in_ready);
+            ctx.and(ctl.in_valid, not_ready)
+        }
+        _ => ctx.fls(),
+    };
+    let shift = ctx.or(commit, spurious);
+    let zero = ctx.zero(w);
+    for i in 0..TAPS - 1 {
+        let incoming = if i == 0 { data_r } else { win[i - 1] };
+        let next = ctx.ite(shift, incoming, win[i]);
+        ts.add_state(win[i], Some(zero), next);
+        if bug == Some("uninit-window") {
+            remove_init(&mut ts, win[i]);
+        }
+    }
+
+    let res_r = capture(&mut ctx, &mut ts, "res_r", ctl.done, res_val);
+
+    ts.outputs = vec![
+        ("in_ready".into(), ctl.in_ready),
+        ("out_valid".into(), ctl.out_valid),
+        ("sum".into(), res_r),
+    ];
+
+    // Conventional assertion: the committed response equals the wide sum.
+    let conventional = {
+        let neq = ctx.ne(res_val, full_sum);
+        let t = ctx.and(ctl.done, neq);
+        vec![gqed_ir::Bad {
+            name: "conv.sum_is_wide".into(),
+            term: t,
+        }]
+    };
+
+    let iface = HaInterface {
+        in_valid: ctl.in_valid,
+        in_ready: ctl.in_ready,
+        in_payload: vec![data],
+        out_valid: ctl.out_valid,
+        out_ready: ctl.out_ready,
+        out_payload: vec![res_r],
+    };
+
+    Design {
+        ctx,
+        ts,
+        iface,
+        arch_state: win,
+        conventional,
+        meta: DesignMeta {
+            name: "movavg",
+            interfering: true,
+            description: "4-tap moving-sum filter over a FEED stream",
+            latency: params.latency,
+            recommended_bound: 12,
+        },
+        injected_bug: bug,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gqed_ir::Sim;
+    use std::collections::HashMap;
+
+    fn feed(sim: &mut Sim, d: &Design, x: u128) -> u128 {
+        let mut inp = HashMap::new();
+        inp.insert(d.iface.in_valid, 1u128);
+        inp.insert(d.iface.out_ready, 1u128);
+        inp.insert(d.iface.in_payload[0], x);
+        loop {
+            let accepted = sim.peek(&inp, d.iface.in_ready) == 1;
+            sim.step(&inp);
+            if accepted {
+                break;
+            }
+        }
+        inp.insert(d.iface.in_valid, 0);
+        for _ in 0..20 {
+            if sim.peek(&inp, d.iface.out_valid) == 1 {
+                let res = sim.peek(&inp, d.iface.out_payload[0]);
+                sim.step(&inp);
+                return res;
+            }
+            sim.step(&inp);
+        }
+        panic!("transaction did not complete");
+    }
+
+    #[test]
+    fn window_sums_last_four() {
+        let d = build(&Params::default(), None);
+        let mut sim = Sim::new(&d.ctx, &d.ts);
+        assert_eq!(feed(&mut sim, &d, 10), 10);
+        assert_eq!(feed(&mut sim, &d, 20), 30);
+        assert_eq!(feed(&mut sim, &d, 30), 60);
+        assert_eq!(feed(&mut sim, &d, 40), 100);
+        assert_eq!(feed(&mut sim, &d, 50), 140); // 10 drops out
+    }
+
+    #[test]
+    fn wide_sum_keeps_carries() {
+        let d = build(&Params::default(), None);
+        let mut sim = Sim::new(&d.ctx, &d.ts);
+        for _ in 0..3 {
+            let _ = feed(&mut sim, &d, 255);
+        }
+        assert_eq!(feed(&mut sim, &d, 255), 4 * 255);
+    }
+
+    #[test]
+    fn truncation_bug_drops_carries() {
+        let d = build(&Params::default(), Some("sum-truncated"));
+        let mut sim = Sim::new(&d.ctx, &d.ts);
+        for _ in 0..3 {
+            let _ = feed(&mut sim, &d, 255);
+        }
+        assert_eq!(feed(&mut sim, &d, 255), (4 * 255) % 256);
+    }
+
+    #[test]
+    fn bug_ids_unique_and_buildable() {
+        let all = bugs();
+        let mut ids: Vec<&str> = all.iter().map(|b| b.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), all.len());
+        for b in &all {
+            let _ = build(&Params::default(), Some(b.id));
+        }
+    }
+}

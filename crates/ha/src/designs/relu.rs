@@ -1,0 +1,226 @@
+//! `relu` — a signed activation unit (non-interfering).
+//!
+//! Response: `max(0, x)` over a signed `W`-bit sample. A pure function of
+//! the payload.
+//!
+//! Payload: `x[W-1:0]` (two's complement). Response: `y[W-1:0]`.
+
+use crate::iface::{resolve_bug, BugClass, BugInfo, Design, DesignMeta, Detectors, HaInterface};
+use crate::skeleton::{capture, TxnControl};
+use gqed_ir::{Context, TransitionSystem};
+
+/// Build parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct Params {
+    /// Sample width in bits.
+    pub width: u32,
+    /// Compute latency in cycles.
+    pub latency: u32,
+}
+
+impl Default for Params {
+    fn default() -> Self {
+        Params {
+            width: 8,
+            latency: 1,
+        }
+    }
+}
+
+/// The injectable-bug catalogue.
+pub fn bugs() -> Vec<BugInfo> {
+    let both = |conv| Detectors {
+        gqed: true,
+        aqed: true,
+        conventional: conv,
+    };
+    vec![
+        BugInfo {
+            id: "stall-sign-flip",
+            description: "the held response flips its sign bit every stalled cycle",
+            class: BugClass::ContextDependent,
+            expected: both(true), // the sign assertion also sees it
+            min_transactions: 1,
+        },
+        BugInfo {
+            id: "int-min-passthrough",
+            description: "the most negative input passes through unclamped \
+                          (deterministic functional error)",
+            class: BugClass::ConsistentFunctional,
+            expected: Detectors {
+                gqed: false,
+                aqed: false,
+                conventional: true,
+            },
+            min_transactions: 1,
+        },
+        BugInfo {
+            id: "double-deliver",
+            description: "every second response stays valid for one extra beat after \
+                          delivery (a duplicated response with no matching request)",
+            class: BugClass::HandshakeProtocol,
+            expected: both(false),
+            min_transactions: 1,
+        },
+    ]
+}
+
+/// Builds the design, optionally injecting the named bug.
+pub fn build(params: &Params, bug: Option<&str>) -> Design {
+    let bug = bug.map(|id| resolve_bug(&bugs(), id));
+    let w = params.width;
+    let mut ctx = Context::new();
+    let mut ts = TransitionSystem::new("relu");
+
+    let ctl = TxnControl::build(&mut ctx, &mut ts, params.latency);
+
+    let x = ctx.input("x", w);
+    ts.inputs.push(x);
+    let x_r = capture(&mut ctx, &mut ts, "x_r", ctl.accept, x);
+
+    let zero = ctx.zero(w);
+    let neg = ctx.slt(x_r, zero);
+    let clamped = ctx.ite(neg, zero, x_r);
+    let res_val = if bug == Some("int-min-passthrough") {
+        // INT_MIN (only the sign bit set) leaks through.
+        let int_min = ctx.constant(1u128 << (w - 1), w);
+        let is_min = ctx.eq(x_r, int_min);
+        ctx.ite(is_min, x_r, clamped)
+    } else {
+        clamped
+    };
+
+    let res_r = if bug == Some("stall-sign-flip") {
+        // Build the corrupted hold path by hand: on done capture, while
+        // stalled flip the sign bit each cycle.
+        let reg = ctx.state("res_r", w);
+        let sign_mask = ctx.constant(1u128 << (w - 1), w);
+        let flipped = ctx.xor(reg, sign_mask);
+        let not_rdy = ctx.not(ctl.out_ready);
+        let stalled = ctx.and(ctl.pending, not_rdy);
+        let held = ctx.ite(stalled, flipped, reg);
+        let next = ctx.ite(ctl.done, res_val, held);
+        ts.add_state(reg, Some(zero), next);
+        reg
+    } else {
+        capture(&mut ctx, &mut ts, "res_r", ctl.done, res_val)
+    };
+
+    // double-deliver: pending clears only every second completion.
+    if bug == Some("double-deliver") {
+        let toggle = ctx.state("dd_toggle", 1);
+        let toggled = ctx.not(toggle);
+        let tnext = ctx.ite(ctl.complete, toggled, toggle);
+        let fls = ctx.fls();
+        ts.add_state(toggle, Some(fls), tnext);
+        // pending: cleared at complete only when toggle is 1.
+        let clear = ctx.and(ctl.complete, toggle);
+        let tru = ctx.tru();
+        let p0 = ctx.ite(clear, fls, ctl.pending);
+        let pnext = ctx.ite(ctl.done, tru, p0);
+        crate::skeleton::override_next(&mut ts, ctl.pending, pnext);
+    }
+
+    ts.outputs = vec![
+        ("in_ready".into(), ctl.in_ready),
+        ("out_valid".into(), ctl.out_valid),
+        ("y".into(), res_r),
+    ];
+
+    // Conventional assertion: a delivered response is never negative.
+    let conventional = {
+        let sign = ctx.bit(res_r, w - 1);
+        let t = ctx.and(ctl.out_valid, sign);
+        vec![gqed_ir::Bad {
+            name: "conv.output_nonnegative".into(),
+            term: t,
+        }]
+    };
+
+    let iface = HaInterface {
+        in_valid: ctl.in_valid,
+        in_ready: ctl.in_ready,
+        in_payload: vec![x],
+        out_valid: ctl.out_valid,
+        out_ready: ctl.out_ready,
+        out_payload: vec![res_r],
+    };
+
+    Design {
+        ctx,
+        ts,
+        iface,
+        arch_state: vec![],
+        conventional,
+        meta: DesignMeta {
+            name: "relu",
+            interfering: false,
+            description: "signed ReLU activation unit",
+            latency: params.latency,
+            recommended_bound: 12,
+        },
+        injected_bug: bug,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gqed_ir::Sim;
+    use std::collections::HashMap;
+
+    fn relu(sim: &mut Sim, d: &Design, x: u128) -> u128 {
+        let mut inp = HashMap::new();
+        inp.insert(d.iface.in_valid, 1u128);
+        inp.insert(d.iface.out_ready, 1u128);
+        inp.insert(d.iface.in_payload[0], x);
+        loop {
+            let accepted = sim.peek(&inp, d.iface.in_ready) == 1;
+            sim.step(&inp);
+            if accepted {
+                break;
+            }
+        }
+        inp.insert(d.iface.in_valid, 0);
+        for _ in 0..20 {
+            if sim.peek(&inp, d.iface.out_valid) == 1 {
+                let res = sim.peek(&inp, d.iface.out_payload[0]);
+                sim.step(&inp);
+                return res;
+            }
+            sim.step(&inp);
+        }
+        panic!("transaction did not complete");
+    }
+
+    #[test]
+    fn clamps_negative_passes_positive() {
+        let d = build(&Params::default(), None);
+        let mut sim = Sim::new(&d.ctx, &d.ts);
+        assert_eq!(relu(&mut sim, &d, 5), 5);
+        assert_eq!(relu(&mut sim, &d, 0), 0);
+        assert_eq!(relu(&mut sim, &d, 0xff), 0); // -1
+        assert_eq!(relu(&mut sim, &d, 0x80), 0); // -128
+        assert_eq!(relu(&mut sim, &d, 0x7f), 0x7f);
+    }
+
+    #[test]
+    fn int_min_bug_leaks_sign() {
+        let d = build(&Params::default(), Some("int-min-passthrough"));
+        let mut sim = Sim::new(&d.ctx, &d.ts);
+        assert_eq!(relu(&mut sim, &d, 0x80), 0x80);
+        assert_eq!(relu(&mut sim, &d, 0x81), 0); // other negatives clamp
+    }
+
+    #[test]
+    fn bug_ids_unique_and_buildable() {
+        let all = bugs();
+        let mut ids: Vec<&str> = all.iter().map(|b| b.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), all.len());
+        for b in &all {
+            let _ = build(&Params::default(), Some(b.id));
+        }
+    }
+}

@@ -1,0 +1,279 @@
+//! `vecadd` — an element-pair adder (non-interfering).
+//!
+//! The simplest accelerator in the suite: a transaction carries two
+//! operands and responds with their sum. The response is a pure function
+//! of the payload, so plain A-QED applies — this design anchors the
+//! "A-QED = G-QED with an empty architectural state" special case.
+//!
+//! Payload: `a[W-1:0], b[W-1:0]`. Response: `sum[W:0]` (with carry).
+
+use crate::iface::{resolve_bug, BugClass, BugInfo, Design, DesignMeta, Detectors, HaInterface};
+use crate::skeleton::{capture, get_next, override_next, TxnControl, TxnOptions};
+use gqed_ir::{Context, TransitionSystem};
+
+/// Build parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct Params {
+    /// Operand width in bits.
+    pub width: u32,
+    /// Compute latency in cycles.
+    pub latency: u32,
+}
+
+impl Default for Params {
+    fn default() -> Self {
+        Params {
+            width: 8,
+            latency: 1,
+        }
+    }
+}
+
+/// The injectable-bug catalogue.
+pub fn bugs() -> Vec<BugInfo> {
+    let both = |conv| Detectors {
+        gqed: true,
+        aqed: true,
+        conventional: conv,
+    };
+    vec![
+        BugInfo {
+            id: "result-recomputed-from-bus",
+            description: "while the response waits for out_ready, the result register \
+                          re-samples the live operand bus every cycle",
+            class: BugClass::ContextDependent,
+            expected: both(false),
+            min_transactions: 1,
+        },
+        BugInfo {
+            id: "stale-result-overwrite",
+            description: "in_ready ignores an undelivered response; a newly accepted \
+                          transaction overwrites it under back-pressure",
+            class: BugClass::ContextDependent,
+            expected: both(false),
+            min_transactions: 2,
+        },
+        BugInfo {
+            id: "nibble-carry-break",
+            description: "the carry chain is broken between bits 3 and 4 \
+                          (deterministic functional error)",
+            class: BugClass::ConsistentFunctional,
+            expected: Detectors {
+                gqed: false,
+                aqed: false,
+                conventional: true,
+            },
+            min_transactions: 1,
+        },
+        BugInfo {
+            id: "drop-on-equal-operands",
+            description: "the response of a transaction with a == b is silently dropped \
+                          (never presented)",
+            class: BugClass::HandshakeProtocol,
+            expected: both(false),
+            min_transactions: 1,
+        },
+    ]
+}
+
+/// Builds the design, optionally injecting the named bug.
+pub fn build(params: &Params, bug: Option<&str>) -> Design {
+    let bug = bug.map(|id| resolve_bug(&bugs(), id));
+    let w = params.width;
+    let mut ctx = Context::new();
+    let mut ts = TransitionSystem::new("vecadd");
+
+    let opts = TxnOptions {
+        ready_ignores_pending: bug == Some("stale-result-overwrite"),
+    };
+    let ctl = TxnControl::build_with(&mut ctx, &mut ts, params.latency, opts);
+
+    let a = ctx.input("a", w);
+    let b = ctx.input("b", w);
+    ts.inputs.push(a);
+    ts.inputs.push(b);
+
+    let a_r = capture(&mut ctx, &mut ts, "a_r", ctl.accept, a);
+    let b_r = capture(&mut ctx, &mut ts, "b_r", ctl.accept, b);
+
+    let sum_of = |ctx: &mut Context, x, y| {
+        let xz = ctx.zext(x, w + 1);
+        let yz = ctx.zext(y, w + 1);
+        ctx.add(xz, yz)
+    };
+    let full = sum_of(&mut ctx, a_r, b_r);
+    let res_val = if bug == Some("nibble-carry-break") {
+        // Low nibble and high part added independently: the carry out of
+        // bit 3 is dropped.
+        let alo = ctx.extract(a_r, 3, 0);
+        let blo = ctx.extract(b_r, 3, 0);
+        let lo = ctx.add(alo, blo);
+        let ahi = ctx.extract(a_r, w - 1, 4);
+        let bhi = ctx.extract(b_r, w - 1, 4);
+        let hiz_a = ctx.zext(ahi, w - 3);
+        let hiz_b = ctx.zext(bhi, w - 3);
+        let hi = ctx.add(hiz_a, hiz_b);
+        ctx.concat(hi, lo)
+    } else {
+        full
+    };
+
+    let res_r = {
+        let when = if bug == Some("result-recomputed-from-bus") {
+            // The response register keeps sampling a live-bus sum.
+            ctx.or(ctl.done, ctl.pending)
+        } else {
+            ctl.done
+        };
+        let value = if bug == Some("result-recomputed-from-bus") {
+            let live = sum_of(&mut ctx, a, b);
+            ctx.ite(ctl.done, res_val, live)
+        } else {
+            res_val
+        };
+        capture(&mut ctx, &mut ts, "res_r", when, value)
+    };
+
+    if bug == Some("drop-on-equal-operands") {
+        // The completion pulse is swallowed: `pending` is never set for
+        // the affected transaction, so no response appears.
+        let eq = ctx.eq(a_r, b_r);
+        let drop = ctx.and(ctl.done, eq);
+        let fls = ctx.fls();
+        let orig = get_next(&ts, ctl.pending);
+        let pn = ctx.ite(drop, fls, orig);
+        override_next(&mut ts, ctl.pending, pn);
+    }
+
+    ts.outputs = vec![
+        ("in_ready".into(), ctl.in_ready),
+        ("out_valid".into(), ctl.out_valid),
+        ("sum".into(), res_r),
+    ];
+
+    // Conventional assertion: the committed response equals a_r + b_r
+    // (a full functional spec is feasible for this trivial design).
+    let conventional = {
+        let neq = ctx.ne(res_val, full);
+        let t = ctx.and(ctl.done, neq);
+        vec![gqed_ir::Bad {
+            name: "conv.sum_correct".into(),
+            term: t,
+        }]
+    };
+
+    let iface = HaInterface {
+        in_valid: ctl.in_valid,
+        in_ready: ctl.in_ready,
+        in_payload: vec![a, b],
+        out_valid: ctl.out_valid,
+        out_ready: ctl.out_ready,
+        out_payload: vec![res_r],
+    };
+
+    Design {
+        ctx,
+        ts,
+        iface,
+        arch_state: vec![], // non-interfering
+        conventional,
+        meta: DesignMeta {
+            name: "vecadd",
+            interfering: false,
+            description: "element-pair adder with carry-out",
+            latency: params.latency,
+            recommended_bound: 12,
+        },
+        injected_bug: bug,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gqed_ir::Sim;
+    use std::collections::HashMap;
+
+    fn add(sim: &mut Sim, d: &Design, a: u128, b: u128) -> u128 {
+        let mut inp = HashMap::new();
+        inp.insert(d.iface.in_valid, 1u128);
+        inp.insert(d.iface.out_ready, 1u128);
+        inp.insert(d.iface.in_payload[0], a);
+        inp.insert(d.iface.in_payload[1], b);
+        loop {
+            let accepted = sim.peek(&inp, d.iface.in_ready) == 1;
+            sim.step(&inp);
+            if accepted {
+                break;
+            }
+        }
+        inp.insert(d.iface.in_valid, 0);
+        for _ in 0..20 {
+            if sim.peek(&inp, d.iface.out_valid) == 1 {
+                let res = sim.peek(&inp, d.iface.out_payload[0]);
+                sim.step(&inp);
+                return res;
+            }
+            sim.step(&inp);
+        }
+        panic!("transaction did not complete");
+    }
+
+    #[test]
+    fn adds_with_carry() {
+        let d = build(&Params::default(), None);
+        let mut sim = Sim::new(&d.ctx, &d.ts);
+        assert_eq!(add(&mut sim, &d, 3, 4), 7);
+        assert_eq!(add(&mut sim, &d, 200, 100), 300);
+        assert_eq!(add(&mut sim, &d, 255, 255), 510);
+    }
+
+    #[test]
+    fn carry_break_bug_drops_nibble_carry() {
+        let d = build(&Params::default(), Some("nibble-carry-break"));
+        let mut sim = Sim::new(&d.ctx, &d.ts);
+        assert_eq!(add(&mut sim, &d, 0x0f, 0x01), 0x00); // 0x10 expected
+        assert_eq!(add(&mut sim, &d, 0x10, 0x20), 0x30); // no nibble carry: fine
+    }
+
+    #[test]
+    fn bus_recompute_bug_corrupts_under_stall() {
+        let d = build(&Params::default(), Some("result-recomputed-from-bus"));
+        let mut sim = Sim::new(&d.ctx, &d.ts);
+        let mut inp = HashMap::new();
+        inp.insert(d.iface.in_valid, 1u128);
+        inp.insert(d.iface.out_ready, 0u128);
+        inp.insert(d.iface.in_payload[0], 3u128);
+        inp.insert(d.iface.in_payload[1], 4u128);
+        sim.step(&inp); // accept 3+4
+        inp.insert(d.iface.in_valid, 0);
+        // Change the bus while the response is stalled.
+        inp.insert(d.iface.in_payload[0], 0x50u128);
+        inp.insert(d.iface.in_payload[1], 0x05u128);
+        for _ in 0..4 {
+            sim.step(&inp);
+        }
+        inp.insert(d.iface.out_ready, 1);
+        let res = sim.peek(&inp, d.iface.out_payload[0]);
+        assert_eq!(res, 0x55, "bug must leak the live bus sum");
+    }
+
+    #[test]
+    fn bug_ids_unique_and_buildable() {
+        let all = bugs();
+        let mut ids: Vec<&str> = all.iter().map(|b| b.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), all.len());
+        for b in &all {
+            let _ = build(&Params::default(), Some(b.id));
+        }
+    }
+
+    #[test]
+    fn non_interfering_has_empty_arch_state() {
+        let d = build(&Params::default(), None);
+        assert!(d.arch_state.is_empty());
+        assert!(!d.meta.interfering);
+    }
+}

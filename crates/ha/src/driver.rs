@@ -1,0 +1,167 @@
+//! Concrete transaction driver: a testbench harness over the simulator.
+//!
+//! Drives a [`Design`] transaction by transaction through its ready/valid
+//! interface — the role a UVM-style driver plays in a conventional flow.
+//! Used by the designs' golden-model property tests and by the simulation
+//! baseline of the evaluation.
+
+use crate::iface::Design;
+use gqed_ir::Sim;
+use std::collections::HashMap;
+
+/// Error from a driven transaction.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DriveError {
+    /// The design did not accept the request within the cycle budget.
+    NotAccepted,
+    /// The design did not respond within the cycle budget.
+    NoResponse,
+}
+
+impl std::fmt::Display for DriveError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DriveError::NotAccepted => write!(f, "request not accepted within budget"),
+            DriveError::NoResponse => write!(f, "no response within budget"),
+        }
+    }
+}
+
+impl std::error::Error for DriveError {}
+
+/// Blocking transaction driver over a design's concrete simulation.
+pub struct Driver<'a> {
+    design: &'a Design,
+    sim: Sim<'a>,
+    /// Cycle budget per handshake phase.
+    budget: u32,
+    /// Cycles to stall `out_ready` before taking each response.
+    stall: u32,
+}
+
+impl<'a> Driver<'a> {
+    /// Creates a driver positioned at reset.
+    pub fn new(design: &'a Design) -> Self {
+        Driver {
+            design,
+            sim: Sim::new(&design.ctx, &design.ts),
+            budget: 64,
+            stall: 0,
+        }
+    }
+
+    /// Sets the number of cycles `out_ready` is held low before each
+    /// response is taken (exercises back-pressure paths).
+    pub fn with_stall(mut self, stall: u32) -> Self {
+        self.stall = stall;
+        self
+    }
+
+    /// Current simulation cycle.
+    pub fn cycle(&self) -> u64 {
+        self.sim.cycle()
+    }
+
+    /// Runs one transaction to completion: offers the payload until
+    /// accepted, waits for the response (stalling it if configured), and
+    /// returns the response payload fields.
+    pub fn txn(&mut self, payload: &[u128]) -> Result<Vec<u128>, DriveError> {
+        let iface = &self.design.iface;
+        assert_eq!(
+            payload.len(),
+            iface.in_payload.len(),
+            "payload arity mismatch"
+        );
+        let mut inp: HashMap<gqed_ir::TermId, u128> = HashMap::new();
+        inp.insert(iface.in_valid, 1);
+        inp.insert(iface.out_ready, 0);
+        for (&p, &v) in iface.in_payload.iter().zip(payload) {
+            inp.insert(p, v);
+        }
+        // Offer until accepted.
+        let mut accepted = false;
+        for _ in 0..self.budget {
+            let ready = self.sim.peek(&inp, iface.in_ready) == 1;
+            self.sim.step(&inp);
+            if ready {
+                accepted = true;
+                break;
+            }
+        }
+        if !accepted {
+            return Err(DriveError::NotAccepted);
+        }
+        inp.insert(iface.in_valid, 0);
+        // Wait for the response; stall it for the configured cycles.
+        let mut stalled = 0;
+        for _ in 0..self.budget {
+            if self.sim.peek(&inp, iface.out_valid) == 1 {
+                if stalled < self.stall {
+                    stalled += 1;
+                    self.sim.step(&inp);
+                    continue;
+                }
+                inp.insert(iface.out_ready, 1);
+                let res = iface
+                    .out_payload
+                    .iter()
+                    .map(|&t| self.sim.peek(&inp, t))
+                    .collect();
+                self.sim.step(&inp); // deliver
+                return Ok(res);
+            }
+            self.sim.step(&inp);
+        }
+        Err(DriveError::NoResponse)
+    }
+
+    /// Runs idle cycles (no request offered, environment responsive).
+    pub fn idle(&mut self, cycles: u32) {
+        let iface = &self.design.iface;
+        let mut inp: HashMap<gqed_ir::TermId, u128> = HashMap::new();
+        inp.insert(iface.in_valid, 0);
+        inp.insert(iface.out_ready, 1);
+        for &p in &iface.in_payload {
+            inp.insert(p, 0);
+        }
+        for _ in 0..cycles {
+            self.sim.step(&inp);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::designs::accum;
+
+    #[test]
+    fn drives_transactions_in_order() {
+        let d = accum::build(&accum::Params::default(), None);
+        let mut drv = Driver::new(&d);
+        assert_eq!(drv.txn(&[accum::OP_ACC, 5]).unwrap(), vec![5]);
+        assert_eq!(drv.txn(&[accum::OP_ACC, 7]).unwrap(), vec![12]);
+        drv.idle(3);
+        assert_eq!(drv.txn(&[accum::OP_GET, 0]).unwrap(), vec![12]);
+    }
+
+    #[test]
+    fn stalling_does_not_change_clean_design_results() {
+        let d = accum::build(&accum::Params::default(), None);
+        let mut fast = Driver::new(&d);
+        let mut slow = Driver::new(&d).with_stall(5);
+        for (op, data) in [(accum::OP_ACC, 9), (accum::OP_GET, 0), (accum::OP_CLR, 0)] {
+            assert_eq!(
+                fast.txn(&[op, data]).unwrap(),
+                slow.txn(&[op, data]).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn hang_bug_reports_no_response() {
+        let d = accum::build(&accum::Params::default(), Some("hang-on-zero-data"));
+        let mut drv = Driver::new(&d);
+        assert_eq!(drv.txn(&[accum::OP_ACC, 0]), Err(DriveError::NoResponse));
+    }
+}

@@ -1,0 +1,203 @@
+//! Transactional interface and design-package types.
+//!
+//! All accelerators speak the same protocol, the one the A-QED/G-QED
+//! methodology assumes:
+//!
+//! * a request is **accepted** in a cycle where `in_valid && in_ready`;
+//! * a response is **delivered** in a cycle where `out_valid && out_ready`;
+//! * responses are in order: the *k*-th delivery answers the *k*-th
+//!   acceptance;
+//! * `in_valid` and the request payload are driven by the environment;
+//!   `out_ready` (back-pressure) is driven by the environment.
+//!
+//! A [`Design`] packages the transition system, its interface, the
+//! designer-identified *architectural state projection* (the only manual
+//! input G-QED needs beyond the interface), the conventional-flow
+//! assertions used as the baseline, and the bug catalogue.
+
+use gqed_ir::{Bad, Context, TermId, TransitionSystem};
+
+/// The ready/valid transactional interface of an accelerator.
+///
+/// `in_valid`, the payload inputs and `out_ready` are primary inputs of
+/// the transition system; `in_ready`, `out_valid` and the output payload
+/// are terms over its state.
+#[derive(Clone, Debug)]
+pub struct HaInterface {
+    /// Environment asserts a request this cycle (primary input, width 1).
+    pub in_valid: TermId,
+    /// Design is willing to accept this cycle (width-1 term).
+    pub in_ready: TermId,
+    /// Request payload fields (primary inputs), in a fixed order.
+    pub in_payload: Vec<TermId>,
+    /// Design presents a response this cycle (width-1 term).
+    pub out_valid: TermId,
+    /// Environment accepts the response this cycle (primary input, width 1).
+    pub out_ready: TermId,
+    /// Response payload fields (terms), in a fixed order.
+    pub out_payload: Vec<TermId>,
+}
+
+impl HaInterface {
+    /// Total request payload width in bits.
+    pub fn in_width(&self, ctx: &Context) -> u32 {
+        self.in_payload.iter().map(|&t| ctx.width(t)).sum()
+    }
+
+    /// Total response payload width in bits.
+    pub fn out_width(&self, ctx: &Context) -> u32 {
+        self.out_payload.iter().map(|&t| ctx.width(t)).sum()
+    }
+}
+
+/// How a bug is expected to be detected — the ground truth for the
+/// bug-detection tables (T2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Detectors {
+    /// G-QED (TLD + FC-G + RB with the architectural-state projection).
+    pub gqed: bool,
+    /// Plain A-QED (FC with input-equality only + RB). On interfering
+    /// designs A-QED is inapplicable (false alarms) — see
+    /// [`DesignMeta::interfering`].
+    pub aqed: bool,
+    /// The design's handwritten conventional assertions.
+    pub conventional: bool,
+}
+
+/// Classification of catalogued bugs, following the taxonomy implied by
+/// the QED line of papers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BugClass {
+    /// Response depends on schedule/back-pressure/timing rather than the
+    /// architectural input sequence (the bugs that "escape traditional
+    /// flows" per the abstract).
+    ContextDependent,
+    /// Micro-architectural state leaks across transaction boundaries.
+    StateLeak,
+    /// State (or result) registers used before initialization.
+    Uninitialized,
+    /// The design can drop, duplicate or stall a transaction (caught by
+    /// the response-bound or ordering checks).
+    HandshakeProtocol,
+    /// A deterministic functional error — consistent across contexts, and
+    /// therefore *outside* the self-consistency bug class (detectable only
+    /// with design-specific properties). Included to measure the boundary
+    /// of the technique honestly.
+    ConsistentFunctional,
+}
+
+/// A catalogued injectable bug.
+#[derive(Clone, Debug)]
+pub struct BugInfo {
+    /// Stable identifier, passed to `build(.., Some(id))`.
+    pub id: &'static str,
+    /// One-line description of the defect.
+    pub description: &'static str,
+    /// Bug class.
+    pub class: BugClass,
+    /// Which flows are expected to detect it.
+    pub expected: Detectors,
+    /// Minimum number of *transactions* a witness needs (drives the
+    /// detection-bound study, F3).
+    pub min_transactions: u32,
+}
+
+/// Static design metadata.
+#[derive(Clone, Debug)]
+pub struct DesignMeta {
+    /// Design name (stable, used in tables).
+    pub name: &'static str,
+    /// Whether responses may depend on earlier transactions.
+    pub interfering: bool,
+    /// One-line functional description.
+    pub description: &'static str,
+    /// Nominal latency in cycles from acceptance to response validity
+    /// (used to pick the response-bound parameter).
+    pub latency: u32,
+    /// Recommended BMC bound (cycles) for the evaluation runs.
+    pub recommended_bound: u32,
+}
+
+/// A packaged design-under-verification.
+#[derive(Clone, Debug)]
+pub struct Design {
+    /// The term context owning all of the design's terms. Checkers extend
+    /// it with monitor logic.
+    pub ctx: Context,
+    /// The design's transition system.
+    pub ts: TransitionSystem,
+    /// Transactional interface.
+    pub iface: HaInterface,
+    /// Architectural-state projection: terms over the current state that
+    /// G-QED's generalized functional-consistency check compares. For a
+    /// non-interfering design this is empty (A-QED's setting).
+    pub arch_state: Vec<TermId>,
+    /// Handwritten design-specific assertions (the conventional baseline),
+    /// kept separate from `ts.bads` so QED checks don't see them.
+    pub conventional: Vec<Bad>,
+    /// Static metadata.
+    pub meta: DesignMeta,
+    /// Identifier of the injected bug, if any.
+    pub injected_bug: Option<&'static str>,
+}
+
+impl Design {
+    /// Whether this build carries an injected bug.
+    pub fn is_buggy(&self) -> bool {
+        self.injected_bug.is_some()
+    }
+}
+
+/// Resolves a bug id within a catalogue; panics with the list of valid ids
+/// when unknown (bug ids are compile-time constants in callers).
+pub fn resolve_bug(bugs: &[BugInfo], id: &str) -> &'static str {
+    for b in bugs {
+        if b.id == id {
+            return b.id;
+        }
+    }
+    let valid: Vec<&str> = bugs.iter().map(|b| b.id).collect();
+    panic!("unknown bug id '{id}'; valid ids: {valid:?}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn payload_widths_sum() {
+        let mut ctx = Context::new();
+        let iv = ctx.input("in_valid", 1);
+        let or = ctx.input("out_ready", 1);
+        let a = ctx.input("a", 8);
+        let b = ctx.input("b", 4);
+        let t = ctx.tru();
+        let iface = HaInterface {
+            in_valid: iv,
+            in_ready: t,
+            in_payload: vec![a, b],
+            out_valid: t,
+            out_ready: or,
+            out_payload: vec![a],
+        };
+        assert_eq!(iface.in_width(&ctx), 12);
+        assert_eq!(iface.out_width(&ctx), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown bug id")]
+    fn resolve_bug_panics_on_unknown() {
+        let bugs = [BugInfo {
+            id: "a",
+            description: "",
+            class: BugClass::ContextDependent,
+            expected: Detectors {
+                gqed: true,
+                aqed: false,
+                conventional: false,
+            },
+            min_transactions: 1,
+        }];
+        let _ = resolve_bug(&bugs, "b");
+    }
+}

@@ -1,0 +1,39 @@
+//! The hardware-accelerator design library: the designs-under-verification
+//! of the G-QED evaluation.
+//!
+//! The paper evaluates G-QED on a suite of accelerators plus an industrial
+//! IP. Neither is available, so this crate provides word-level models with
+//! the same transactional discipline — a ready/valid request port and a
+//! ready/valid, in-order response port ([`iface::HaInterface`]) — split
+//! into two families:
+//!
+//! * **non-interfering** ([`designs::vecadd`], [`designs::alu`],
+//!   [`designs::relu`], [`designs::matvec`]): the response to a request is
+//!   a function of that request's payload alone — A-QED's setting;
+//! * **interfering** ([`designs::accum`], [`designs::crc32`],
+//!   [`designs::kvstore`], [`designs::dma`], [`designs::fir`],
+//!   [`designs::histogram`], [`designs::movavg`]): responses depend on
+//!   architectural state
+//!   accumulated from earlier requests — the setting that requires G-QED.
+//!   [`designs::dma`] is the stand-in for the paper's industrial case
+//!   study (a configuration-driven transfer engine).
+//!
+//! Every design ships a **bug catalogue** ([`iface::BugInfo`]): injectable
+//! RTL-level bugs with a declared bug class and expected detectors, the
+//! ground truth for the bug-detection tables. Bugs are injected at build
+//! time: `build(&params, Some("bug-id"))` returns the buggy version.
+//! Designs also carry *conventional assertions* — the handwritten,
+//! design-specific properties a traditional verification flow would use —
+//! as the baseline the paper compares against.
+
+#![warn(missing_docs)]
+pub mod catalog;
+pub mod designs;
+pub mod driver;
+pub mod iface;
+pub mod skeleton;
+
+pub use catalog::{all_designs, DesignEntry};
+pub use driver::{DriveError, Driver};
+pub use iface::{BugClass, BugInfo, Design, DesignMeta, Detectors, HaInterface};
+pub use skeleton::TxnControl;

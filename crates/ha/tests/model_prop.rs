@@ -1,0 +1,239 @@
+//! Golden-model property tests: every design's word-level implementation
+//! is checked against an independent Rust reference model on random
+//! transaction sequences, with random response back-pressure.
+//!
+//! This is the designs' own correctness net (distinct from the QED checks,
+//! which never see a functional specification): if one of these fails, the
+//! *design library* is wrong, not the verification method.
+
+use gqed_ha::designs::{
+    accum, alu, crc32, dma, fir, histogram, kvstore, matvec, movavg, relu, vecadd,
+};
+use gqed_ha::Driver;
+use proptest::prelude::*;
+
+const STALLS: [u32; 3] = [0, 1, 5];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn accum_matches_model(
+        ops in prop::collection::vec((0u128..3, any::<u8>()), 1..20),
+        stall_idx in 0usize..3,
+    ) {
+        let d = accum::build(&accum::Params::default(), None);
+        let mut drv = Driver::new(&d).with_stall(STALLS[stall_idx]);
+        let mut acc: u8 = 0;
+        for (op, data) in ops {
+            let res = drv.txn(&[op, u128::from(data)]).unwrap();
+            let expect = match op {
+                accum::OP_ACC => {
+                    acc = acc.wrapping_add(data);
+                    acc
+                }
+                accum::OP_CLR => {
+                    acc = 0;
+                    0
+                }
+                _ => acc,
+            };
+            prop_assert_eq!(res[0], u128::from(expect));
+        }
+    }
+
+    #[test]
+    fn crc32_matches_model(
+        bytes in prop::collection::vec(any::<u8>(), 1..16),
+        stall_idx in 0usize..3,
+    ) {
+        let p = crc32::Params::default();
+        let d = crc32::build(&p, None);
+        let mut drv = Driver::new(&d).with_stall(STALLS[stall_idx]);
+        prop_assert_eq!(drv.txn(&[crc32::OP_INIT, 0]).unwrap()[0], crc32::INIT_VAL);
+        let mut model = crc32::INIT_VAL;
+        for b in bytes {
+            model = crc32::crc_step_model(model, u128::from(b), p.width);
+            prop_assert_eq!(drv.txn(&[crc32::OP_FEED, u128::from(b)]).unwrap()[0], model);
+        }
+        prop_assert_eq!(drv.txn(&[crc32::OP_READ, 0]).unwrap()[0], model);
+    }
+
+    #[test]
+    fn kvstore_matches_model(
+        ops in prop::collection::vec((0u128..3, 0u128..16, any::<u8>()), 1..24),
+        stall_idx in 0usize..3,
+    ) {
+        let d = kvstore::build(&kvstore::Params::default(), None);
+        let mut drv = Driver::new(&d).with_stall(STALLS[stall_idx]);
+        // Reference: direct-mapped table of (tag, value, valid).
+        let mut table: [(u128, u128, bool); 8] = [(0, 0, false); 8];
+        for (op, key, value) in ops {
+            let slot = (key & 7) as usize;
+            let (tag, val, valid) = table[slot];
+            let hit = valid && tag == key;
+            let res = drv.txn(&[op, key, u128::from(value)]).unwrap();
+            let (exp_found, exp_val) = if hit { (1, val) } else { (0, 0) };
+            prop_assert_eq!(res[0], exp_found, "op {} key {}", op, key);
+            prop_assert_eq!(res[1], exp_val);
+            match op {
+                kvstore::OP_PUT => table[slot] = (key, u128::from(value), true),
+                kvstore::OP_DEL => table[slot].2 = false,
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn dma_matches_model(
+        ops in prop::collection::vec((0u128..4, any::<u8>()), 1..16),
+        stall_idx in 0usize..3,
+    ) {
+        let p = dma::Params::default();
+        let d = dma::build(&p, None);
+        let mut drv = Driver::new(&d).with_stall(STALLS[stall_idx]);
+        let (mut stride, mut seed, mut mode) = (0u128, 0u128, 0u128);
+        for (op, data) in ops {
+            let data = u128::from(data);
+            let res = drv.txn(&[op, data]).unwrap()[0];
+            match op {
+                dma::OP_CFG_STRIDE => {
+                    prop_assert_eq!(res, stride);
+                    stride = data;
+                }
+                dma::OP_CFG_SEED => {
+                    prop_assert_eq!(res, seed);
+                    seed = data;
+                }
+                dma::OP_CFG_MODE => {
+                    prop_assert_eq!(res, mode);
+                    mode = data & 1;
+                }
+                _ => {
+                    let len = (data & 3) + 1;
+                    prop_assert_eq!(res, dma::xfer_model(stride, seed, mode, len, p.width));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn histogram_matches_model(
+        ops in prop::collection::vec((0u128..2, 0u128..8), 1..24),
+        stall_idx in 0usize..3,
+    ) {
+        let d = histogram::build(&histogram::Params::default(), None);
+        let mut drv = Driver::new(&d).with_stall(STALLS[stall_idx]);
+        let mut bins = [0u128; 8];
+        for (op, bin) in ops {
+            let res = drv.txn(&[op, bin]).unwrap()[0];
+            let b = bin as usize;
+            if op == histogram::OP_ADD {
+                bins[b] = (bins[b] + 1) & 0xff;
+                prop_assert_eq!(res, bins[b]);
+            } else {
+                prop_assert_eq!(res, bins[b]);
+                bins[b] = 0;
+            }
+        }
+    }
+
+    #[test]
+    fn movavg_matches_model(
+        samples in prop::collection::vec(any::<u8>(), 1..16),
+        stall_idx in 0usize..3,
+    ) {
+        let d = movavg::build(&movavg::Params::default(), None);
+        let mut drv = Driver::new(&d).with_stall(STALLS[stall_idx]);
+        let mut window: Vec<u128> = Vec::new();
+        for s in samples {
+            window.insert(0, u128::from(s));
+            window.truncate(movavg::TAPS);
+            let expect: u128 = window.iter().sum();
+            prop_assert_eq!(drv.txn(&[u128::from(s)]).unwrap()[0], expect);
+        }
+    }
+
+    #[test]
+    fn vecadd_matches_model(
+        pairs in prop::collection::vec((any::<u8>(), any::<u8>()), 1..12),
+        stall_idx in 0usize..3,
+    ) {
+        let d = vecadd::build(&vecadd::Params::default(), None);
+        let mut drv = Driver::new(&d).with_stall(STALLS[stall_idx]);
+        for (a, b) in pairs {
+            let expect = u128::from(a) + u128::from(b);
+            prop_assert_eq!(drv.txn(&[u128::from(a), u128::from(b)]).unwrap()[0], expect);
+        }
+    }
+
+    #[test]
+    fn alu_matches_model(
+        ops in prop::collection::vec((0u128..4, any::<u8>(), any::<u8>()), 1..16),
+        stall_idx in 0usize..3,
+    ) {
+        let d = alu::build(&alu::Params::default(), None);
+        let mut drv = Driver::new(&d).with_stall(STALLS[stall_idx]);
+        for (op, a, b) in ops {
+            let expect = match op {
+                alu::OP_ADD => a.wrapping_add(b),
+                alu::OP_SUB => a.wrapping_sub(b),
+                alu::OP_AND => a & b,
+                _ => a ^ b,
+            };
+            let res = drv.txn(&[op, u128::from(a), u128::from(b)]).unwrap()[0];
+            prop_assert_eq!(res, u128::from(expect));
+        }
+    }
+
+    #[test]
+    fn relu_matches_model(
+        xs in prop::collection::vec(any::<u8>(), 1..16),
+        stall_idx in 0usize..3,
+    ) {
+        let d = relu::build(&relu::Params::default(), None);
+        let mut drv = Driver::new(&d).with_stall(STALLS[stall_idx]);
+        for x in xs {
+            let expect = if (x as i8) < 0 { 0 } else { x };
+            prop_assert_eq!(drv.txn(&[u128::from(x)]).unwrap()[0], u128::from(expect));
+        }
+    }
+
+    #[test]
+    fn matvec_matches_model(
+        pairs in prop::collection::vec((any::<u16>(), any::<u16>()), 1..10),
+        stall_idx in 0usize..3,
+    ) {
+        let p = matvec::Params::default();
+        let d = matvec::build(&p, None);
+        let mut drv = Driver::new(&d).with_stall(STALLS[stall_idx]);
+        for (a, b) in pairs {
+            let (a, b) = (u128::from(a), u128::from(b));
+            let expect = matvec::dot_model(a, b, p.width);
+            prop_assert_eq!(drv.txn(&[a, b]).unwrap()[0], expect);
+        }
+    }
+
+    #[test]
+    fn fir_matches_model(
+        ops in prop::collection::vec((0u128..2, 0u128..4, 0u128..16), 1..20),
+        stall_idx in 0usize..3,
+    ) {
+        let p = fir::Params::default();
+        let d = fir::build(&p, None);
+        let mut drv = Driver::new(&d).with_stall(STALLS[stall_idx]);
+        let mut coefs = [0u128; fir::TAPS];
+        let mut window = vec![0u128; fir::TAPS];
+        for (op, idx, data) in ops {
+            let res = drv.txn(&[op, idx, data]).unwrap()[0];
+            if op == fir::OP_LOAD {
+                prop_assert_eq!(res, coefs[idx as usize]);
+                coefs[idx as usize] = data;
+            } else {
+                window.insert(0, data);
+                window.truncate(fir::TAPS);
+                prop_assert_eq!(res, fir::fir_model(&coefs, &window, p.width));
+            }
+        }
+    }
+}

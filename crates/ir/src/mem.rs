@@ -1,0 +1,230 @@
+//! Register-file modeling helper.
+//!
+//! Hardware accelerators carry small memories (coefficient buffers, key
+//! tables, histogram bins, configuration register files). We model a memory
+//! as one state variable per word with mux-tree addressing — exact
+//! semantics, no array theory needed, and it bit-blasts directly. Depths
+//! stay small in the design library, so the quadratic mux cost is
+//! acceptable (and it matches how HLS flows partition small arrays into
+//! registers).
+
+use crate::term::{Context, TermId};
+use crate::ts::TransitionSystem;
+
+/// A register file of `depth` words, each `width` bits wide.
+///
+/// # Examples
+///
+/// ```
+/// use gqed_ir::{Context, RegFile, TransitionSystem};
+///
+/// let mut ctx = Context::new();
+/// let mut ts = TransitionSystem::new("demo");
+/// let rf = RegFile::new(&mut ctx, "mem", 4, 8);
+/// let addr = ctx.input("addr", 2);
+/// let data = ctx.input("data", 8);
+/// let we = ctx.input("we", 1);
+/// let rdata = rf.read(&mut ctx, addr);
+/// rf.install(&mut ctx, &mut ts, we, addr, data);
+/// assert_eq!(ctx.width(rdata), 8);
+/// ```
+#[derive(Clone, Debug)]
+pub struct RegFile {
+    /// One state term per word, index order.
+    words: Vec<TermId>,
+    width: u32,
+    addr_width: u32,
+}
+
+impl RegFile {
+    /// Declares the backing state variables (`"{name}[{i}]"`), initialized
+    /// to zero when installed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth` is not a power of two or is 0.
+    pub fn new(ctx: &mut Context, name: &str, depth: usize, width: u32) -> Self {
+        assert!(
+            depth.is_power_of_two() && depth > 0,
+            "depth must be a power of two"
+        );
+        let addr_width = depth.trailing_zeros().max(1);
+        let words = (0..depth)
+            .map(|i| ctx.state(format!("{name}[{i}]"), width))
+            .collect();
+        RegFile {
+            words,
+            width,
+            addr_width,
+        }
+    }
+
+    /// Number of words.
+    pub fn depth(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Word width in bits.
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Address width in bits.
+    pub fn addr_width(&self) -> u32 {
+        self.addr_width
+    }
+
+    /// The state term of word `i` (for direct inspection in monitors).
+    pub fn word(&self, i: usize) -> TermId {
+        self.words[i]
+    }
+
+    /// All word state terms in index order.
+    pub fn words(&self) -> &[TermId] {
+        &self.words
+    }
+
+    /// Combinational read port: mux tree selecting `words[addr]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is narrower than the address width.
+    pub fn read(&self, ctx: &mut Context, addr: TermId) -> TermId {
+        assert!(
+            ctx.width(addr) >= self.addr_width,
+            "address too narrow for depth {}",
+            self.depth()
+        );
+        let mut result = self.words[0];
+        for (i, &w) in self.words.iter().enumerate().skip(1) {
+            let idx = ctx.constant(i as u128, ctx.width(addr));
+            let hit = ctx.eq(addr, idx);
+            result = ctx.ite(hit, w, result);
+        }
+        result
+    }
+
+    /// Computes per-word next-state expressions for a single write port:
+    /// word `i` becomes `data` when `we && addr == i`, else holds.
+    ///
+    /// Returns `(word_state, next_expr)` pairs; use [`RegFile::install`] to
+    /// register them on a system directly.
+    pub fn write_next(
+        &self,
+        ctx: &mut Context,
+        we: TermId,
+        addr: TermId,
+        data: TermId,
+    ) -> Vec<(TermId, TermId)> {
+        assert_eq!(ctx.width(data), self.width, "write data width mismatch");
+        self.words
+            .iter()
+            .enumerate()
+            .map(|(i, &w)| {
+                let idx = ctx.constant(i as u128, ctx.width(addr));
+                let hit = ctx.eq(addr, idx);
+                let sel = ctx.and(we, hit);
+                let next = ctx.ite(sel, data, w);
+                (w, next)
+            })
+            .collect()
+    }
+
+    /// Registers all words as zero-initialized states of `ts` with a
+    /// single write port.
+    pub fn install(
+        &self,
+        ctx: &mut Context,
+        ts: &mut TransitionSystem,
+        we: TermId,
+        addr: TermId,
+        data: TermId,
+    ) {
+        let zero = ctx.zero(self.width);
+        for (word, next) in self.write_next(ctx, we, addr, data) {
+            ts.add_state(word, Some(zero), next);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::Sim;
+    use std::collections::HashMap;
+
+    #[test]
+    fn write_then_read_round_trips() {
+        let mut ctx = Context::new();
+        let mut ts = TransitionSystem::new("m");
+        let rf = RegFile::new(&mut ctx, "mem", 4, 8);
+        let we = ctx.input("we", 1);
+        let addr = ctx.input("addr", 2);
+        let data = ctx.input("data", 8);
+        let rdata = rf.read(&mut ctx, addr);
+        rf.install(&mut ctx, &mut ts, we, addr, data);
+        ts.inputs = vec![we, addr, data];
+        ts.outputs.push(("rdata".into(), rdata));
+
+        let mut sim = Sim::new(&ctx, &ts);
+        let mut inp = HashMap::new();
+        // Write 0xAB to address 2.
+        inp.insert(we, 1u128);
+        inp.insert(addr, 2u128);
+        inp.insert(data, 0xab_u128);
+        sim.step(&inp);
+        // Read address 2 (no write).
+        inp.insert(we, 0);
+        let r = sim.step(&inp);
+        assert_eq!(r.outputs[0], 0xab);
+        // Other addresses still zero.
+        inp.insert(addr, 1);
+        let r = sim.step(&inp);
+        assert_eq!(r.outputs[0], 0);
+    }
+
+    #[test]
+    fn writes_do_not_alias() {
+        let mut ctx = Context::new();
+        let mut ts = TransitionSystem::new("m");
+        let rf = RegFile::new(&mut ctx, "mem", 8, 16);
+        let we = ctx.input("we", 1);
+        let addr = ctx.input("addr", 3);
+        let data = ctx.input("data", 16);
+        rf.install(&mut ctx, &mut ts, we, addr, data);
+        ts.inputs = vec![we, addr, data];
+        for i in 0..8 {
+            ts.outputs.push((format!("w{i}"), rf.word(i)));
+        }
+        let mut sim = Sim::new(&ctx, &ts);
+        let mut inp = HashMap::new();
+        inp.insert(we, 1u128);
+        for i in 0..8u128 {
+            inp.insert(addr, i);
+            inp.insert(data, 100 + i);
+            sim.step(&inp);
+        }
+        inp.insert(we, 0);
+        let r = sim.step(&inp);
+        for i in 0..8usize {
+            assert_eq!(r.outputs[i], 100 + i as u128);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_depth_rejected() {
+        let mut ctx = Context::new();
+        let _ = RegFile::new(&mut ctx, "mem", 3, 8);
+    }
+
+    #[test]
+    fn depth_one_register() {
+        let mut ctx = Context::new();
+        let rf = RegFile::new(&mut ctx, "r", 1, 8);
+        assert_eq!(rf.addr_width(), 1);
+        let addr = ctx.input("a", 1);
+        let r = rf.read(&mut ctx, addr);
+        assert_eq!(ctx.width(r), 8);
+    }
+}

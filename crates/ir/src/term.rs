@@ -1,0 +1,856 @@
+//! Hash-consed bit-vector terms and the [`Context`] builder.
+//!
+//! Terms are immutable nodes in a global arena owned by a [`Context`];
+//! structurally identical terms are shared (hash-consing), so equality of
+//! [`TermId`]s is semantic equality up to the builder's local folding.
+//! Every operation masks results to the declared width, mirroring two's
+//! complement RTL semantics. Constant operands are folded eagerly using the
+//! same semantic functions as the concrete evaluator ([`crate::eval`]), so
+//! folding can never disagree with simulation.
+
+use std::collections::HashMap;
+
+/// Maximum supported bit-vector width (values are carried in `u128`).
+pub const MAX_WIDTH: u32 = 128;
+
+/// Handle to a term in a [`Context`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct TermId(pub(crate) u32);
+
+impl TermId {
+    /// Index into the context's term arena.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// The operation at a term node. Operand order is significant.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Op {
+    /// Constant with the node's width.
+    Const(u128),
+    /// Primary input; payload is the context-global input ordinal.
+    Input(u32),
+    /// State variable; payload is the context-global state ordinal.
+    State(u32),
+    /// Bitwise complement.
+    Not(TermId),
+    /// Two's-complement negation.
+    Neg(TermId),
+    /// Bitwise AND.
+    And(TermId, TermId),
+    /// Bitwise OR.
+    Or(TermId, TermId),
+    /// Bitwise XOR.
+    Xor(TermId, TermId),
+    /// Wrapping addition.
+    Add(TermId, TermId),
+    /// Wrapping subtraction.
+    Sub(TermId, TermId),
+    /// Wrapping multiplication.
+    Mul(TermId, TermId),
+    /// Equality; result width 1.
+    Eq(TermId, TermId),
+    /// Unsigned less-than; result width 1.
+    Ult(TermId, TermId),
+    /// Signed less-than; result width 1.
+    Slt(TermId, TermId),
+    /// If-then-else; condition width 1, branches equal width.
+    Ite(TermId, TermId, TermId),
+    /// Concatenation `(hi, lo)`; result width is the sum, `lo` occupies the
+    /// least-significant bits.
+    Concat(TermId, TermId),
+    /// Bit slice `[hi:lo]` inclusive; result width `hi - lo + 1`.
+    Extract(TermId, u32, u32),
+    /// Zero extension to the node's width.
+    Zext(TermId),
+    /// Sign extension to the node's width.
+    Sext(TermId),
+    /// Logical shift left by a variable amount (zero when amount ≥ width).
+    Shl(TermId, TermId),
+    /// Logical shift right by a variable amount (zero when amount ≥ width).
+    Lshr(TermId, TermId),
+    /// OR-reduction; result width 1.
+    Redor(TermId),
+    /// AND-reduction; result width 1.
+    Redand(TermId),
+}
+
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+struct TermData {
+    op: Op,
+    width: u32,
+}
+
+/// Metadata of a declared input or state variable.
+#[derive(Clone, Debug)]
+pub struct VarInfo {
+    /// Human-readable signal name (used in VCD dumps and traces).
+    pub name: String,
+    /// Bit width.
+    pub width: u32,
+    /// The variable's term.
+    pub term: TermId,
+}
+
+/// Arena and builder for terms; also the registry of input and state
+/// variables.
+///
+/// # Examples
+///
+/// ```
+/// use gqed_ir::Context;
+///
+/// let mut ctx = Context::new();
+/// let a = ctx.input("a", 8);
+/// let b = ctx.input("b", 8);
+/// let sum = ctx.add(a, b);
+/// assert_eq!(ctx.width(sum), 8);
+///
+/// // Constant folding uses the same semantics as simulation.
+/// let three = ctx.constant(3, 8);
+/// let four = ctx.constant(4, 8);
+/// let seven = ctx.add(three, four);
+/// assert_eq!(ctx.as_const(seven), Some(7));
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Context {
+    terms: Vec<TermData>,
+    hash: HashMap<TermData, TermId>,
+    inputs: Vec<VarInfo>,
+    states: Vec<VarInfo>,
+}
+
+pub(crate) fn mask(width: u32) -> u128 {
+    if width >= 128 {
+        u128::MAX
+    } else {
+        (1u128 << width) - 1
+    }
+}
+
+impl Context {
+    /// Creates an empty context.
+    pub fn new() -> Self {
+        Context::default()
+    }
+
+    /// Number of terms in the arena.
+    pub fn num_terms(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Width of a term.
+    pub fn width(&self, t: TermId) -> u32 {
+        self.terms[t.index()].width
+    }
+
+    /// Operation of a term.
+    pub fn op(&self, t: TermId) -> Op {
+        self.terms[t.index()].op
+    }
+
+    /// The constant value of a term, if it is a constant.
+    pub fn as_const(&self, t: TermId) -> Option<u128> {
+        match self.op(t) {
+            Op::Const(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Declared inputs, in declaration order (the order matches
+    /// `Op::Input` ordinals).
+    pub fn inputs(&self) -> &[VarInfo] {
+        &self.inputs
+    }
+
+    /// Declared states, in declaration order (the order matches
+    /// `Op::State` ordinals).
+    pub fn states(&self) -> &[VarInfo] {
+        &self.states
+    }
+
+    /// Metadata of the input with the given ordinal.
+    pub fn input_info(&self, ordinal: u32) -> &VarInfo {
+        &self.inputs[ordinal as usize]
+    }
+
+    /// Metadata of the state with the given ordinal.
+    pub fn state_info(&self, ordinal: u32) -> &VarInfo {
+        &self.states[ordinal as usize]
+    }
+
+    /// Name of an input or state term, if it is one.
+    pub fn var_name(&self, t: TermId) -> Option<&str> {
+        match self.op(t) {
+            Op::Input(i) => Some(&self.inputs[i as usize].name),
+            Op::State(i) => Some(&self.states[i as usize].name),
+            _ => None,
+        }
+    }
+
+    fn intern(&mut self, op: Op, width: u32) -> TermId {
+        assert!(
+            (1..=MAX_WIDTH).contains(&width),
+            "width {width} out of range 1..={MAX_WIDTH}"
+        );
+        let data = TermData { op, width };
+        if let Some(&t) = self.hash.get(&data) {
+            return t;
+        }
+        let t = TermId(self.terms.len() as u32);
+        self.terms.push(data.clone());
+        self.hash.insert(data, t);
+        t
+    }
+
+    /// A constant of the given width (the value is masked).
+    pub fn constant(&mut self, value: u128, width: u32) -> TermId {
+        self.intern(Op::Const(value & mask(width)), width)
+    }
+
+    /// The 1-bit constant 0 (logical false).
+    pub fn fls(&mut self) -> TermId {
+        self.constant(0, 1)
+    }
+
+    /// The 1-bit constant 1 (logical true).
+    pub fn tru(&mut self) -> TermId {
+        self.constant(1, 1)
+    }
+
+    /// All-zero constant of the given width.
+    pub fn zero(&mut self, width: u32) -> TermId {
+        self.constant(0, width)
+    }
+
+    /// All-ones constant of the given width.
+    pub fn ones(&mut self, width: u32) -> TermId {
+        self.constant(u128::MAX, width)
+    }
+
+    /// Declares a fresh primary input. Input terms are *not* hash-consed
+    /// with each other: each declaration is a distinct signal.
+    pub fn input(&mut self, name: impl Into<String>, width: u32) -> TermId {
+        let ordinal = self.inputs.len() as u32;
+        let t = self.intern(Op::Input(ordinal), width);
+        self.inputs.push(VarInfo {
+            name: name.into(),
+            width,
+            term: t,
+        });
+        t
+    }
+
+    /// Declares a fresh state variable.
+    pub fn state(&mut self, name: impl Into<String>, width: u32) -> TermId {
+        let ordinal = self.states.len() as u32;
+        let t = self.intern(Op::State(ordinal), width);
+        self.states.push(VarInfo {
+            name: name.into(),
+            width,
+            term: t,
+        });
+        t
+    }
+
+    fn assert_same_width(&self, a: TermId, b: TermId, op: &str) -> u32 {
+        let (wa, wb) = (self.width(a), self.width(b));
+        assert_eq!(wa, wb, "{op}: operand widths differ ({wa} vs {wb})");
+        wa
+    }
+
+    fn assert_bool(&self, t: TermId, op: &str) {
+        assert_eq!(self.width(t), 1, "{op}: expected width-1 operand");
+    }
+
+    // --- Unary operations -------------------------------------------------
+
+    /// Bitwise NOT.
+    pub fn not(&mut self, a: TermId) -> TermId {
+        let w = self.width(a);
+        if let Some(v) = self.as_const(a) {
+            return self.constant(!v, w);
+        }
+        // ¬¬a = a
+        if let Op::Not(inner) = self.op(a) {
+            return inner;
+        }
+        self.intern(Op::Not(a), w)
+    }
+
+    /// Two's-complement negation.
+    pub fn neg(&mut self, a: TermId) -> TermId {
+        let w = self.width(a);
+        if let Some(v) = self.as_const(a) {
+            return self.constant(v.wrapping_neg(), w);
+        }
+        self.intern(Op::Neg(a), w)
+    }
+
+    /// OR-reduction to a single bit.
+    pub fn redor(&mut self, a: TermId) -> TermId {
+        if let Some(v) = self.as_const(a) {
+            return self.constant(u128::from(v != 0), 1);
+        }
+        if self.width(a) == 1 {
+            return a;
+        }
+        self.intern(Op::Redor(a), 1)
+    }
+
+    /// AND-reduction to a single bit.
+    pub fn redand(&mut self, a: TermId) -> TermId {
+        let w = self.width(a);
+        if let Some(v) = self.as_const(a) {
+            return self.constant(u128::from(v == mask(w)), 1);
+        }
+        if w == 1 {
+            return a;
+        }
+        self.intern(Op::Redand(a), 1)
+    }
+
+    // --- Binary bitwise ---------------------------------------------------
+
+    /// Bitwise AND.
+    pub fn and(&mut self, a: TermId, b: TermId) -> TermId {
+        let w = self.assert_same_width(a, b, "and");
+        match (self.as_const(a), self.as_const(b)) {
+            (Some(x), Some(y)) => return self.constant(x & y, w),
+            (Some(0), _) | (_, Some(0)) if w == 1 => return self.fls(),
+            (Some(x), _) if x == mask(w) => return b,
+            (_, Some(y)) if y == mask(w) => return a,
+            (Some(0), _) | (_, Some(0)) => return self.zero(w),
+            _ => {}
+        }
+        if a == b {
+            return a;
+        }
+        let (a, b) = if a <= b { (a, b) } else { (b, a) };
+        self.intern(Op::And(a, b), w)
+    }
+
+    /// Bitwise OR.
+    pub fn or(&mut self, a: TermId, b: TermId) -> TermId {
+        let w = self.assert_same_width(a, b, "or");
+        match (self.as_const(a), self.as_const(b)) {
+            (Some(x), Some(y)) => return self.constant(x | y, w),
+            (Some(0), _) => return b,
+            (_, Some(0)) => return a,
+            (Some(x), _) if x == mask(w) => return self.ones(w),
+            (_, Some(y)) if y == mask(w) => return self.ones(w),
+            _ => {}
+        }
+        if a == b {
+            return a;
+        }
+        let (a, b) = if a <= b { (a, b) } else { (b, a) };
+        self.intern(Op::Or(a, b), w)
+    }
+
+    /// Bitwise XOR.
+    pub fn xor(&mut self, a: TermId, b: TermId) -> TermId {
+        let w = self.assert_same_width(a, b, "xor");
+        if let (Some(x), Some(y)) = (self.as_const(a), self.as_const(b)) {
+            return self.constant(x ^ y, w);
+        }
+        if a == b {
+            return self.zero(w);
+        }
+        let (a, b) = if a <= b { (a, b) } else { (b, a) };
+        self.intern(Op::Xor(a, b), w)
+    }
+
+    // --- Arithmetic -------------------------------------------------------
+
+    /// Wrapping addition.
+    pub fn add(&mut self, a: TermId, b: TermId) -> TermId {
+        let w = self.assert_same_width(a, b, "add");
+        match (self.as_const(a), self.as_const(b)) {
+            (Some(x), Some(y)) => return self.constant(x.wrapping_add(y), w),
+            (Some(0), _) => return b,
+            (_, Some(0)) => return a,
+            _ => {}
+        }
+        let (a, b) = if a <= b { (a, b) } else { (b, a) };
+        self.intern(Op::Add(a, b), w)
+    }
+
+    /// Wrapping subtraction.
+    pub fn sub(&mut self, a: TermId, b: TermId) -> TermId {
+        let w = self.assert_same_width(a, b, "sub");
+        match (self.as_const(a), self.as_const(b)) {
+            (Some(x), Some(y)) => return self.constant(x.wrapping_sub(y), w),
+            (_, Some(0)) => return a,
+            _ => {}
+        }
+        if a == b {
+            return self.zero(w);
+        }
+        self.intern(Op::Sub(a, b), w)
+    }
+
+    /// Wrapping multiplication.
+    pub fn mul(&mut self, a: TermId, b: TermId) -> TermId {
+        let w = self.assert_same_width(a, b, "mul");
+        match (self.as_const(a), self.as_const(b)) {
+            (Some(x), Some(y)) => return self.constant(x.wrapping_mul(y), w),
+            (Some(0), _) | (_, Some(0)) => return self.zero(w),
+            (Some(1), _) => return b,
+            (_, Some(1)) => return a,
+            _ => {}
+        }
+        let (a, b) = if a <= b { (a, b) } else { (b, a) };
+        self.intern(Op::Mul(a, b), w)
+    }
+
+    // --- Comparisons ------------------------------------------------------
+
+    /// Equality (width-1 result).
+    pub fn eq(&mut self, a: TermId, b: TermId) -> TermId {
+        self.assert_same_width(a, b, "eq");
+        if let (Some(x), Some(y)) = (self.as_const(a), self.as_const(b)) {
+            return self.constant(u128::from(x == y), 1);
+        }
+        if a == b {
+            return self.tru();
+        }
+        let (a, b) = if a <= b { (a, b) } else { (b, a) };
+        self.intern(Op::Eq(a, b), 1)
+    }
+
+    /// Disequality (width-1 result).
+    pub fn ne(&mut self, a: TermId, b: TermId) -> TermId {
+        let e = self.eq(a, b);
+        self.not(e)
+    }
+
+    /// Unsigned less-than.
+    pub fn ult(&mut self, a: TermId, b: TermId) -> TermId {
+        self.assert_same_width(a, b, "ult");
+        if let (Some(x), Some(y)) = (self.as_const(a), self.as_const(b)) {
+            return self.constant(u128::from(x < y), 1);
+        }
+        if a == b {
+            return self.fls();
+        }
+        self.intern(Op::Ult(a, b), 1)
+    }
+
+    /// Unsigned less-or-equal.
+    pub fn ule(&mut self, a: TermId, b: TermId) -> TermId {
+        let gt = self.ult(b, a);
+        self.not(gt)
+    }
+
+    /// Unsigned greater-than.
+    pub fn ugt(&mut self, a: TermId, b: TermId) -> TermId {
+        self.ult(b, a)
+    }
+
+    /// Unsigned greater-or-equal.
+    pub fn uge(&mut self, a: TermId, b: TermId) -> TermId {
+        self.ule(b, a)
+    }
+
+    /// Signed less-than.
+    pub fn slt(&mut self, a: TermId, b: TermId) -> TermId {
+        let w = self.assert_same_width(a, b, "slt");
+        if let (Some(x), Some(y)) = (self.as_const(a), self.as_const(b)) {
+            let sx = sign_val(x, w);
+            let sy = sign_val(y, w);
+            return self.constant(u128::from(sx < sy), 1);
+        }
+        if a == b {
+            return self.fls();
+        }
+        self.intern(Op::Slt(a, b), 1)
+    }
+
+    // --- Structure --------------------------------------------------------
+
+    /// If-then-else over equal-width branches; `c` must have width 1.
+    pub fn ite(&mut self, c: TermId, t: TermId, e: TermId) -> TermId {
+        self.assert_bool(c, "ite");
+        let w = self.assert_same_width(t, e, "ite");
+        if let Some(cv) = self.as_const(c) {
+            return if cv != 0 { t } else { e };
+        }
+        if t == e {
+            return t;
+        }
+        self.intern(Op::Ite(c, t, e), w)
+    }
+
+    /// Concatenation: `hi` becomes the most-significant bits.
+    pub fn concat(&mut self, hi: TermId, lo: TermId) -> TermId {
+        let (wh, wl) = (self.width(hi), self.width(lo));
+        let w = wh + wl;
+        assert!(w <= MAX_WIDTH, "concat width {w} exceeds {MAX_WIDTH}");
+        if let (Some(h), Some(l)) = (self.as_const(hi), self.as_const(lo)) {
+            return self.constant(h << wl | l, w);
+        }
+        self.intern(Op::Concat(hi, lo), w)
+    }
+
+    /// Bit slice `[hi:lo]` inclusive.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hi < lo` or `hi` is out of range.
+    pub fn extract(&mut self, a: TermId, hi: u32, lo: u32) -> TermId {
+        let w = self.width(a);
+        assert!(
+            hi >= lo && hi < w,
+            "extract [{hi}:{lo}] out of range for width {w}"
+        );
+        let rw = hi - lo + 1;
+        if rw == w {
+            return a;
+        }
+        if let Some(v) = self.as_const(a) {
+            return self.constant(v >> lo, rw);
+        }
+        self.intern(Op::Extract(a, hi, lo), rw)
+    }
+
+    /// Single bit `[i]` of a term (width-1 result).
+    pub fn bit(&mut self, a: TermId, i: u32) -> TermId {
+        self.extract(a, i, i)
+    }
+
+    /// Zero-extends to `width` (which must be ≥ the operand width).
+    pub fn zext(&mut self, a: TermId, width: u32) -> TermId {
+        let w = self.width(a);
+        assert!(width >= w, "zext target {width} narrower than operand {w}");
+        if width == w {
+            return a;
+        }
+        if let Some(v) = self.as_const(a) {
+            return self.constant(v, width);
+        }
+        self.intern(Op::Zext(a), width)
+    }
+
+    /// Sign-extends to `width` (which must be ≥ the operand width).
+    pub fn sext(&mut self, a: TermId, width: u32) -> TermId {
+        let w = self.width(a);
+        assert!(width >= w, "sext target {width} narrower than operand {w}");
+        if width == w {
+            return a;
+        }
+        if let Some(v) = self.as_const(a) {
+            let extended = if v >> (w - 1) & 1 != 0 {
+                v | (mask(width) & !mask(w))
+            } else {
+                v
+            };
+            return self.constant(extended, width);
+        }
+        self.intern(Op::Sext(a), width)
+    }
+
+    /// Logical shift left by a variable amount (result 0 when the amount is
+    /// ≥ the width). The shift amount may have any width.
+    pub fn shl(&mut self, a: TermId, amount: TermId) -> TermId {
+        let w = self.width(a);
+        if let (Some(v), Some(s)) = (self.as_const(a), self.as_const(amount)) {
+            let r = if s >= u128::from(w) { 0 } else { v << s };
+            return self.constant(r, w);
+        }
+        if self.as_const(amount) == Some(0) {
+            return a;
+        }
+        self.intern(Op::Shl(a, amount), w)
+    }
+
+    /// Logical shift right by a variable amount (result 0 when the amount
+    /// is ≥ the width).
+    pub fn lshr(&mut self, a: TermId, amount: TermId) -> TermId {
+        let w = self.width(a);
+        if let (Some(v), Some(s)) = (self.as_const(a), self.as_const(amount)) {
+            let r = if s >= u128::from(w) { 0 } else { v >> s };
+            return self.constant(r, w);
+        }
+        if self.as_const(amount) == Some(0) {
+            return a;
+        }
+        self.intern(Op::Lshr(a, amount), w)
+    }
+
+    // --- Boolean helpers (width-1 sugar) -----------------------------------
+
+    /// Logical implication `a → b` over width-1 terms.
+    pub fn implies(&mut self, a: TermId, b: TermId) -> TermId {
+        self.assert_bool(a, "implies");
+        self.assert_bool(b, "implies");
+        let na = self.not(a);
+        self.or(na, b)
+    }
+
+    /// Conjunction of a slice of width-1 terms (true when empty).
+    pub fn and_all(&mut self, ts: &[TermId]) -> TermId {
+        let mut acc = self.tru();
+        for &t in ts {
+            acc = self.and(acc, t);
+        }
+        acc
+    }
+
+    /// Disjunction of a slice of width-1 terms (false when empty).
+    pub fn or_all(&mut self, ts: &[TermId]) -> TermId {
+        let mut acc = self.fls();
+        for &t in ts {
+            acc = self.or(acc, t);
+        }
+        acc
+    }
+
+    /// Increment by a constant 1 of matching width.
+    pub fn inc(&mut self, a: TermId) -> TermId {
+        let w = self.width(a);
+        let one = self.constant(1, w);
+        self.add(a, one)
+    }
+
+    /// The operands of a term, for generic traversals.
+    pub fn operands(&self, t: TermId) -> Vec<TermId> {
+        match self.op(t) {
+            Op::Const(_) | Op::Input(_) | Op::State(_) => vec![],
+            Op::Not(a)
+            | Op::Neg(a)
+            | Op::Redor(a)
+            | Op::Redand(a)
+            | Op::Zext(a)
+            | Op::Sext(a)
+            | Op::Extract(a, _, _) => vec![a],
+            Op::And(a, b)
+            | Op::Or(a, b)
+            | Op::Xor(a, b)
+            | Op::Add(a, b)
+            | Op::Sub(a, b)
+            | Op::Mul(a, b)
+            | Op::Eq(a, b)
+            | Op::Ult(a, b)
+            | Op::Slt(a, b)
+            | Op::Concat(a, b)
+            | Op::Shl(a, b)
+            | Op::Lshr(a, b) => vec![a, b],
+            Op::Ite(a, b, c) => vec![a, b, c],
+        }
+    }
+}
+
+pub(crate) fn sign_val(v: u128, width: u32) -> i128 {
+    let m = mask(width);
+    let v = v & m;
+    if width < 128 && v >> (width - 1) & 1 != 0 {
+        (v | !m) as i128
+    } else {
+        v as i128
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hash_consing_shares_structure() {
+        let mut ctx = Context::new();
+        let a = ctx.input("a", 8);
+        let b = ctx.input("b", 8);
+        let s1 = ctx.add(a, b);
+        let s2 = ctx.add(b, a); // commutative normalization
+        assert_eq!(s1, s2);
+    }
+
+    #[test]
+    fn inputs_are_distinct_signals() {
+        let mut ctx = Context::new();
+        let a = ctx.input("a", 8);
+        let b = ctx.input("b", 8);
+        assert_ne!(a, b);
+        assert_eq!(ctx.var_name(a), Some("a"));
+        assert_eq!(ctx.var_name(b), Some("b"));
+    }
+
+    #[test]
+    fn constant_folding_matches_arithmetic() {
+        let mut ctx = Context::new();
+        let a = ctx.constant(200, 8);
+        let b = ctx.constant(100, 8);
+        let sum = ctx.add(a, b);
+        assert_eq!(ctx.as_const(sum), Some(44)); // 300 mod 256
+        let m = ctx.mul(a, b);
+        assert_eq!(ctx.as_const(m), Some(200u128 * 100 % 256));
+        let s = ctx.sub(b, a);
+        assert_eq!(ctx.as_const(s), Some((100u128.wrapping_sub(200)) & 0xff));
+    }
+
+    #[test]
+    fn folding_comparisons() {
+        let mut ctx = Context::new();
+        let a = ctx.constant(5, 4);
+        let b = ctx.constant(12, 4);
+        let lt = ctx.ult(a, b);
+        assert_eq!(ctx.as_const(lt), Some(1));
+        let ult = ctx.ult(b, a);
+        assert_eq!(ctx.as_const(ult), Some(0));
+        // Signed: 12 as 4-bit is -4, so slt(12, 5) holds.
+        let slt = ctx.slt(b, a);
+        assert_eq!(ctx.as_const(slt), Some(1));
+    }
+
+    #[test]
+    fn extract_and_concat_fold() {
+        let mut ctx = Context::new();
+        let v = ctx.constant(0b1011_0110, 8);
+        let hi = ctx.extract(v, 7, 4);
+        let lo = ctx.extract(v, 3, 0);
+        assert_eq!(ctx.as_const(hi), Some(0b1011));
+        assert_eq!(ctx.as_const(lo), Some(0b0110));
+        let back = ctx.concat(hi, lo);
+        assert_eq!(ctx.as_const(back), Some(0b1011_0110));
+    }
+
+    #[test]
+    fn sext_fold_negative() {
+        let mut ctx = Context::new();
+        let v = ctx.constant(0b110, 3); // -2
+        let x = ctx.sext(v, 8);
+        assert_eq!(ctx.as_const(x), Some(0b1111_1110));
+        let p = ctx.constant(0b010, 3);
+        let xp = ctx.sext(p, 8);
+        assert_eq!(ctx.as_const(xp), Some(0b010));
+    }
+
+    #[test]
+    fn shift_folding_saturates() {
+        let mut ctx = Context::new();
+        let v = ctx.constant(0b1001, 4);
+        let s2 = ctx.constant(2, 4);
+        let s9 = ctx.constant(9, 4);
+        let l = ctx.shl(v, s2);
+        assert_eq!(ctx.as_const(l), Some(0b0100));
+        let r = ctx.lshr(v, s2);
+        assert_eq!(ctx.as_const(r), Some(0b10));
+        let z = ctx.shl(v, s9);
+        assert_eq!(ctx.as_const(z), Some(0));
+    }
+
+    #[test]
+    fn ite_simplifications() {
+        let mut ctx = Context::new();
+        let c = ctx.input("c", 1);
+        let a = ctx.input("a", 8);
+        let b = ctx.input("b", 8);
+        assert_eq!(ctx.ite(c, a, a), a);
+        let t = ctx.tru();
+        assert_eq!(ctx.ite(t, a, b), a);
+        let f = ctx.fls();
+        assert_eq!(ctx.ite(f, a, b), b);
+    }
+
+    #[test]
+    #[should_panic(expected = "operand widths differ")]
+    fn width_mismatch_panics() {
+        let mut ctx = Context::new();
+        let a = ctx.input("a", 8);
+        let b = ctx.input("b", 4);
+        let _ = ctx.add(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn extract_out_of_range_panics() {
+        let mut ctx = Context::new();
+        let a = ctx.input("a", 8);
+        let _ = ctx.extract(a, 8, 0);
+    }
+
+    #[test]
+    fn double_negation_cancels() {
+        let mut ctx = Context::new();
+        let a = ctx.input("a", 8);
+        let n = ctx.not(a);
+        assert_eq!(ctx.not(n), a);
+    }
+
+    #[test]
+    fn operands_cover_every_op() {
+        let mut ctx = Context::new();
+        let a = ctx.input("a", 4);
+        let b = ctx.input("b", 4);
+        let c = ctx.input("c", 1);
+        let terms = vec![
+            ctx.not(a),
+            ctx.neg(a),
+            ctx.and(a, b),
+            ctx.or(a, b),
+            ctx.xor(a, b),
+            ctx.add(a, b),
+            ctx.sub(a, b),
+            ctx.mul(a, b),
+            ctx.eq(a, b),
+            ctx.ult(a, b),
+            ctx.slt(a, b),
+            ctx.ite(c, a, b),
+            ctx.concat(a, b),
+            ctx.extract(a, 2, 1),
+            ctx.zext(a, 8),
+            ctx.sext(a, 8),
+            ctx.shl(a, b),
+            ctx.lshr(a, b),
+            ctx.redor(a),
+            ctx.redand(a),
+        ];
+        for t in terms {
+            let ops = ctx.operands(t);
+            assert!(!ops.is_empty(), "{:?} has operands", ctx.op(t));
+            for o in ops {
+                assert!(o.index() < ctx.num_terms());
+            }
+        }
+        assert!(ctx.operands(a).is_empty());
+    }
+
+    #[test]
+    fn var_registries_are_consistent() {
+        let mut ctx = Context::new();
+        let a = ctx.input("a", 4);
+        let s = ctx.state("s", 9);
+        assert_eq!(ctx.inputs().len(), 1);
+        assert_eq!(ctx.states().len(), 1);
+        assert_eq!(ctx.input_info(0).term, a);
+        assert_eq!(ctx.input_info(0).width, 4);
+        assert_eq!(ctx.state_info(0).term, s);
+        assert_eq!(ctx.state_info(0).name, "s");
+    }
+
+    #[test]
+    fn wide_128_bit_arithmetic_folds() {
+        let mut ctx = Context::new();
+        let max = ctx.ones(128);
+        let one = ctx.constant(1, 128);
+        let sum = ctx.add(max, one);
+        assert_eq!(ctx.as_const(sum), Some(0)); // wraps at 128 bits
+        let m = ctx.mul(max, max);
+        assert_eq!(ctx.as_const(m), Some(1)); // (-1)² mod 2¹²⁸
+    }
+
+    #[test]
+    fn redand_redor_folding() {
+        let mut ctx = Context::new();
+        let all = ctx.ones(4);
+        let nz = ctx.constant(2, 4);
+        let z = ctx.zero(4);
+        let ra = ctx.redand(all);
+        assert_eq!(ctx.as_const(ra), Some(1));
+        let ro = ctx.redor(nz);
+        assert_eq!(ctx.as_const(ro), Some(1));
+        let rz = ctx.redor(z);
+        assert_eq!(ctx.as_const(rz), Some(0));
+    }
+}

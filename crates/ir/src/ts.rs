@@ -1,0 +1,483 @@
+//! Sequential transition systems and their instantiation (duplication).
+//!
+//! A [`TransitionSystem`] is the word-level analogue of an RTL module:
+//! state variables with reset values and next-state functions, primary
+//! inputs, environment constraints (assumptions that hold every cycle),
+//! named outputs, and `bad` properties (safety properties in negated form,
+//! as in BTOR2/AIGER).
+//!
+//! [`TransitionSystem::instantiate`] re-builds a system with **fresh state
+//! variables** and a caller-controlled mapping of its inputs — the
+//! mechanism behind the G-QED dual-copy miter, where two instances of the
+//! design share transaction *payloads* but receive independent *schedules*.
+
+use crate::term::{Context, Op, TermId};
+use std::collections::HashMap;
+
+/// A state variable with its reset value and next-state function.
+#[derive(Clone, Copy, Debug)]
+pub struct StateDef {
+    /// The state variable term (must be `Op::State`).
+    pub term: TermId,
+    /// Reset value (a constant term); `None` means nondeterministic.
+    pub init: Option<TermId>,
+    /// Next-state function evaluated over current states and inputs.
+    pub next: TermId,
+}
+
+/// A safety property in `bad` form: reaching a cycle where `term != 0` is a
+/// violation.
+#[derive(Clone, Debug)]
+pub struct Bad {
+    /// Property name for reports.
+    pub name: String,
+    /// Width-1 term; nonzero means violated.
+    pub term: TermId,
+}
+
+/// A sequential design: the word-level analogue of an RTL module.
+#[derive(Clone, Debug, Default)]
+pub struct TransitionSystem {
+    /// Design name.
+    pub name: String,
+    /// Primary inputs (terms of `Op::Input`).
+    pub inputs: Vec<TermId>,
+    /// State variables.
+    pub states: Vec<StateDef>,
+    /// Width-1 environment assumptions; the checker only considers
+    /// executions where every constraint holds every cycle.
+    pub constraints: Vec<TermId>,
+    /// Safety properties in `bad` form.
+    pub bads: Vec<Bad>,
+    /// Named observable signals.
+    pub outputs: Vec<(String, TermId)>,
+}
+
+impl TransitionSystem {
+    /// Creates an empty system with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        TransitionSystem {
+            name: name.into(),
+            ..Default::default()
+        }
+    }
+
+    /// Adds a state with its init and next expressions.
+    pub fn add_state(&mut self, term: TermId, init: Option<TermId>, next: TermId) {
+        self.states.push(StateDef { term, init, next });
+    }
+
+    /// Adds a `bad` property.
+    pub fn add_bad(&mut self, name: impl Into<String>, term: TermId) {
+        self.bads.push(Bad {
+            name: name.into(),
+            term,
+        });
+    }
+
+    /// Looks up an output term by name.
+    pub fn output(&self, name: &str) -> Option<TermId> {
+        self.outputs
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, t)| t)
+    }
+
+    /// Total state width in bits (the "flip-flop count" design metric).
+    pub fn state_bits(&self, ctx: &Context) -> u32 {
+        self.states.iter().map(|s| ctx.width(s.term)).sum()
+    }
+
+    /// Every term reachable from the system's roots (next functions,
+    /// constraints, bads, outputs), for metrics and traversals.
+    pub fn roots(&self) -> Vec<TermId> {
+        let mut r: Vec<TermId> = Vec::new();
+        r.extend(self.states.iter().map(|s| s.next));
+        r.extend(self.states.iter().filter_map(|s| s.init));
+        r.extend(self.constraints.iter().copied());
+        r.extend(self.bads.iter().map(|b| b.term));
+        r.extend(self.outputs.iter().map(|(_, t)| *t));
+        r
+    }
+
+    /// Cone-of-influence reduction: returns a system containing only the
+    /// states whose values can affect a `bad` property or an environment
+    /// constraint (the classic model-checking preprocessing pass).
+    ///
+    /// Outputs are kept only when their whole support survives, so the
+    /// reduced system still simulates cleanly; inputs are kept only when
+    /// still referenced. Verdicts of any (un)bounded check are unchanged
+    /// because dropped states, by construction, cannot reach a property.
+    pub fn cone_of_influence(&self, ctx: &Context) -> TransitionSystem {
+        // Support of a term: the input/state variables it reads.
+        let support = |roots: &[TermId]| -> std::collections::HashSet<TermId> {
+            let mut seen: std::collections::HashSet<TermId> = std::collections::HashSet::new();
+            let mut vars = std::collections::HashSet::new();
+            let mut stack: Vec<TermId> = roots.to_vec();
+            while let Some(t) = stack.pop() {
+                if !seen.insert(t) {
+                    continue;
+                }
+                match ctx.op(t) {
+                    Op::Input(_) | Op::State(_) => {
+                        vars.insert(t);
+                    }
+                    _ => stack.extend(ctx.operands(t)),
+                }
+            }
+            vars
+        };
+
+        // Fixpoint: start from the properties' support, absorb the support
+        // of every kept state's next function.
+        let mut roots: Vec<TermId> = self.bads.iter().map(|b| b.term).collect();
+        roots.extend(self.constraints.iter().copied());
+        let mut kept = support(&roots);
+        loop {
+            let mut grew = false;
+            for s in &self.states {
+                if kept.contains(&s.term) {
+                    for v in support(&[s.next]) {
+                        grew |= kept.insert(v);
+                    }
+                }
+            }
+            if !grew {
+                break;
+            }
+        }
+
+        let mut out = TransitionSystem::new(self.name.clone());
+        out.inputs = self
+            .inputs
+            .iter()
+            .copied()
+            .filter(|i| kept.contains(i))
+            .collect();
+        out.states = self
+            .states
+            .iter()
+            .copied()
+            .filter(|s| kept.contains(&s.term))
+            .collect();
+        out.constraints = self.constraints.clone();
+        out.bads = self.bads.clone();
+        out.outputs = self
+            .outputs
+            .iter()
+            .filter(|(_, t)| support(&[*t]).iter().all(|v| kept.contains(v)))
+            .cloned()
+            .collect();
+        out
+    }
+
+    /// Re-instantiates this system inside the same context with **fresh
+    /// state variables** (named `"{prefix}.{orig}"`).
+    ///
+    /// Input handling: inputs present in `input_map` are substituted by the
+    /// mapped term (which may be any term of equal width — e.g. a shared
+    /// payload input or a monitor signal); all other inputs are replaced by
+    /// fresh inputs named `"{prefix}.{orig}"`.
+    ///
+    /// Returns the new system plus the complete old→new term substitution,
+    /// so callers can translate *any* internal signal (e.g. an
+    /// architectural-state projection) into the new instance.
+    pub fn instantiate(
+        &self,
+        ctx: &mut Context,
+        prefix: &str,
+        input_map: &HashMap<TermId, TermId>,
+    ) -> (TransitionSystem, HashMap<TermId, TermId>) {
+        let mut map: HashMap<TermId, TermId> = HashMap::new();
+        // Fresh states.
+        for s in &self.states {
+            let name = format!("{prefix}.{}", ctx.var_name(s.term).unwrap_or("state"));
+            let w = ctx.width(s.term);
+            let fresh = ctx.state(name, w);
+            map.insert(s.term, fresh);
+        }
+        // Inputs: mapped or fresh.
+        for &i in &self.inputs {
+            let new = match input_map.get(&i) {
+                Some(&t) => {
+                    assert_eq!(
+                        ctx.width(t),
+                        ctx.width(i),
+                        "input_map width mismatch for '{}'",
+                        ctx.var_name(i).unwrap_or("?")
+                    );
+                    t
+                }
+                None => {
+                    let name = format!("{prefix}.{}", ctx.var_name(i).unwrap_or("input"));
+                    let w = ctx.width(i);
+                    ctx.input(name, w)
+                }
+            };
+            map.insert(i, new);
+        }
+        // Rebuild every root bottom-up under the substitution.
+        let roots = self.roots();
+        substitute_all(ctx, &roots, &mut map);
+
+        let mut out = TransitionSystem::new(format!("{prefix}.{}", self.name));
+        out.inputs = self.inputs.iter().map(|i| map[i]).collect();
+        for s in &self.states {
+            out.add_state(map[&s.term], s.init.map(|t| map[&t]), map[&s.next]);
+        }
+        out.constraints = self.constraints.iter().map(|c| map[c]).collect();
+        for b in &self.bads {
+            out.add_bad(format!("{prefix}.{}", b.name), map[&b.term]);
+        }
+        out.outputs = self
+            .outputs
+            .iter()
+            .map(|(n, t)| (format!("{prefix}.{n}"), map[t]))
+            .collect();
+        (out, map)
+    }
+}
+
+/// Extends `map` so that every term reachable from `roots` has an image,
+/// rebuilding non-leaf terms bottom-up. Leaves (inputs/states) must already
+/// be mapped or are mapped to themselves.
+pub fn substitute_all(ctx: &mut Context, roots: &[TermId], map: &mut HashMap<TermId, TermId>) {
+    for &root in roots {
+        let mut stack: Vec<(TermId, bool)> = vec![(root, false)];
+        while let Some((t, expanded)) = stack.pop() {
+            if map.contains_key(&t) {
+                continue;
+            }
+            if !expanded {
+                stack.push((t, true));
+                for o in ctx.operands(t) {
+                    if !map.contains_key(&o) {
+                        stack.push((o, false));
+                    }
+                }
+                continue;
+            }
+            let new = rebuild(ctx, t, map);
+            map.insert(t, new);
+        }
+    }
+}
+
+fn rebuild(ctx: &mut Context, t: TermId, map: &HashMap<TermId, TermId>) -> TermId {
+    let w = ctx.width(t);
+    match ctx.op(t) {
+        // Unmapped leaves map to themselves.
+        Op::Const(_) | Op::Input(_) | Op::State(_) => t,
+        Op::Not(a) => {
+            let a = map[&a];
+            ctx.not(a)
+        }
+        Op::Neg(a) => {
+            let a = map[&a];
+            ctx.neg(a)
+        }
+        Op::And(a, b) => {
+            let (a, b) = (map[&a], map[&b]);
+            ctx.and(a, b)
+        }
+        Op::Or(a, b) => {
+            let (a, b) = (map[&a], map[&b]);
+            ctx.or(a, b)
+        }
+        Op::Xor(a, b) => {
+            let (a, b) = (map[&a], map[&b]);
+            ctx.xor(a, b)
+        }
+        Op::Add(a, b) => {
+            let (a, b) = (map[&a], map[&b]);
+            ctx.add(a, b)
+        }
+        Op::Sub(a, b) => {
+            let (a, b) = (map[&a], map[&b]);
+            ctx.sub(a, b)
+        }
+        Op::Mul(a, b) => {
+            let (a, b) = (map[&a], map[&b]);
+            ctx.mul(a, b)
+        }
+        Op::Eq(a, b) => {
+            let (a, b) = (map[&a], map[&b]);
+            ctx.eq(a, b)
+        }
+        Op::Ult(a, b) => {
+            let (a, b) = (map[&a], map[&b]);
+            ctx.ult(a, b)
+        }
+        Op::Slt(a, b) => {
+            let (a, b) = (map[&a], map[&b]);
+            ctx.slt(a, b)
+        }
+        Op::Ite(c, x, y) => {
+            let (c, x, y) = (map[&c], map[&x], map[&y]);
+            ctx.ite(c, x, y)
+        }
+        Op::Concat(hi, lo) => {
+            let (hi, lo) = (map[&hi], map[&lo]);
+            ctx.concat(hi, lo)
+        }
+        Op::Extract(a, hi, lo) => {
+            let a = map[&a];
+            ctx.extract(a, hi, lo)
+        }
+        Op::Zext(a) => {
+            let a = map[&a];
+            ctx.zext(a, w)
+        }
+        Op::Sext(a) => {
+            let a = map[&a];
+            ctx.sext(a, w)
+        }
+        Op::Shl(a, s) => {
+            let (a, s) = (map[&a], map[&s]);
+            ctx.shl(a, s)
+        }
+        Op::Lshr(a, s) => {
+            let (a, s) = (map[&a], map[&s]);
+            ctx.lshr(a, s)
+        }
+        Op::Redor(a) => {
+            let a = map[&a];
+            ctx.redor(a)
+        }
+        Op::Redand(a) => {
+            let a = map[&a];
+            ctx.redand(a)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::Sim;
+
+    fn accumulator(ctx: &mut Context) -> TransitionSystem {
+        // acc' = acc + in when en.
+        let en = ctx.input("en", 1);
+        let din = ctx.input("din", 8);
+        let acc = ctx.state("acc", 8);
+        let sum = ctx.add(acc, din);
+        let next = ctx.ite(en, sum, acc);
+        let zero = ctx.zero(8);
+        let mut ts = TransitionSystem::new("accum");
+        ts.inputs = vec![en, din];
+        ts.add_state(acc, Some(zero), next);
+        ts.outputs.push(("acc".into(), acc));
+        ts
+    }
+
+    #[test]
+    fn instantiate_creates_fresh_state() {
+        let mut ctx = Context::new();
+        let ts = accumulator(&mut ctx);
+        let (copy, map) = ts.instantiate(&mut ctx, "c1", &HashMap::new());
+        assert_ne!(copy.states[0].term, ts.states[0].term);
+        assert_ne!(copy.inputs[0], ts.inputs[0]);
+        assert_eq!(ctx.var_name(copy.states[0].term), Some("c1.acc"));
+        assert_eq!(map[&ts.states[0].term], copy.states[0].term);
+    }
+
+    #[test]
+    fn instantiate_with_shared_inputs_behaves_identically() {
+        let mut ctx = Context::new();
+        let ts = accumulator(&mut ctx);
+        // Share both inputs: the two copies must then evolve in lockstep.
+        let mut imap = HashMap::new();
+        imap.insert(ts.inputs[0], ts.inputs[0]);
+        imap.insert(ts.inputs[1], ts.inputs[1]);
+        let (copy, _) = ts.instantiate(&mut ctx, "c1", &imap);
+
+        // Combine into one system and simulate.
+        let mut both = TransitionSystem::new("both");
+        both.inputs = ts.inputs.clone();
+        both.states = ts.states.iter().chain(&copy.states).copied().collect();
+        both.outputs = vec![
+            ("a".into(), ts.states[0].term),
+            ("b".into(), copy.states[0].term),
+        ];
+        let mut sim = Sim::new(&ctx, &both);
+        let mut inp = HashMap::new();
+        inp.insert(ts.inputs[0], 1u128);
+        for d in [3u128, 7, 250, 9] {
+            inp.insert(ts.inputs[1], d);
+            let r = sim.step(&inp);
+            assert_eq!(r.outputs[0], r.outputs[1]);
+        }
+    }
+
+    #[test]
+    fn instantiate_rejects_width_mismatch() {
+        let mut ctx = Context::new();
+        let ts = accumulator(&mut ctx);
+        let wrong = ctx.input("wrong", 4);
+        let mut imap = HashMap::new();
+        imap.insert(ts.inputs[1], wrong);
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            ts.instantiate(&mut ctx, "c1", &imap)
+        }));
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn cone_of_influence_prunes_unrelated_state() {
+        let mut ctx = Context::new();
+        let ts0 = accumulator(&mut ctx);
+        let mut ts = ts0.clone();
+        // An unrelated free-running counter, not feeding any property.
+        let junk = ctx.state("junk", 8);
+        let jn = ctx.inc(junk);
+        let z = ctx.zero(8);
+        ts.add_state(junk, Some(z), jn);
+        // Property over the accumulator only.
+        let c9 = ctx.constant(9, 8);
+        let hit = ctx.eq(ts.states[0].term, c9);
+        ts.add_bad("reach9", hit);
+        ts.outputs.push(("junk".into(), junk));
+
+        let reduced = ts.cone_of_influence(&ctx);
+        assert_eq!(reduced.states.len(), 1, "junk state must be pruned");
+        assert_eq!(reduced.states[0].term, ts.states[0].term);
+        // The junk-referencing output is dropped; the acc output survives.
+        assert!(reduced.output("junk").is_none());
+        assert!(reduced.output("acc").is_some());
+        assert_eq!(reduced.bads.len(), 1);
+    }
+
+    #[test]
+    fn cone_of_influence_keeps_transitive_dependencies() {
+        let mut ctx = Context::new();
+        // b feeds a; property reads a only — both must be kept.
+        let a = ctx.state("a", 4);
+        let b = ctx.state("b", 4);
+        let z = ctx.zero(4);
+        let bn = ctx.inc(b);
+        let mut ts = TransitionSystem::new("chain");
+        ts.add_state(a, Some(z), b);
+        ts.add_state(b, Some(z), bn);
+        let c3 = ctx.constant(3, 4);
+        let hit = ctx.eq(a, c3);
+        ts.add_bad("a3", hit);
+        let reduced = ts.cone_of_influence(&ctx);
+        assert_eq!(reduced.states.len(), 2);
+    }
+
+    #[test]
+    fn state_bits_counts_widths() {
+        let mut ctx = Context::new();
+        let ts = accumulator(&mut ctx);
+        assert_eq!(ts.state_bits(&ctx), 8);
+    }
+
+    #[test]
+    fn output_lookup_by_name() {
+        let mut ctx = Context::new();
+        let ts = accumulator(&mut ctx);
+        assert!(ts.output("acc").is_some());
+        assert!(ts.output("nope").is_none());
+    }
+}

@@ -1,0 +1,206 @@
+//! Minimal Value Change Dump (IEEE 1364) writer.
+//!
+//! Counterexample traces from the BMC engine can be exported for viewing
+//! in GTKWave or any other standard waveform viewer — the debugging
+//! workflow the QED papers emphasize ("short counterexamples for easy
+//! debug") depends on traces being easy to inspect.
+
+use std::fmt::Write as _;
+
+/// A named signal in the dump.
+#[derive(Clone, Debug)]
+pub struct VcdSignal {
+    /// Signal name (dots are rendered as scopes by most viewers).
+    pub name: String,
+    /// Width in bits.
+    pub width: u32,
+}
+
+/// Builder for a VCD file: declare signals, append one value row per
+/// cycle, render to a string.
+///
+/// # Examples
+///
+/// ```
+/// use gqed_ir::vcd::{Vcd, VcdSignal};
+///
+/// let mut vcd = Vcd::new("gqed", 1);
+/// vcd.add_signal(VcdSignal { name: "clk_count".into(), width: 8 });
+/// vcd.add_cycle(&[3]);
+/// vcd.add_cycle(&[4]);
+/// let text = vcd.render();
+/// assert!(text.contains("$var wire 8"));
+/// ```
+#[derive(Clone, Debug)]
+pub struct Vcd {
+    module: String,
+    timescale_ns: u32,
+    signals: Vec<VcdSignal>,
+    rows: Vec<Vec<u128>>,
+}
+
+impl Vcd {
+    /// Creates an empty dump for module `module` with the given timescale
+    /// in nanoseconds per cycle.
+    pub fn new(module: impl Into<String>, timescale_ns: u32) -> Self {
+        Vcd {
+            module: module.into(),
+            timescale_ns,
+            signals: Vec::new(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Declares a signal. All signals must be declared before the first
+    /// cycle row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if rows were already added.
+    pub fn add_signal(&mut self, sig: VcdSignal) {
+        assert!(self.rows.is_empty(), "declare signals before adding rows");
+        self.signals.push(sig);
+    }
+
+    /// Appends one cycle of values, in signal declaration order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row length does not match the signal count.
+    pub fn add_cycle(&mut self, values: &[u128]) {
+        assert_eq!(values.len(), self.signals.len(), "row length mismatch");
+        self.rows.push(values.to_vec());
+    }
+
+    fn ident(i: usize) -> String {
+        // Printable VCD identifier from index (base-94 over '!'..='~').
+        let mut s = String::new();
+        let mut i = i;
+        loop {
+            s.push((b'!' + (i % 94) as u8) as char);
+            i /= 94;
+            if i == 0 {
+                break;
+            }
+        }
+        s
+    }
+
+    /// Renders the dump as VCD text.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "$timescale {}ns $end", self.timescale_ns);
+        let _ = writeln!(out, "$scope module {} $end", self.module);
+        for (i, s) in self.signals.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "$var wire {} {} {} $end",
+                s.width,
+                Self::ident(i),
+                s.name
+            );
+        }
+        let _ = writeln!(out, "$upscope $end");
+        let _ = writeln!(out, "$enddefinitions $end");
+        let mut last: Vec<Option<u128>> = vec![None; self.signals.len()];
+        for (t, row) in self.rows.iter().enumerate() {
+            let _ = writeln!(out, "#{t}");
+            for (i, (&v, s)) in row.iter().zip(&self.signals).enumerate() {
+                if last[i] == Some(v) {
+                    continue;
+                }
+                last[i] = Some(v);
+                if s.width == 1 {
+                    let _ = writeln!(out, "{}{}", v & 1, Self::ident(i));
+                } else {
+                    let bits: String = (0..s.width)
+                        .rev()
+                        .map(|b| if v >> b & 1 != 0 { '1' } else { '0' })
+                        .collect();
+                    let _ = writeln!(out, "b{} {}", bits, Self::ident(i));
+                }
+            }
+        }
+        let _ = writeln!(out, "#{}", self.rows.len());
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_header_and_values() {
+        let mut vcd = Vcd::new("top", 1);
+        vcd.add_signal(VcdSignal {
+            name: "a".into(),
+            width: 1,
+        });
+        vcd.add_signal(VcdSignal {
+            name: "bus".into(),
+            width: 4,
+        });
+        vcd.add_cycle(&[1, 0xa]);
+        vcd.add_cycle(&[0, 0xa]);
+        let s = vcd.render();
+        assert!(s.contains("$var wire 1 ! a $end"));
+        assert!(s.contains("$var wire 4 \" bus $end"));
+        assert!(s.contains("b1010 \""));
+        assert!(s.contains("#0"));
+        assert!(s.contains("#1"));
+    }
+
+    #[test]
+    fn unchanged_values_not_re_emitted() {
+        let mut vcd = Vcd::new("top", 1);
+        vcd.add_signal(VcdSignal {
+            name: "x".into(),
+            width: 8,
+        });
+        vcd.add_cycle(&[5]);
+        vcd.add_cycle(&[5]);
+        vcd.add_cycle(&[6]);
+        let s = vcd.render();
+        assert_eq!(s.matches("b00000101").count(), 1);
+        assert_eq!(s.matches("b00000110").count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "row length")]
+    fn row_length_checked() {
+        let mut vcd = Vcd::new("top", 1);
+        vcd.add_signal(VcdSignal {
+            name: "x".into(),
+            width: 8,
+        });
+        vcd.add_cycle(&[1, 2]);
+    }
+
+    #[test]
+    fn wide_signals_render_all_bits() {
+        let mut vcd = Vcd::new("top", 1);
+        vcd.add_signal(VcdSignal {
+            name: "wide".into(),
+            width: 100,
+        });
+        vcd.add_cycle(&[(1u128 << 99) | 1]);
+        let s = vcd.render();
+        let line = s
+            .lines()
+            .find(|l| l.starts_with('b'))
+            .expect("vector value line");
+        // 100 bits: leading 1, 98 zeros, trailing 1.
+        assert!(line.starts_with(&format!("b1{}1 ", "0".repeat(98))));
+    }
+
+    #[test]
+    fn identifiers_are_unique_and_printable() {
+        let ids: Vec<String> = (0..300).map(Vcd::ident).collect();
+        let unique: std::collections::HashSet<_> = ids.iter().collect();
+        assert_eq!(unique.len(), ids.len());
+        for id in &ids {
+            assert!(id.chars().all(|c| ('!'..='~').contains(&c)));
+        }
+    }
+}

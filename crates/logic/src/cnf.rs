@@ -1,0 +1,155 @@
+//! Clause database in DIMACS conventions.
+//!
+//! Literals are non-zero `i32`s: variable `v ≥ 1` appears positively as `v`
+//! and negatively as `-v`. This is the lingua franca between the
+//! bit-blaster, the Tseitin encoder and the SAT solver, and can be dumped
+//! directly in DIMACS format for cross-checking with external solvers.
+
+use std::fmt::Write as _;
+
+/// A CNF formula: a set of clauses over variables `1..=num_vars`.
+///
+/// # Examples
+///
+/// ```
+/// use gqed_logic::cnf::Cnf;
+///
+/// let mut cnf = Cnf::new();
+/// let a = cnf.fresh_var();
+/// let b = cnf.fresh_var();
+/// cnf.add_clause(&[a, b]);
+/// cnf.add_clause(&[-a]);
+/// assert_eq!(cnf.num_vars(), 2);
+/// assert_eq!(cnf.num_clauses(), 2);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Cnf {
+    num_vars: u32,
+    clauses: Vec<Vec<i32>>,
+}
+
+impl Cnf {
+    /// Creates an empty formula with no variables.
+    pub fn new() -> Self {
+        Cnf::default()
+    }
+
+    /// Number of allocated variables.
+    pub fn num_vars(&self) -> u32 {
+        self.num_vars
+    }
+
+    /// Number of clauses.
+    pub fn num_clauses(&self) -> usize {
+        self.clauses.len()
+    }
+
+    /// Allocates a fresh variable and returns its positive literal.
+    pub fn fresh_var(&mut self) -> i32 {
+        self.num_vars += 1;
+        self.num_vars as i32
+    }
+
+    /// Adds a clause. Literals must be non-zero and reference allocated
+    /// variables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a literal is zero or references an unallocated variable.
+    pub fn add_clause(&mut self, lits: &[i32]) {
+        for &l in lits {
+            assert!(l != 0, "literal 0 is not allowed");
+            assert!(
+                l.unsigned_abs() <= self.num_vars,
+                "literal {l} references unallocated variable (num_vars = {})",
+                self.num_vars
+            );
+        }
+        self.clauses.push(lits.to_vec());
+    }
+
+    /// Iterates over the clauses.
+    pub fn clauses(&self) -> impl Iterator<Item = &[i32]> {
+        self.clauses.iter().map(Vec::as_slice)
+    }
+
+    /// Evaluates the formula under a complete assignment
+    /// (`assignment[v - 1]` is the value of variable `v`).
+    pub fn eval(&self, assignment: &[bool]) -> bool {
+        self.clauses.iter().all(|c| {
+            c.iter().any(|&l| {
+                let v = assignment[(l.unsigned_abs() - 1) as usize];
+                if l > 0 {
+                    v
+                } else {
+                    !v
+                }
+            })
+        })
+    }
+
+    /// Renders the formula in DIMACS CNF format.
+    pub fn to_dimacs(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "p cnf {} {}", self.num_vars, self.clauses.len());
+        for c in &self.clauses {
+            for &l in c {
+                let _ = write!(out, "{l} ");
+            }
+            let _ = writeln!(out, "0");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_vars_are_sequential() {
+        let mut cnf = Cnf::new();
+        assert_eq!(cnf.fresh_var(), 1);
+        assert_eq!(cnf.fresh_var(), 2);
+        assert_eq!(cnf.fresh_var(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "unallocated")]
+    fn rejects_unallocated_variable() {
+        let mut cnf = Cnf::new();
+        cnf.add_clause(&[1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "literal 0")]
+    fn rejects_zero_literal() {
+        let mut cnf = Cnf::new();
+        let _ = cnf.fresh_var();
+        cnf.add_clause(&[0]);
+    }
+
+    #[test]
+    fn eval_checks_all_clauses() {
+        let mut cnf = Cnf::new();
+        let a = cnf.fresh_var();
+        let b = cnf.fresh_var();
+        cnf.add_clause(&[a, b]);
+        cnf.add_clause(&[-a, b]);
+        assert!(cnf.eval(&[true, true]));
+        assert!(cnf.eval(&[false, true]));
+        assert!(!cnf.eval(&[true, false]));
+        assert!(!cnf.eval(&[false, false]));
+    }
+
+    #[test]
+    fn dimacs_round_shape() {
+        let mut cnf = Cnf::new();
+        let a = cnf.fresh_var();
+        let b = cnf.fresh_var();
+        cnf.add_clause(&[a, -b]);
+        let s = cnf.to_dimacs();
+        assert!(s.starts_with("p cnf 2 1\n"));
+        assert!(s.contains("1 -2 0"));
+    }
+}

@@ -1,0 +1,27 @@
+//! Bit-level logic substrate for the G-QED verification stack.
+//!
+//! This crate provides the three bit-level artifacts every SAT-based
+//! model-checking flow needs:
+//!
+//! * [`aig`] — an And-Inverter Graph with structural hashing and constant
+//!   folding. Word-level designs are bit-blasted (in `gqed-ir`) into an
+//!   [`aig::Aig`], which doubles as the gate-count metric used in the
+//!   evaluation tables.
+//! * [`cnf`] — a clause database in DIMACS conventions (`i32` literals,
+//!   variable `v` ↦ literals `v` / `-v`), writable to a `.cnf` file.
+//! * [`tseitin`] — the Tseitin transformation from an AIG cone to CNF.
+//!
+//! The crate is dependency-free and independent of the SAT solver: the
+//! solver (`gqed-sat`) consumes DIMACS-style clauses, so either side can be
+//! swapped out.
+
+#![warn(missing_docs)]
+pub mod aig;
+pub mod aiger;
+pub mod cnf;
+pub mod tseitin;
+
+pub use aig::{Aig, AigLit};
+pub use aiger::to_aiger;
+pub use cnf::Cnf;
+pub use tseitin::Tseitin;

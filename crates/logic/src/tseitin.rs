@@ -1,0 +1,279 @@
+//! Tseitin transformation from AIG cones to CNF.
+//!
+//! The encoder is *incremental*: it keeps a node → CNF-variable map and
+//! encodes only the not-yet-encoded part of the fanin cone each time a new
+//! root literal is requested. This is what the BMC engine relies on when it
+//! extends an unrolling frame by frame against a single growing solver
+//! instance.
+
+use crate::aig::{Aig, AigLit};
+use crate::cnf::Cnf;
+
+/// Incremental Tseitin encoder.
+///
+/// # Examples
+///
+/// ```
+/// use gqed_logic::{Aig, Cnf, Tseitin};
+///
+/// let mut g = Aig::new();
+/// let a = g.input();
+/// let b = g.input();
+/// let y = g.and(a, b);
+///
+/// let mut cnf = Cnf::new();
+/// let mut enc = Tseitin::new();
+/// let ylit = enc.lit(&g, &mut cnf, y);
+/// cnf.add_clause(&[ylit]); // assert y
+/// // The only model has both inputs true.
+/// let va = enc.lit(&g, &mut cnf, a);
+/// let vb = enc.lit(&g, &mut cnf, b);
+/// assert!(va > 0 && vb > 0);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Tseitin {
+    /// node index → CNF variable (positive literal), if encoded.
+    map: Vec<Option<i32>>,
+    /// Variable asserted true (for the constant node), if allocated.
+    true_var: Option<i32>,
+}
+
+impl Tseitin {
+    /// Creates an encoder with an empty map.
+    pub fn new() -> Self {
+        Tseitin::default()
+    }
+
+    /// Returns the CNF variable already assigned to `lit`'s node, if any.
+    pub fn existing_var(&self, lit: AigLit) -> Option<i32> {
+        self.map
+            .get(lit.node() as usize)
+            .copied()
+            .flatten()
+            .map(|v| if lit.is_complement() { -v } else { v })
+    }
+
+    /// Encodes the cone of `lit` into `cnf` (reusing prior work) and
+    /// returns the DIMACS literal equisatisfiable with `lit`.
+    pub fn lit(&mut self, aig: &Aig, cnf: &mut Cnf, lit: AigLit) -> i32 {
+        let v = self.node_var(aig, cnf, lit.node());
+        if lit.is_complement() {
+            -v
+        } else {
+            v
+        }
+    }
+
+    fn node_var(&mut self, aig: &Aig, cnf: &mut Cnf, root: u32) -> i32 {
+        if let Some(Some(v)) = self.map.get(root as usize) {
+            return *v;
+        }
+        if self.map.len() < aig.len() {
+            self.map.resize(aig.len(), None);
+        }
+        // Iterative post-order over the unencoded cone.
+        let mut stack: Vec<(u32, bool)> = vec![(root, false)];
+        while let Some((n, expanded)) = stack.pop() {
+            if self.map[n as usize].is_some() {
+                continue;
+            }
+            if n == 0 {
+                // Constant node: allocate (once) a variable asserted true.
+                let tv = *self.true_var.get_or_insert_with(|| {
+                    let v = cnf.fresh_var();
+                    cnf.add_clause(&[v]);
+                    v
+                });
+                // Node 0 is constant FALSE, so its variable is ¬true_var.
+                // We must store a *variable*, so allocate a dedicated one
+                // tied to false instead of reusing -tv.
+                let fv = cnf.fresh_var();
+                cnf.add_clause(&[-fv]);
+                let _ = tv; // true_var retained for potential reuse
+                self.map[0] = Some(fv);
+                continue;
+            }
+            match aig.and_fanins(n) {
+                None => {
+                    // Primary input: a free variable.
+                    let v = cnf.fresh_var();
+                    self.map[n as usize] = Some(v);
+                }
+                Some((a, b)) => {
+                    if expanded {
+                        let va = self.map[a.node() as usize].expect("fanin encoded");
+                        let vb = self.map[b.node() as usize].expect("fanin encoded");
+                        let la = if a.is_complement() { -va } else { va };
+                        let lb = if b.is_complement() { -vb } else { vb };
+                        let v = cnf.fresh_var();
+                        // v ↔ (la ∧ lb)
+                        cnf.add_clause(&[-v, la]);
+                        cnf.add_clause(&[-v, lb]);
+                        cnf.add_clause(&[v, -la, -lb]);
+                        self.map[n as usize] = Some(v);
+                    } else {
+                        stack.push((n, true));
+                        if self.map[a.node() as usize].is_none() {
+                            stack.push((a.node(), false));
+                        }
+                        if self.map[b.node() as usize].is_none() {
+                            stack.push((b.node(), false));
+                        }
+                    }
+                }
+            }
+        }
+        self.map[root as usize].expect("root encoded")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Exhaustively checks that the Tseitin encoding of `lit` is
+    /// equisatisfiable and equivalent on the projected input variables.
+    fn check_equivalence(aig: &Aig, lit: AigLit) {
+        let n = aig.num_inputs();
+        assert!(n <= 16, "exhaustive check limited to 16 inputs");
+        let mut cnf = Cnf::new();
+        let mut enc = Tseitin::new();
+        let out = enc.lit(aig, &mut cnf, lit);
+        // Encode every input so each has a CNF variable (inputs outside the
+        // cone get fresh unconstrained vars — harmless).
+        let input_vars: Vec<i32> = (0..n)
+            .map(|ord| enc.lit(aig, &mut cnf, aig.input_lit(ord)))
+            .collect();
+        // Brute force over all assignments.
+        for m in 0..(1u32 << n) {
+            let inputs: Vec<bool> = (0..n).map(|i| m >> i & 1 != 0).collect();
+            let expect = aig.eval(lit, &inputs);
+            // The CNF must have a model with these inputs and out = expect,
+            // and no model with out = !expect.
+            assert!(
+                cnf_sat_with(&cnf, &input_vars, &inputs, out, expect),
+                "missing model for inputs {inputs:?}"
+            );
+            assert!(
+                !cnf_sat_with(&cnf, &input_vars, &inputs, out, !expect),
+                "spurious model for inputs {inputs:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn encodes_and_gate_faithfully() {
+        let mut g = Aig::new();
+        let a = g.input();
+        let b = g.input();
+        let y = g.and(a, b);
+        check_equivalence(&g, y);
+        check_equivalence(&g, y.not());
+    }
+
+    #[test]
+    fn encodes_xor_mux_nest() {
+        let mut g = Aig::new();
+        let a = g.input();
+        let b = g.input();
+        let c = g.input();
+        let x = g.xor(a, b);
+        let y = g.mux(c, x, a);
+        check_equivalence(&g, y);
+    }
+
+    #[test]
+    fn encodes_constants() {
+        let g = Aig::new();
+        let mut cnf = Cnf::new();
+        let mut enc = Tseitin::new();
+        let t = enc.lit(&g, &mut cnf, AigLit::TRUE);
+        let f = enc.lit(&g, &mut cnf, AigLit::FALSE);
+        assert_eq!(t, -f);
+        // The unit clause forces the constant's polarity.
+        assert!(cnf.num_clauses() >= 1);
+    }
+
+    #[test]
+    fn incremental_reuse_allocates_no_duplicate_vars() {
+        let mut g = Aig::new();
+        let a = g.input();
+        let b = g.input();
+        let y = g.and(a, b);
+        let mut cnf = Cnf::new();
+        let mut enc = Tseitin::new();
+        let v1 = enc.lit(&g, &mut cnf, y);
+        let vars_after_first = cnf.num_vars();
+        let v2 = enc.lit(&g, &mut cnf, y);
+        assert_eq!(v1, v2);
+        assert_eq!(cnf.num_vars(), vars_after_first);
+    }
+
+    /// Tiny DPLL used only to validate the encoding in tests.
+    fn cnf_sat_with(
+        cnf: &Cnf,
+        input_vars: &[i32],
+        inputs: &[bool],
+        out: i32,
+        out_val: bool,
+    ) -> bool {
+        let mut clauses: Vec<Vec<i32>> = cnf.clauses().map(|c| c.to_vec()).collect();
+        for (&v, &val) in input_vars.iter().zip(inputs) {
+            clauses.push(vec![if val { v } else { -v }]);
+        }
+        clauses.push(vec![if out_val { out } else { -out }]);
+        dpll(&clauses, &mut vec![0i8; cnf.num_vars() as usize + 1])
+    }
+
+    fn dpll(clauses: &[Vec<i32>], assign: &mut [i8]) -> bool {
+        // Unit propagation.
+        loop {
+            let mut changed = false;
+            for c in clauses {
+                let mut unassigned = None;
+                let mut num_unassigned = 0;
+                let mut satisfied = false;
+                for &l in c {
+                    let v = l.unsigned_abs() as usize;
+                    let s = assign[v];
+                    if s == 0 {
+                        num_unassigned += 1;
+                        unassigned = Some(l);
+                    } else if (s > 0) == (l > 0) {
+                        satisfied = true;
+                        break;
+                    }
+                }
+                if satisfied {
+                    continue;
+                }
+                if num_unassigned == 0 {
+                    return false;
+                }
+                if num_unassigned == 1 {
+                    let l = unassigned.unwrap();
+                    assign[l.unsigned_abs() as usize] = if l > 0 { 1 } else { -1 };
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        // Find an unassigned var.
+        let v = (1..assign.len()).find(|&v| assign[v] == 0);
+        match v {
+            None => true,
+            Some(v) => {
+                for s in [1i8, -1] {
+                    let mut a2 = assign.to_vec();
+                    a2[v] = s;
+                    if dpll(clauses, &mut a2) {
+                        return true;
+                    }
+                }
+                false
+            }
+        }
+    }
+}

@@ -1,0 +1,54 @@
+//! Standalone SAT solver front-end: reads a DIMACS CNF file (or stdin),
+//! prints `SATISFIABLE` with a model line or `UNSATISFIABLE`, using
+//! SAT-competition output conventions. Exit code 10 = SAT, 20 = UNSAT.
+//!
+//! Usage: `gqed-sat [file.cnf]`
+
+use gqed_sat::{solver_from_dimacs, SatResult};
+use std::io::Read as _;
+
+fn main() {
+    let arg = std::env::args().nth(1);
+    let text = match arg {
+        Some(path) => std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            eprintln!("cannot read {path}: {e}");
+            std::process::exit(1);
+        }),
+        None => {
+            let mut buf = String::new();
+            std::io::stdin()
+                .read_to_string(&mut buf)
+                .expect("read stdin");
+            buf
+        }
+    };
+    let mut solver = solver_from_dimacs(&text).unwrap_or_else(|e| {
+        eprintln!("parse error: {e}");
+        std::process::exit(1);
+    });
+    match solver.solve(&[]) {
+        SatResult::Sat => {
+            println!("s SATISFIABLE");
+            let mut line = String::from("v");
+            for v in 1..=solver.num_vars() as i32 {
+                let lit = if solver.value(v) { v } else { -v };
+                line.push_str(&format!(" {lit}"));
+                if line.len() > 70 {
+                    println!("{line}");
+                    line = String::from("v");
+                }
+            }
+            println!("{line} 0");
+            let st = solver.stats();
+            eprintln!(
+                "c {} conflicts, {} decisions, {} propagations",
+                st.conflicts, st.decisions, st.propagations
+            );
+            std::process::exit(10);
+        }
+        SatResult::Unsat => {
+            println!("s UNSATISFIABLE");
+            std::process::exit(20);
+        }
+    }
+}

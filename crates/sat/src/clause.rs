@@ -1,0 +1,159 @@
+//! Clause storage.
+//!
+//! Clauses live in a single arena ([`ClauseDb`]) and are referenced by
+//! stable [`ClauseRef`] indices. Deletion is by tombstone: learnt clauses
+//! removed during database reduction are marked deleted and detached from
+//! the watch lists, but their slots are never reused, so `ClauseRef`s held
+//! as propagation reasons stay valid (reason clauses are additionally
+//! *locked* and never deleted while locked).
+
+use crate::lit::Lit;
+
+/// Stable reference to a clause in the [`ClauseDb`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct ClauseRef(pub(crate) u32);
+
+/// A clause with CDCL metadata.
+#[derive(Clone, Debug)]
+pub struct Clause {
+    pub(crate) lits: Vec<Lit>,
+    pub(crate) learnt: bool,
+    pub(crate) deleted: bool,
+    /// Literal-block distance at learning time (glue level).
+    pub(crate) lbd: u32,
+    pub(crate) activity: f64,
+}
+
+impl Clause {
+    pub(crate) fn len(&self) -> usize {
+        self.lits.len()
+    }
+}
+
+/// Arena of clauses.
+#[derive(Clone, Debug, Default)]
+pub struct ClauseDb {
+    clauses: Vec<Clause>,
+    pub(crate) num_learnt: usize,
+    pub(crate) clause_inc: f64,
+}
+
+impl ClauseDb {
+    pub(crate) fn new() -> Self {
+        ClauseDb {
+            clauses: Vec::new(),
+            num_learnt: 0,
+            clause_inc: 1.0,
+        }
+    }
+
+    pub(crate) fn alloc(&mut self, lits: Vec<Lit>, learnt: bool, lbd: u32) -> ClauseRef {
+        debug_assert!(lits.len() >= 2, "unit/empty clauses are not stored");
+        let r = ClauseRef(self.clauses.len() as u32);
+        if learnt {
+            self.num_learnt += 1;
+        }
+        self.clauses.push(Clause {
+            lits,
+            learnt,
+            deleted: false,
+            lbd,
+            activity: 0.0,
+        });
+        r
+    }
+
+    pub(crate) fn get(&self, r: ClauseRef) -> &Clause {
+        &self.clauses[r.0 as usize]
+    }
+
+    pub(crate) fn get_mut(&mut self, r: ClauseRef) -> &mut Clause {
+        &mut self.clauses[r.0 as usize]
+    }
+
+    pub(crate) fn delete(&mut self, r: ClauseRef) {
+        let c = &mut self.clauses[r.0 as usize];
+        debug_assert!(!c.deleted);
+        if c.learnt {
+            self.num_learnt -= 1;
+        }
+        c.deleted = true;
+        c.lits = Vec::new(); // release memory
+    }
+
+    /// All live learnt clause refs.
+    pub(crate) fn learnt_refs(&self) -> Vec<ClauseRef> {
+        (0..self.clauses.len() as u32)
+            .map(ClauseRef)
+            .filter(|&r| {
+                let c = self.get(r);
+                c.learnt && !c.deleted
+            })
+            .collect()
+    }
+
+    pub(crate) fn bump_activity(&mut self, r: ClauseRef) {
+        let inc = self.clause_inc;
+        let c = self.get_mut(r);
+        c.activity += inc;
+        if c.activity > 1e20 {
+            for c in &mut self.clauses {
+                c.activity *= 1e-20;
+            }
+            self.clause_inc *= 1e-20;
+        }
+    }
+
+    pub(crate) fn decay_activity(&mut self) {
+        self.clause_inc /= 0.999;
+    }
+
+    /// Number of live clauses (original + learnt).
+    pub(crate) fn num_live(&self) -> usize {
+        self.clauses.iter().filter(|c| !c.deleted).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lit::Lit;
+
+    fn lits(v: &[i32]) -> Vec<Lit> {
+        v.iter().map(|&l| Lit::from_dimacs(l)).collect()
+    }
+
+    #[test]
+    fn alloc_and_get() {
+        let mut db = ClauseDb::new();
+        let r = db.alloc(lits(&[1, -2, 3]), false, 0);
+        assert_eq!(db.get(r).len(), 3);
+        assert!(!db.get(r).learnt);
+        assert_eq!(db.num_learnt, 0);
+    }
+
+    #[test]
+    fn learnt_counting_and_delete() {
+        let mut db = ClauseDb::new();
+        let a = db.alloc(lits(&[1, 2]), true, 2);
+        let b = db.alloc(lits(&[1, 3]), true, 3);
+        assert_eq!(db.num_learnt, 2);
+        db.delete(a);
+        assert_eq!(db.num_learnt, 1);
+        assert!(db.get(a).deleted);
+        assert_eq!(db.learnt_refs(), vec![b]);
+        assert_eq!(db.num_live(), 1);
+    }
+
+    #[test]
+    fn activity_rescale_keeps_order() {
+        let mut db = ClauseDb::new();
+        let a = db.alloc(lits(&[1, 2]), true, 2);
+        let b = db.alloc(lits(&[1, 3]), true, 2);
+        for _ in 0..10 {
+            db.bump_activity(a);
+        }
+        db.bump_activity(b);
+        assert!(db.get(a).activity > db.get(b).activity);
+    }
+}

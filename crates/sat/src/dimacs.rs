@@ -1,0 +1,116 @@
+//! DIMACS CNF parsing — lets the solver run standalone on standard
+//! benchmark files (see the `gqed-sat` binary).
+
+use crate::solver::Solver;
+
+/// Error from DIMACS parsing.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ParseError {
+    /// A token was not a valid literal.
+    BadToken(String),
+    /// A clause was not terminated by `0` at end of input.
+    UnterminatedClause,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::BadToken(t) => write!(f, "bad token '{t}'"),
+            ParseError::UnterminatedClause => write!(f, "unterminated clause at end of input"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses DIMACS CNF text into a clause list. The `p cnf` header is
+/// honored for variable pre-allocation but not enforced; comment lines
+/// (`c …`) and `%`/`0` trailer lines are ignored.
+pub fn parse_dimacs(text: &str) -> Result<(u32, Vec<Vec<i32>>), ParseError> {
+    let mut clauses = Vec::new();
+    let mut current: Vec<i32> = Vec::new();
+    let mut num_vars: u32 = 0;
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('c') || line.starts_with('%') {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('p') {
+            // "p cnf <vars> <clauses>"
+            let toks: Vec<&str> = rest.split_whitespace().collect();
+            if toks.len() >= 2 {
+                if let Ok(v) = toks[1].parse::<u32>() {
+                    num_vars = v;
+                }
+            }
+            continue;
+        }
+        for tok in line.split_whitespace() {
+            let l: i32 = tok
+                .parse()
+                .map_err(|_| ParseError::BadToken(tok.to_string()))?;
+            if l == 0 {
+                clauses.push(std::mem::take(&mut current));
+            } else {
+                num_vars = num_vars.max(l.unsigned_abs());
+                current.push(l);
+            }
+        }
+    }
+    if !current.is_empty() {
+        return Err(ParseError::UnterminatedClause);
+    }
+    Ok((num_vars, clauses))
+}
+
+/// Loads a parsed DIMACS formula into a fresh solver.
+pub fn solver_from_dimacs(text: &str) -> Result<Solver, ParseError> {
+    let (num_vars, clauses) = parse_dimacs(text)?;
+    let mut s = Solver::new();
+    for _ in 0..num_vars {
+        s.new_var();
+    }
+    for c in &clauses {
+        s.add_clause(c);
+    }
+    Ok(s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solver::SatResult;
+
+    #[test]
+    fn parses_header_comments_and_clauses() {
+        let text = "c a comment\np cnf 3 2\n1 -2 0\n2 3 0\n";
+        let (nv, cls) = parse_dimacs(text).unwrap();
+        assert_eq!(nv, 3);
+        assert_eq!(cls, vec![vec![1, -2], vec![2, 3]]);
+    }
+
+    #[test]
+    fn clause_may_span_lines() {
+        let text = "1 2\n-3 0";
+        let (_, cls) = parse_dimacs(text).unwrap();
+        assert_eq!(cls, vec![vec![1, 2, -3]]);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(matches!(
+            parse_dimacs("1 x 0"),
+            Err(ParseError::BadToken(_))
+        ));
+        assert_eq!(parse_dimacs("1 2"), Err(ParseError::UnterminatedClause));
+    }
+
+    #[test]
+    fn end_to_end_solving() {
+        let mut s = solver_from_dimacs("p cnf 2 2\n1 2 0\n-1 0\n").unwrap();
+        assert_eq!(s.solve(&[]), SatResult::Sat);
+        assert!(s.value(2));
+        let mut u = solver_from_dimacs("1 0\n-1 0\n").unwrap();
+        assert_eq!(u.solve(&[]), SatResult::Unsat);
+    }
+}

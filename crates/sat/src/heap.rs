@@ -1,0 +1,201 @@
+//! Indexed max-heap over variable activities (MiniSat's `VarOrder`).
+//!
+//! Unlike a plain binary heap of `(activity, var)` snapshots, this heap
+//! stores each variable at most once and supports *increase-key* when an
+//! activity is bumped — keeping the structure at `O(num_vars)` entries
+//! regardless of how many millions of bumps the search performs.
+
+/// Indexed binary max-heap of variable indices ordered by an external
+/// activity array.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct VarHeap {
+    /// Heap array of variable indices.
+    heap: Vec<u32>,
+    /// `pos[v]` — index of `v` in `heap`, or `NONE` if absent.
+    pos: Vec<u32>,
+}
+
+const NONE: u32 = u32::MAX;
+
+impl VarHeap {
+    pub(crate) fn new() -> Self {
+        VarHeap::default()
+    }
+
+    /// Registers a fresh variable slot (initially absent).
+    pub(crate) fn grow(&mut self) {
+        self.pos.push(NONE);
+    }
+
+    pub(crate) fn contains(&self, v: u32) -> bool {
+        self.pos[v as usize] != NONE
+    }
+
+    pub(crate) fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Inserts `v` if absent.
+    pub(crate) fn push(&mut self, v: u32, act: &[f64]) {
+        if self.contains(v) {
+            return;
+        }
+        let i = self.heap.len();
+        self.heap.push(v);
+        self.pos[v as usize] = i as u32;
+        self.sift_up(i, act);
+    }
+
+    /// Re-establishes heap order after `act[v]` increased.
+    pub(crate) fn increased(&mut self, v: u32, act: &[f64]) {
+        let p = self.pos[v as usize];
+        if p != NONE {
+            self.sift_up(p as usize, act);
+        }
+    }
+
+    /// Removes and returns the variable with maximal activity.
+    pub(crate) fn pop_max(&mut self, act: &[f64]) -> Option<u32> {
+        let top = *self.heap.first()?;
+        let last = self.heap.pop().expect("non-empty");
+        self.pos[top as usize] = NONE;
+        if !self.heap.is_empty() {
+            self.heap[0] = last;
+            self.pos[last as usize] = 0;
+            self.sift_down(0, act);
+        }
+        Some(top)
+    }
+
+    fn sift_up(&mut self, mut i: usize, act: &[f64]) {
+        let v = self.heap[i];
+        let a = act[v as usize];
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            let pv = self.heap[parent];
+            if act[pv as usize] >= a {
+                break;
+            }
+            self.heap[i] = pv;
+            self.pos[pv as usize] = i as u32;
+            i = parent;
+        }
+        self.heap[i] = v;
+        self.pos[v as usize] = i as u32;
+    }
+
+    fn sift_down(&mut self, mut i: usize, act: &[f64]) {
+        let v = self.heap[i];
+        let a = act[v as usize];
+        let n = self.heap.len();
+        loop {
+            let l = 2 * i + 1;
+            if l >= n {
+                break;
+            }
+            let r = l + 1;
+            let c = if r < n && act[self.heap[r] as usize] > act[self.heap[l] as usize] {
+                r
+            } else {
+                l
+            };
+            let cv = self.heap[c];
+            if a >= act[cv as usize] {
+                break;
+            }
+            self.heap[i] = cv;
+            self.pos[cv as usize] = i as u32;
+            i = c;
+        }
+        self.heap[i] = v;
+        self.pos[v as usize] = i as u32;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_activity_order() {
+        let act = [3.0, 1.0, 7.0, 5.0];
+        let mut h = VarHeap::new();
+        for v in 0..4 {
+            h.grow();
+            h.push(v, &act);
+        }
+        assert_eq!(h.pop_max(&act), Some(2));
+        assert_eq!(h.pop_max(&act), Some(3));
+        assert_eq!(h.pop_max(&act), Some(0));
+        assert_eq!(h.pop_max(&act), Some(1));
+        assert_eq!(h.pop_max(&act), None);
+    }
+
+    #[test]
+    fn duplicate_push_is_ignored() {
+        let act = [1.0, 2.0];
+        let mut h = VarHeap::new();
+        h.grow();
+        h.grow();
+        h.push(0, &act);
+        h.push(0, &act);
+        h.push(1, &act);
+        assert_eq!(h.pop_max(&act), Some(1));
+        assert_eq!(h.pop_max(&act), Some(0));
+        assert_eq!(h.pop_max(&act), None);
+    }
+
+    #[test]
+    fn increase_key_reorders() {
+        let mut act = vec![1.0, 2.0, 3.0];
+        let mut h = VarHeap::new();
+        for v in 0..3 {
+            h.grow();
+            h.push(v, &act);
+        }
+        act[0] = 10.0;
+        h.increased(0, &act);
+        assert_eq!(h.pop_max(&act), Some(0));
+        assert_eq!(h.pop_max(&act), Some(2));
+        assert_eq!(h.pop_max(&act), Some(1));
+    }
+
+    #[test]
+    fn randomized_against_reference() {
+        use std::collections::BTreeSet;
+        let mut act: Vec<f64> = Vec::new();
+        let mut h = VarHeap::new();
+        let mut reference: BTreeSet<(u64, u32)> = BTreeSet::new();
+        let mut x: u64 = 88172645463325252;
+        let mut rand = || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x
+        };
+        for v in 0..200u32 {
+            act.push((rand() % 1000) as f64);
+            h.grow();
+            h.push(v, &act);
+            reference.insert((act[v as usize].to_bits(), v));
+        }
+        // Interleave bumps and pops.
+        for _ in 0..500 {
+            if rand() % 3 == 0 && !reference.is_empty() {
+                let got = h.pop_max(&act).unwrap();
+                // Any max-activity var is acceptable (ties broken freely).
+                let max_bits = reference.iter().next_back().unwrap().0;
+                assert_eq!(act[got as usize].to_bits(), max_bits);
+                reference.remove(&(act[got as usize].to_bits(), got));
+            } else {
+                let v = (rand() % 200) as u32;
+                if h.contains(v) {
+                    reference.remove(&(act[v as usize].to_bits(), v));
+                    act[v as usize] += (rand() % 100) as f64;
+                    reference.insert((act[v as usize].to_bits(), v));
+                    h.increased(v, &act);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,48 @@
+//! A CDCL SAT solver — the back-end engine of the G-QED BMC flow.
+//!
+//! This is a from-scratch conflict-driven clause-learning solver in the
+//! MiniSat lineage, providing everything the bounded model checker needs:
+//!
+//! * two-literal watching with blocker literals,
+//! * first-UIP conflict analysis with clause minimization,
+//! * exponential VSIDS variable activities with phase saving,
+//! * Luby-sequence restarts,
+//! * learnt-clause database reduction driven by LBD (glue level),
+//! * **incremental solving under assumptions** — the BMC engine keeps one
+//!   solver alive across unrolling depths, adding frame clauses and
+//!   activating per-frame properties through assumption literals.
+//!
+//! The external interface speaks DIMACS conventions: variables are positive
+//! `i32`s, a negative literal is the negation of its variable.
+//!
+//! # Examples
+//!
+//! ```
+//! use gqed_sat::{SatResult, Solver};
+//!
+//! let mut s = Solver::new();
+//! let a = s.new_var();
+//! let b = s.new_var();
+//! s.add_clause(&[a, b]);
+//! s.add_clause(&[-a, b]);
+//! assert_eq!(s.solve(&[]), SatResult::Sat);
+//! assert!(s.value(b));
+//! // Under the assumption ¬b the formula is unsatisfiable.
+//! assert_eq!(s.solve(&[-b]), SatResult::Unsat);
+//! // The solver remains usable afterwards.
+//! assert_eq!(s.solve(&[]), SatResult::Sat);
+//! ```
+
+#![warn(missing_docs)]
+mod clause;
+pub mod dimacs;
+pub mod drat;
+mod heap;
+mod lit;
+mod luby;
+mod solver;
+
+pub use dimacs::{parse_dimacs, solver_from_dimacs};
+pub use drat::{check_rup_proof, to_drat, ProofStep};
+pub use lit::{Lit, Var};
+pub use solver::{SatResult, Solver, SolverStats};

@@ -1,0 +1,121 @@
+//! Internal variable and literal representations.
+//!
+//! Internally a literal is `2 * var_index + sign` (sign 1 = negated), which
+//! indexes watch lists directly. Externally the solver speaks DIMACS `i32`
+//! literals; conversions live here.
+
+/// A propositional variable (0-based index).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct Var(pub(crate) u32);
+
+impl Var {
+    /// 0-based index of this variable.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The positive literal of this variable.
+    pub fn pos(self) -> Lit {
+        Lit(self.0 << 1)
+    }
+
+    /// The negative literal of this variable.
+    #[allow(clippy::should_implement_trait)]
+    pub fn neg(self) -> Lit {
+        Lit(self.0 << 1 | 1)
+    }
+
+    /// DIMACS number of this variable (1-based, positive).
+    pub fn to_dimacs(self) -> i32 {
+        self.0 as i32 + 1
+    }
+}
+
+/// A literal: a variable with a sign.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Lit(pub(crate) u32);
+
+impl Lit {
+    /// The variable of this literal.
+    pub fn var(self) -> Var {
+        Var(self.0 >> 1)
+    }
+
+    /// Whether the literal is negated.
+    pub fn is_neg(self) -> bool {
+        self.0 & 1 != 0
+    }
+
+    /// The opposite-polarity literal.
+    #[must_use]
+    pub fn negate(self) -> Lit {
+        Lit(self.0 ^ 1)
+    }
+
+    /// Index usable for watch lists (`0..2 * num_vars`).
+    pub fn code(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Converts from a DIMACS literal (non-zero `i32`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `l == 0`.
+    pub fn from_dimacs(l: i32) -> Lit {
+        assert!(l != 0, "DIMACS literal must be non-zero");
+        let var = (l.unsigned_abs() - 1) << 1;
+        Lit(var | (l < 0) as u32)
+    }
+
+    /// Converts to a DIMACS literal.
+    pub fn to_dimacs(self) -> i32 {
+        let v = (self.0 >> 1) as i32 + 1;
+        if self.is_neg() {
+            -v
+        } else {
+            v
+        }
+    }
+}
+
+impl std::fmt::Debug for Lit {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.to_dimacs())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dimacs_round_trip() {
+        for l in [1, -1, 2, -2, 17, -42] {
+            assert_eq!(Lit::from_dimacs(l).to_dimacs(), l);
+        }
+    }
+
+    #[test]
+    fn negate_flips_sign_only() {
+        let l = Lit::from_dimacs(5);
+        assert_eq!(l.negate().to_dimacs(), -5);
+        assert_eq!(l.negate().negate(), l);
+        assert_eq!(l.var(), l.negate().var());
+    }
+
+    #[test]
+    fn var_literals() {
+        let v = Var(3);
+        assert_eq!(v.pos().to_dimacs(), 4);
+        assert_eq!(v.neg().to_dimacs(), -4);
+        assert!(!v.pos().is_neg());
+        assert!(v.neg().is_neg());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_dimacs_rejected() {
+        let _ = Lit::from_dimacs(0);
+    }
+}

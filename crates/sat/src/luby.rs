@@ -1,0 +1,43 @@
+//! The Luby restart sequence (1, 1, 2, 1, 1, 2, 4, …).
+//!
+//! CDCL restart intervals follow `base * luby(i)`; the Luby sequence is the
+//! optimal universal strategy for Las Vegas algorithms up to a constant
+//! factor, and is the standard choice in MiniSat-family solvers.
+
+/// Returns the `i`-th element of the Luby sequence (`i` is 1-based).
+pub(crate) fn luby(i: u64) -> u64 {
+    // Find the finite subsequence containing index i, then the index within.
+    let mut k: u32 = 1;
+    while (1u64 << k) - 1 < i {
+        k += 1;
+    }
+    let mut i = i;
+    while (1u64 << k) - 1 != i {
+        i -= (1u64 << (k - 1)) - 1;
+        k = 1;
+        while (1u64 << k) - 1 < i {
+            k += 1;
+        }
+    }
+    1u64 << (k - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::luby;
+
+    #[test]
+    fn first_elements_match_reference() {
+        let expected = [1u64, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8];
+        for (i, &e) in expected.iter().enumerate() {
+            assert_eq!(luby(i as u64 + 1), e, "luby({})", i + 1);
+        }
+    }
+
+    #[test]
+    fn values_are_powers_of_two() {
+        for i in 1..200u64 {
+            assert!(luby(i).is_power_of_two());
+        }
+    }
+}

@@ -1,0 +1,1026 @@
+//! The CDCL search engine.
+
+use crate::clause::{ClauseDb, ClauseRef};
+use crate::drat::ProofStep;
+use crate::heap::VarHeap;
+use crate::lit::{Lit, Var};
+use crate::luby::luby;
+
+/// Result of a [`Solver::solve`] call.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SatResult {
+    /// A satisfying assignment was found; read it with [`Solver::value`].
+    Sat,
+    /// The formula is unsatisfiable under the given assumptions.
+    Unsat,
+}
+
+/// Cumulative search statistics, exposed for the evaluation tables.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SolverStats {
+    /// Number of branching decisions.
+    pub decisions: u64,
+    /// Number of literals propagated.
+    pub propagations: u64,
+    /// Number of conflicts encountered.
+    pub conflicts: u64,
+    /// Number of restarts performed.
+    pub restarts: u64,
+    /// Number of learnt clauses currently live.
+    pub learnt_clauses: usize,
+    /// Number of clauses deleted by database reduction.
+    pub deleted_clauses: u64,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Watcher {
+    cref: ClauseRef,
+    /// A literal of the clause other than the watched one; if it is already
+    /// true the clause is satisfied and the watcher need not be inspected.
+    blocker: Lit,
+}
+
+/// Incremental CDCL SAT solver. See the crate docs for an overview.
+#[derive(Clone, Debug)]
+pub struct Solver {
+    db: ClauseDb,
+    /// `watches[l.code()]` — clauses currently watching literal `l`.
+    watches: Vec<Vec<Watcher>>,
+    /// Per variable: 0 unassigned, 1 true, -1 false.
+    assigns: Vec<i8>,
+    /// Saved phase for phase-saving polarity selection.
+    phase: Vec<bool>,
+    level: Vec<u32>,
+    reason: Vec<Option<ClauseRef>>,
+    trail: Vec<Lit>,
+    trail_lim: Vec<usize>,
+    qhead: usize,
+    activity: Vec<f64>,
+    var_inc: f64,
+    /// Indexed max-heap over variable activities.
+    heap: VarHeap,
+    seen: Vec<bool>,
+    /// Formula known unsatisfiable at level 0.
+    ok: bool,
+    model: Vec<i8>,
+    stats: SolverStats,
+    /// Conflicts at which the next database reduction triggers.
+    next_reduce: u64,
+    reduce_inc: u64,
+    /// DRAT proof log, when enabled.
+    proof: Option<Vec<ProofStep>>,
+    /// Subset of the last `solve` call's assumptions responsible for an
+    /// Unsat-under-assumptions verdict (empty when Unsat is global).
+    conflict_core: Vec<i32>,
+}
+
+impl Default for Solver {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Solver {
+    /// Creates an empty solver.
+    pub fn new() -> Self {
+        Solver {
+            db: ClauseDb::new(),
+            watches: Vec::new(),
+            assigns: Vec::new(),
+            phase: Vec::new(),
+            level: Vec::new(),
+            reason: Vec::new(),
+            trail: Vec::new(),
+            trail_lim: Vec::new(),
+            qhead: 0,
+            activity: Vec::new(),
+            var_inc: 1.0,
+            heap: VarHeap::new(),
+            seen: Vec::new(),
+            ok: true,
+            model: Vec::new(),
+            stats: SolverStats::default(),
+            next_reduce: 2000,
+            reduce_inc: 500,
+            proof: None,
+            conflict_core: Vec::new(),
+        }
+    }
+
+    /// After an Unsat verdict from [`Solver::solve`] with assumptions: the
+    /// subset of those assumptions that already suffices for
+    /// unsatisfiability (the *failed assumptions* / unsat core over
+    /// assumptions). Empty when the formula is unsatisfiable on its own.
+    pub fn failed_assumptions(&self) -> &[i32] {
+        &self.conflict_core
+    }
+
+    /// Computes the assumption core when assumption `p` is found already
+    /// falsified: walks the implication ancestry of `¬p` back to the
+    /// assumption decisions that forced it (MiniSat's `analyzeFinal`).
+    fn analyze_final(&mut self, p: Lit) -> Vec<i32> {
+        let mut core = vec![p.to_dimacs()];
+        if self.decision_level() == 0 {
+            return core;
+        }
+        let mut to_clear: Vec<usize> = Vec::new();
+        self.seen[p.var().index()] = true;
+        to_clear.push(p.var().index());
+        for i in (self.trail_lim[0]..self.trail.len()).rev() {
+            let l = self.trail[i];
+            let v = l.var().index();
+            if !self.seen[v] {
+                continue;
+            }
+            match self.reason[v] {
+                None => {
+                    // A decision below the assumption prefix is itself an
+                    // assumption; it belongs to the core.
+                    if l.var() != p.var() {
+                        core.push(l.to_dimacs());
+                    }
+                }
+                Some(r) => {
+                    let n = self.db.get(r).len();
+                    for k in 1..n {
+                        let q = self.db.get(r).lits[k];
+                        let qv = q.var().index();
+                        if !self.seen[qv] && self.level[qv] > 0 {
+                            self.seen[qv] = true;
+                            to_clear.push(qv);
+                        }
+                    }
+                }
+            }
+        }
+        for v in to_clear {
+            self.seen[v] = false;
+        }
+        core
+    }
+
+    /// Turns on DRAT proof logging. For a formula solved **without
+    /// assumptions** to an Unsat verdict, [`Solver::take_proof`] then
+    /// yields a clausal refutation checkable with
+    /// [`crate::drat::check_rup_proof`].
+    pub fn enable_proof(&mut self) {
+        if self.proof.is_none() {
+            self.proof = Some(Vec::new());
+        }
+    }
+
+    /// Takes the recorded proof (and stops logging until re-enabled).
+    pub fn take_proof(&mut self) -> Vec<ProofStep> {
+        self.proof.take().unwrap_or_default()
+    }
+
+    fn log_add(&mut self, lits: &[Lit]) {
+        if let Some(p) = &mut self.proof {
+            p.push(ProofStep::Add(lits.iter().map(|l| l.to_dimacs()).collect()));
+        }
+    }
+
+    fn log_delete(&mut self, lits: &[Lit]) {
+        if let Some(p) = &mut self.proof {
+            p.push(ProofStep::Delete(
+                lits.iter().map(|l| l.to_dimacs()).collect(),
+            ));
+        }
+    }
+
+    /// Number of allocated variables.
+    pub fn num_vars(&self) -> u32 {
+        self.assigns.len() as u32
+    }
+
+    /// Number of live clauses (original + learnt).
+    pub fn num_clauses(&self) -> usize {
+        self.db.num_live()
+    }
+
+    /// Search statistics so far.
+    pub fn stats(&self) -> SolverStats {
+        let mut s = self.stats;
+        s.learnt_clauses = self.db.num_learnt;
+        s
+    }
+
+    /// Allocates a fresh variable; returns its DIMACS number.
+    pub fn new_var(&mut self) -> i32 {
+        let v = self.assigns.len() as u32;
+        self.assigns.push(0);
+        self.phase.push(false);
+        self.level.push(0);
+        self.reason.push(None);
+        self.activity.push(0.0);
+        self.seen.push(false);
+        self.watches.push(Vec::new());
+        self.watches.push(Vec::new());
+        self.heap.grow();
+        self.heap.push(v, &self.activity);
+        v as i32 + 1
+    }
+
+    /// Ensures variables up to `|l|` exist for every literal mentioned.
+    fn ensure_vars(&mut self, lits: &[i32]) {
+        let max = lits.iter().map(|l| l.unsigned_abs()).max().unwrap_or(0);
+        while self.num_vars() < max {
+            let _ = self.new_var();
+        }
+    }
+
+    fn value_lit(&self, l: Lit) -> i8 {
+        let a = self.assigns[l.var().index()];
+        if l.is_neg() {
+            -a
+        } else {
+            a
+        }
+    }
+
+    fn decision_level(&self) -> u32 {
+        self.trail_lim.len() as u32
+    }
+
+    /// Adds a clause of DIMACS literals. May be called between `solve`
+    /// calls (the solver backtracks to the root level first). Returns
+    /// `false` if the formula became trivially unsatisfiable.
+    pub fn add_clause(&mut self, lits: &[i32]) -> bool {
+        if !self.ok {
+            return false;
+        }
+        self.cancel_until(0);
+        self.ensure_vars(lits);
+        // Normalize: sort, dedupe, drop root-false lits, detect tautology
+        // and root-true lits.
+        let mut ls: Vec<Lit> = lits.iter().map(|&l| Lit::from_dimacs(l)).collect();
+        ls.sort_unstable();
+        ls.dedup();
+        let mut out: Vec<Lit> = Vec::with_capacity(ls.len());
+        for &l in &ls {
+            if out.last().is_some_and(|&p| p == l.negate()) {
+                return true; // tautology (sorted order puts v, ¬v adjacent)
+            }
+            match self.value_lit(l) {
+                1 => return true, // already satisfied at root
+                -1 => continue,   // false at root: drop
+                _ => out.push(l),
+            }
+        }
+        // When proof logging is on and normalization strengthened the
+        // clause, record the stored (stronger) version as a derived
+        // addition so the checker's database matches the solver's.
+        let changed = out.len() != lits.len();
+        match out.len() {
+            0 => {
+                if changed {
+                    self.log_add(&[]);
+                }
+                self.ok = false;
+                false
+            }
+            1 => {
+                if changed {
+                    self.log_add(&[out[0]]);
+                }
+                self.enqueue(out[0], None);
+                if self.propagate().is_some() {
+                    self.log_add(&[]);
+                    self.ok = false;
+                }
+                self.ok
+            }
+            _ => {
+                if changed {
+                    self.log_add(&out);
+                }
+                let r = self.db.alloc(out, false, 0);
+                self.attach(r);
+                true
+            }
+        }
+    }
+
+    fn attach(&mut self, r: ClauseRef) {
+        let (l0, l1) = {
+            let c = self.db.get(r);
+            (c.lits[0], c.lits[1])
+        };
+        self.watches[l0.code()].push(Watcher {
+            cref: r,
+            blocker: l1,
+        });
+        self.watches[l1.code()].push(Watcher {
+            cref: r,
+            blocker: l0,
+        });
+    }
+
+    fn detach(&mut self, r: ClauseRef) {
+        let (l0, l1) = {
+            let c = self.db.get(r);
+            (c.lits[0], c.lits[1])
+        };
+        self.watches[l0.code()].retain(|w| w.cref != r);
+        self.watches[l1.code()].retain(|w| w.cref != r);
+    }
+
+    fn enqueue(&mut self, l: Lit, reason: Option<ClauseRef>) {
+        debug_assert_eq!(self.value_lit(l), 0);
+        let v = l.var().index();
+        self.assigns[v] = if l.is_neg() { -1 } else { 1 };
+        self.level[v] = self.decision_level();
+        self.reason[v] = reason;
+        self.trail.push(l);
+    }
+
+    /// Unit propagation; returns the conflicting clause if any.
+    fn propagate(&mut self) -> Option<ClauseRef> {
+        while self.qhead < self.trail.len() {
+            let p = self.trail[self.qhead];
+            self.qhead += 1;
+            self.stats.propagations += 1;
+            let false_lit = p.negate();
+            // Take the watch list for the literal that just became false.
+            let mut ws = std::mem::take(&mut self.watches[false_lit.code()]);
+            let mut i = 0;
+            let mut kept = 0;
+            let mut conflict = None;
+            'watchers: while i < ws.len() {
+                let w = ws[i];
+                i += 1;
+                // Fast path: blocker already true.
+                if self.value_lit(w.blocker) == 1 {
+                    ws[kept] = w;
+                    kept += 1;
+                    continue;
+                }
+                // Normalize: put the false literal at position 1.
+                let (first, lits_len) = {
+                    let c = self.db.get_mut(w.cref);
+                    if c.lits[0] == false_lit {
+                        c.lits.swap(0, 1);
+                    }
+                    debug_assert_eq!(c.lits[1], false_lit);
+                    (c.lits[0], c.lits.len())
+                };
+                if first != w.blocker && self.value_lit(first) == 1 {
+                    ws[kept] = Watcher {
+                        cref: w.cref,
+                        blocker: first,
+                    };
+                    kept += 1;
+                    continue;
+                }
+                // Look for a new literal to watch.
+                for k in 2..lits_len {
+                    let lk = self.db.get(w.cref).lits[k];
+                    if self.value_lit(lk) != -1 {
+                        self.db.get_mut(w.cref).lits.swap(1, k);
+                        self.watches[lk.code()].push(Watcher {
+                            cref: w.cref,
+                            blocker: first,
+                        });
+                        continue 'watchers; // watcher moved; not kept here
+                    }
+                }
+                // Clause is unit or conflicting.
+                ws[kept] = Watcher {
+                    cref: w.cref,
+                    blocker: first,
+                };
+                kept += 1;
+                if self.value_lit(first) == -1 {
+                    // Conflict: keep remaining watchers and stop.
+                    while i < ws.len() {
+                        ws[kept] = ws[i];
+                        kept += 1;
+                        i += 1;
+                    }
+                    self.qhead = self.trail.len();
+                    conflict = Some(w.cref);
+                } else {
+                    self.enqueue(first, Some(w.cref));
+                }
+            }
+            ws.truncate(kept);
+            self.watches[false_lit.code()] = ws;
+            if conflict.is_some() {
+                return conflict;
+            }
+        }
+        None
+    }
+
+    fn new_decision_level(&mut self) {
+        self.trail_lim.push(self.trail.len());
+    }
+
+    fn cancel_until(&mut self, lvl: u32) {
+        if self.decision_level() <= lvl {
+            return;
+        }
+        let bound = self.trail_lim[lvl as usize];
+        for i in (bound..self.trail.len()).rev() {
+            let l = self.trail[i];
+            let v = l.var().index();
+            self.phase[v] = !l.is_neg();
+            self.assigns[v] = 0;
+            self.reason[v] = None;
+            self.heap.push(v as u32, &self.activity);
+        }
+        self.trail.truncate(bound);
+        self.trail_lim.truncate(lvl as usize);
+        self.qhead = bound;
+    }
+
+    fn bump_var(&mut self, v: Var) {
+        let i = v.index();
+        self.activity[i] += self.var_inc;
+        if self.activity[i] > 1e100 {
+            // Uniform rescale preserves the heap order.
+            for a in &mut self.activity {
+                *a *= 1e-100;
+            }
+            self.var_inc *= 1e-100;
+        }
+        self.heap.increased(v.0, &self.activity);
+    }
+
+    /// First-UIP conflict analysis. Returns (learnt clause with asserting
+    /// literal first, backtrack level, LBD).
+    fn analyze(&mut self, conflict: ClauseRef) -> (Vec<Lit>, u32, u32) {
+        let mut learnt: Vec<Lit> = Vec::new();
+        let mut path_c: u32 = 0;
+        let mut p: Option<Lit> = None;
+        let mut index = self.trail.len();
+        let mut confl = conflict;
+        let mut to_clear: Vec<Var> = Vec::new();
+        let dl = self.decision_level();
+
+        loop {
+            if self.db.get(confl).learnt {
+                self.db.bump_activity(confl);
+            }
+            let start = usize::from(p.is_some());
+            let nlits = self.db.get(confl).len();
+            for k in start..nlits {
+                let q = self.db.get(confl).lits[k];
+                let v = q.var();
+                if !self.seen[v.index()] && self.level[v.index()] > 0 {
+                    self.seen[v.index()] = true;
+                    to_clear.push(v);
+                    self.bump_var(v);
+                    if self.level[v.index()] >= dl {
+                        path_c += 1;
+                    } else {
+                        learnt.push(q);
+                    }
+                }
+            }
+            // Select the next literal on the trail to resolve on.
+            loop {
+                index -= 1;
+                if self.seen[self.trail[index].var().index()] {
+                    break;
+                }
+            }
+            let pl = self.trail[index];
+            self.seen[pl.var().index()] = false;
+            path_c -= 1;
+            p = Some(pl);
+            if path_c == 0 {
+                break;
+            }
+            confl = self.reason[pl.var().index()].expect("resolved literal has a reason");
+        }
+        let asserting = p.expect("analysis produces an asserting literal").negate();
+
+        // Recursive clause minimization (MiniSat's litRedundant): a
+        // literal is redundant if its entire reason tree bottoms out in
+        // literals already marked seen (i.e. already in the clause) or at
+        // level 0.
+        let mut minimized: Vec<Lit> = Vec::with_capacity(learnt.len());
+        for &l in &learnt {
+            if !self.lit_redundant(l, &mut to_clear) {
+                minimized.push(l);
+            }
+        }
+        for v in to_clear {
+            self.seen[v.index()] = false;
+        }
+
+        // Assemble: asserting literal first, highest-level other literal second.
+        let mut clause = Vec::with_capacity(minimized.len() + 1);
+        clause.push(asserting);
+        clause.extend(minimized);
+        let bt_level = if clause.len() == 1 {
+            0
+        } else {
+            let mut max_i = 1;
+            for i in 2..clause.len() {
+                if self.level[clause[i].var().index()] > self.level[clause[max_i].var().index()] {
+                    max_i = i;
+                }
+            }
+            clause.swap(1, max_i);
+            self.level[clause[1].var().index()]
+        };
+        // LBD: number of distinct decision levels in the clause.
+        let mut levels: Vec<u32> = clause.iter().map(|l| self.level[l.var().index()]).collect();
+        levels.sort_unstable();
+        levels.dedup();
+        let lbd = levels.len() as u32;
+        (clause, bt_level, lbd)
+    }
+
+    /// Whether literal `l` (already marked seen) is redundant in the
+    /// learnt clause: every path through its implication ancestry ends in
+    /// a seen literal or at level 0. On success the speculative marks are
+    /// kept (a proven-redundant var may legitimately shortcut later
+    /// tests); on failure they are rolled back, since an unproven mark
+    /// would unsoundly shortcut later tests.
+    fn lit_redundant(&mut self, l: Lit, to_clear: &mut Vec<Var>) -> bool {
+        let Some(root) = self.reason[l.var().index()] else {
+            return false; // decision literal: never redundant
+        };
+        let top = to_clear.len();
+        let mut stack: Vec<ClauseRef> = vec![root];
+        while let Some(r) = stack.pop() {
+            let n = self.db.get(r).len();
+            for k in 1..n {
+                let q = self.db.get(r).lits[k];
+                let v = q.var();
+                if self.seen[v.index()] || self.level[v.index()] == 0 {
+                    continue;
+                }
+                match self.reason[v.index()] {
+                    None => {
+                        // Reaches an unseen decision: not redundant. Roll
+                        // back every speculative mark from this test.
+                        for &sv in &to_clear[top..] {
+                            self.seen[sv.index()] = false;
+                        }
+                        to_clear.truncate(top);
+                        return false;
+                    }
+                    Some(qr) => {
+                        self.seen[v.index()] = true;
+                        to_clear.push(v);
+                        stack.push(qr);
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    fn pick_branch_var(&mut self) -> Option<Var> {
+        while !self.heap.is_empty() {
+            let v = self.heap.pop_max(&self.activity).expect("non-empty");
+            if self.assigns[v as usize] == 0 {
+                return Some(Var(v));
+            }
+        }
+        None
+    }
+
+    fn reduce_db(&mut self) {
+        let mut learnts = self.db.learnt_refs();
+        // Locked clauses (reasons of current assignments) must stay.
+        let locked = |s: &Self, r: ClauseRef| {
+            let l0 = s.db.get(r).lits[0];
+            s.value_lit(l0) == 1 && s.reason[l0.var().index()] == Some(r)
+        };
+        learnts.retain(|&r| {
+            let c = self.db.get(r);
+            !(c.lbd <= 2 || c.len() == 2 || locked(self, r))
+        });
+        // Delete the worse half: high LBD first, then low activity.
+        learnts.sort_by(|&a, &b| {
+            let ca = self.db.get(a);
+            let cb = self.db.get(b);
+            cb.lbd
+                .cmp(&ca.lbd)
+                .then(ca.activity.partial_cmp(&cb.activity).unwrap())
+        });
+        let n = learnts.len() / 2;
+        for &r in &learnts[..n] {
+            let lits = self.db.get(r).lits.clone();
+            self.log_delete(&lits);
+            self.detach(r);
+            self.db.delete(r);
+            self.stats.deleted_clauses += 1;
+        }
+    }
+
+    /// Solves the formula under the given DIMACS assumption literals.
+    ///
+    /// On [`SatResult::Sat`], the model is available through
+    /// [`Solver::value`]. The solver stays usable for further `add_clause`
+    /// / `solve` calls either way.
+    pub fn solve(&mut self, assumptions: &[i32]) -> SatResult {
+        self.solve_limited(assumptions, u64::MAX)
+            .expect("unlimited solve cannot exhaust its budget")
+    }
+
+    /// [`Solver::solve`] with a conflict budget: returns `None` when the
+    /// budget is exhausted before a verdict (the solver backtracks to the
+    /// root level and stays usable). Useful for portfolio schedules and
+    /// anytime checking.
+    pub fn solve_limited(&mut self, assumptions: &[i32], budget: u64) -> Option<SatResult> {
+        self.conflict_core.clear();
+        if !self.ok {
+            return Some(SatResult::Unsat);
+        }
+        self.cancel_until(0);
+        self.ensure_vars(assumptions);
+        let assumps: Vec<Lit> = assumptions.iter().map(|&l| Lit::from_dimacs(l)).collect();
+
+        if self.propagate().is_some() {
+            self.log_add(&[]);
+            self.ok = false;
+            return Some(SatResult::Unsat);
+        }
+        let conflicts_at_entry = self.stats.conflicts;
+
+        let mut restart_round: u64 = 0;
+        let mut conflicts_this_round: u64 = 0;
+        let mut restart_budget = 100 * luby(1);
+        // Glucose-style adaptive restarts: exponential moving averages of
+        // learnt-clause LBD. When recent quality (fast EMA) degrades
+        // relative to the whole run (slow EMA), restart early.
+        let mut lbd_fast: f64 = 0.0;
+        let mut lbd_slow: f64 = 0.0;
+        let mut ema_initialized = false;
+
+        loop {
+            if let Some(confl) = self.propagate() {
+                self.stats.conflicts += 1;
+                conflicts_this_round += 1;
+                if self.decision_level() == 0 {
+                    self.log_add(&[]);
+                    self.ok = false;
+                    return Some(SatResult::Unsat);
+                }
+                if self.stats.conflicts - conflicts_at_entry >= budget {
+                    self.cancel_until(0);
+                    return None;
+                }
+                let (clause, bt, lbd) = self.analyze(confl);
+                self.log_add(&clause);
+                let l = f64::from(lbd);
+                if ema_initialized {
+                    lbd_fast += (l - lbd_fast) / 32.0;
+                    lbd_slow += (l - lbd_slow) / 8192.0;
+                } else {
+                    lbd_fast = l;
+                    lbd_slow = l;
+                    ema_initialized = true;
+                }
+                self.cancel_until(bt);
+                if clause.len() == 1 {
+                    self.enqueue(clause[0], None);
+                } else {
+                    let first = clause[0];
+                    let r = self.db.alloc(clause, true, lbd);
+                    self.attach(r);
+                    self.enqueue(first, Some(r));
+                }
+                self.var_inc /= 0.95;
+                self.db.decay_activity();
+                if self.stats.conflicts >= self.next_reduce {
+                    self.next_reduce += self.reduce_inc;
+                    self.reduce_inc += 200;
+                    self.reduce_db();
+                }
+            } else {
+                let adaptive =
+                    ema_initialized && conflicts_this_round >= 50 && lbd_fast > 1.25 * lbd_slow;
+                if conflicts_this_round >= restart_budget || adaptive {
+                    // Restart (Luby schedule or adaptive LBD trigger).
+                    self.stats.restarts += 1;
+                    restart_round += 1;
+                    conflicts_this_round = 0;
+                    lbd_fast = lbd_slow; // reset the recent-quality window
+                    restart_budget = 100 * luby(restart_round + 1);
+                    self.cancel_until(0);
+                    continue;
+                }
+                // Assumptions act as forced decisions below real decisions.
+                let mut next: Option<Lit> = None;
+                while (self.decision_level() as usize) < assumps.len() {
+                    let a = assumps[self.decision_level() as usize];
+                    match self.value_lit(a) {
+                        1 => self.new_decision_level(), // already true: dummy level
+                        -1 => {
+                            // The assumption is already falsified: report
+                            // the failing core and stop.
+                            self.conflict_core = self.analyze_final(a);
+                            return Some(SatResult::Unsat);
+                        }
+                        _ => {
+                            next = Some(a);
+                            break;
+                        }
+                    }
+                }
+                let decision = match next {
+                    Some(a) => Some(a),
+                    None => self.pick_branch_var().map(|v| {
+                        if self.phase[v.index()] {
+                            v.pos()
+                        } else {
+                            v.neg()
+                        }
+                    }),
+                };
+                match decision {
+                    None => {
+                        // Complete assignment: SAT.
+                        self.model = self.assigns.clone();
+                        return Some(SatResult::Sat);
+                    }
+                    Some(d) => {
+                        self.stats.decisions += 1;
+                        self.new_decision_level();
+                        self.enqueue(d, None);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Value of a DIMACS literal in the last model.
+    ///
+    /// Variables the search never assigned default to `false` (positive
+    /// literal). Only meaningful after a [`SatResult::Sat`] result.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `l` is zero or references an unallocated variable.
+    pub fn value(&self, l: i32) -> bool {
+        let lit = Lit::from_dimacs(l);
+        let a = self.model[lit.var().index()];
+        let pos = a == 1;
+        if lit.is_neg() {
+            !pos
+        } else {
+            pos
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_formula_is_sat() {
+        let mut s = Solver::new();
+        assert_eq!(s.solve(&[]), SatResult::Sat);
+    }
+
+    #[test]
+    fn single_unit() {
+        let mut s = Solver::new();
+        let a = s.new_var();
+        assert!(s.add_clause(&[a]));
+        assert_eq!(s.solve(&[]), SatResult::Sat);
+        assert!(s.value(a));
+    }
+
+    #[test]
+    fn contradictory_units() {
+        let mut s = Solver::new();
+        let a = s.new_var();
+        s.add_clause(&[a]);
+        assert!(!s.add_clause(&[-a]));
+        assert_eq!(s.solve(&[]), SatResult::Unsat);
+    }
+
+    #[test]
+    fn simple_3sat() {
+        let mut s = Solver::new();
+        let (a, b, c) = (s.new_var(), s.new_var(), s.new_var());
+        s.add_clause(&[a, b, c]);
+        s.add_clause(&[-a, b]);
+        s.add_clause(&[-b, c]);
+        s.add_clause(&[-c, -a]);
+        assert_eq!(s.solve(&[]), SatResult::Sat);
+        // Check the model satisfies all clauses.
+        let m = |l: i32| s.value(l);
+        assert!(m(a) || m(b) || m(c));
+        assert!(!m(a) || m(b));
+        assert!(!m(b) || m(c));
+        assert!(!m(c) || !m(a));
+    }
+
+    #[test]
+    fn pigeonhole_2_into_1_unsat() {
+        // Two pigeons, one hole.
+        let mut s = Solver::new();
+        let p1 = s.new_var();
+        let p2 = s.new_var();
+        s.add_clause(&[p1]); // pigeon 1 in the hole
+        s.add_clause(&[p2]); // pigeon 2 in the hole
+        s.add_clause(&[-p1, -p2]); // not both
+        assert_eq!(s.solve(&[]), SatResult::Unsat);
+    }
+
+    #[test]
+    fn pigeonhole_4_into_3_unsat() {
+        // PHP(4,3): pigeon i in some hole, no two pigeons share a hole.
+        let mut s = Solver::new();
+        let mut v = [[0i32; 3]; 4];
+        for row in &mut v {
+            for slot in row.iter_mut() {
+                *slot = s.new_var();
+            }
+        }
+        for pv in &v {
+            s.add_clause(pv);
+        }
+        #[allow(clippy::needless_range_loop)]
+        for h in 0..3 {
+            for p1 in 0..4 {
+                for p2 in (p1 + 1)..4 {
+                    s.add_clause(&[-v[p1][h], -v[p2][h]]);
+                }
+            }
+        }
+        assert_eq!(s.solve(&[]), SatResult::Unsat);
+    }
+
+    #[test]
+    fn assumptions_are_temporary() {
+        let mut s = Solver::new();
+        let a = s.new_var();
+        let b = s.new_var();
+        s.add_clause(&[a, b]);
+        assert_eq!(s.solve(&[-a, -b]), SatResult::Unsat);
+        assert_eq!(s.solve(&[-a]), SatResult::Sat);
+        assert!(s.value(b));
+        assert_eq!(s.solve(&[]), SatResult::Sat);
+    }
+
+    #[test]
+    fn incremental_clause_addition() {
+        let mut s = Solver::new();
+        let a = s.new_var();
+        let b = s.new_var();
+        s.add_clause(&[a, b]);
+        assert_eq!(s.solve(&[]), SatResult::Sat);
+        s.add_clause(&[-a]);
+        assert_eq!(s.solve(&[]), SatResult::Sat);
+        assert!(s.value(b));
+        s.add_clause(&[-b]);
+        assert_eq!(s.solve(&[]), SatResult::Unsat);
+    }
+
+    #[test]
+    fn tautology_is_ignored() {
+        let mut s = Solver::new();
+        let a = s.new_var();
+        assert!(s.add_clause(&[a, -a]));
+        assert_eq!(s.solve(&[]), SatResult::Sat);
+    }
+
+    #[test]
+    fn duplicate_literals_are_merged() {
+        let mut s = Solver::new();
+        let a = s.new_var();
+        let b = s.new_var();
+        assert!(s.add_clause(&[a, a, b, b]));
+        s.add_clause(&[-a]);
+        s.add_clause(&[-b]);
+        assert_eq!(s.solve(&[]), SatResult::Unsat);
+    }
+
+    #[test]
+    fn auto_allocates_variables() {
+        let mut s = Solver::new();
+        s.add_clause(&[5, -7]);
+        assert!(s.num_vars() >= 7);
+        assert_eq!(s.solve(&[]), SatResult::Sat);
+    }
+
+    #[test]
+    fn xor_chain_forces_propagation() {
+        // x1 ⊕ x2 = 1, x2 ⊕ x3 = 1, x1 = 1 ⟹ x3 = 1.
+        let mut s = Solver::new();
+        let (x1, x2, x3) = (s.new_var(), s.new_var(), s.new_var());
+        for (a, b) in [(x1, x2), (x2, x3)] {
+            s.add_clause(&[a, b]);
+            s.add_clause(&[-a, -b]);
+        }
+        s.add_clause(&[x1]);
+        assert_eq!(s.solve(&[]), SatResult::Sat);
+        assert!(s.value(x1));
+        assert!(!s.value(x2));
+        assert!(s.value(x3));
+    }
+
+    #[test]
+    fn unsat_stays_unsat() {
+        let mut s = Solver::new();
+        let a = s.new_var();
+        s.add_clause(&[a]);
+        s.add_clause(&[-a]);
+        assert_eq!(s.solve(&[]), SatResult::Unsat);
+        assert_eq!(s.solve(&[a]), SatResult::Unsat);
+        assert!(!s.add_clause(&[a]));
+    }
+
+    #[test]
+    fn failed_assumptions_form_a_core() {
+        // a ∧ b → c; assuming a, b, ¬c is unsat and every reported core
+        // member must be one of the given assumptions.
+        let mut s = Solver::new();
+        let (a, b, c) = (s.new_var(), s.new_var(), s.new_var());
+        s.add_clause(&[-a, -b, c]);
+        assert_eq!(s.solve(&[a, b, -c]), SatResult::Unsat);
+        let core: Vec<i32> = s.failed_assumptions().to_vec();
+        assert!(!core.is_empty());
+        for l in &core {
+            assert!([a, b, -c].contains(l), "core member {l} not an assumption");
+        }
+        // The core must itself be unsatisfiable with the formula.
+        let mut s2 = Solver::new();
+        for _ in 0..3 {
+            s2.new_var();
+        }
+        s2.add_clause(&[-a, -b, c]);
+        assert_eq!(s2.solve(&core), SatResult::Unsat);
+    }
+
+    #[test]
+    fn no_core_for_globally_unsat_formula() {
+        let mut s = Solver::new();
+        let a = s.new_var();
+        s.add_clause(&[a]);
+        s.add_clause(&[-a]);
+        assert_eq!(s.solve(&[a]), SatResult::Unsat);
+        assert!(s.failed_assumptions().is_empty());
+    }
+
+    #[test]
+    fn core_is_cleared_between_solves() {
+        let mut s = Solver::new();
+        let a = s.new_var();
+        let b = s.new_var();
+        s.add_clause(&[a, b]);
+        assert_eq!(s.solve(&[-a, -b]), SatResult::Unsat);
+        assert!(!s.failed_assumptions().is_empty());
+        assert_eq!(s.solve(&[a]), SatResult::Sat);
+        assert!(s.failed_assumptions().is_empty());
+    }
+
+    #[test]
+    fn solve_limited_exhausts_and_recovers() {
+        // A hard instance with a 1-conflict budget must time out…
+        let mut s = Solver::new();
+        let mut v = [[0i32; 4]; 5];
+        for row in &mut v {
+            for slot in row.iter_mut() {
+                *slot = s.new_var();
+            }
+        }
+        for row in &v {
+            s.add_clause(row);
+        }
+        #[allow(clippy::needless_range_loop)]
+        for h in 0..4 {
+            for p1 in 0..5 {
+                for p2 in (p1 + 1)..5 {
+                    s.add_clause(&[-v[p1][h], -v[p2][h]]);
+                }
+            }
+        }
+        assert_eq!(s.solve_limited(&[], 1), None);
+        // …and the solver must stay usable for a full solve afterwards.
+        assert_eq!(s.solve(&[]), SatResult::Unsat);
+    }
+
+    #[test]
+    fn solve_limited_trivial_within_budget() {
+        let mut s = Solver::new();
+        let a = s.new_var();
+        s.add_clause(&[a]);
+        assert_eq!(s.solve_limited(&[], 5), Some(SatResult::Sat));
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut s = Solver::new();
+        let mut vars = Vec::new();
+        for _ in 0..6 {
+            vars.push(s.new_var());
+        }
+        for i in 0..5 {
+            s.add_clause(&[vars[i], vars[i + 1]]);
+        }
+        let _ = s.solve(&[]);
+        assert!(s.stats().decisions > 0 || s.stats().propagations > 0);
+    }
+}

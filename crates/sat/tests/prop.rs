@@ -1,0 +1,173 @@
+//! Property-based validation of the CDCL solver against brute force.
+//!
+//! Random small CNFs are solved both by exhaustive enumeration and by the
+//! CDCL engine; verdicts must agree, and every SAT model must actually
+//! satisfy the formula. Assumptions and incremental clause addition are
+//! fuzzed the same way — these paths carry the BMC engine, so they get the
+//! heaviest scrutiny.
+
+use gqed_sat::{SatResult, Solver};
+use proptest::prelude::*;
+
+/// A random clause: non-empty vector of DIMACS lits over `1..=num_vars`.
+fn clause_strategy(num_vars: i32) -> impl Strategy<Value = Vec<i32>> {
+    prop::collection::vec(
+        (1..=num_vars).prop_flat_map(|v| prop_oneof![Just(v), Just(-v)]),
+        1..=4,
+    )
+}
+
+fn cnf_strategy() -> impl Strategy<Value = (i32, Vec<Vec<i32>>)> {
+    (2i32..=10).prop_flat_map(|nv| {
+        prop::collection::vec(clause_strategy(nv), 1..=40).prop_map(move |cs| (nv, cs))
+    })
+}
+
+fn brute_force_sat(num_vars: i32, clauses: &[Vec<i32>], fixed: &[i32]) -> bool {
+    'outer: for m in 0u32..(1 << num_vars) {
+        let val = |l: i32| {
+            let b = m >> (l.unsigned_abs() - 1) & 1 != 0;
+            if l > 0 {
+                b
+            } else {
+                !b
+            }
+        };
+        for &f in fixed {
+            if !val(f) {
+                continue 'outer;
+            }
+        }
+        if clauses.iter().all(|c| c.iter().any(|&l| val(l))) {
+            return true;
+        }
+    }
+    false
+}
+
+fn model_satisfies(s: &Solver, clauses: &[Vec<i32>]) -> bool {
+    clauses.iter().all(|c| c.iter().any(|&l| s.value(l)))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(300))]
+
+    #[test]
+    fn agrees_with_brute_force((nv, clauses) in cnf_strategy()) {
+        let mut s = Solver::new();
+        for _ in 0..nv { s.new_var(); }
+        for c in &clauses { s.add_clause(c); }
+        let expect = brute_force_sat(nv, &clauses, &[]);
+        let got = s.solve(&[]);
+        prop_assert_eq!(got == SatResult::Sat, expect);
+        if got == SatResult::Sat {
+            prop_assert!(model_satisfies(&s, &clauses), "model does not satisfy formula");
+        }
+    }
+
+    #[test]
+    fn agrees_under_assumptions(
+        (nv, clauses) in cnf_strategy(),
+        assump_bits in prop::collection::vec(any::<bool>(), 3),
+    ) {
+        let mut s = Solver::new();
+        for _ in 0..nv { s.new_var(); }
+        for c in &clauses { s.add_clause(c); }
+        // Assume polarities for up to 3 of the variables.
+        let assumps: Vec<i32> = assump_bits
+            .iter()
+            .enumerate()
+            .take(nv as usize)
+            .map(|(i, &pos)| if pos { i as i32 + 1 } else { -(i as i32 + 1) })
+            .collect();
+        let expect = brute_force_sat(nv, &clauses, &assumps);
+        let got = s.solve(&assumps);
+        prop_assert_eq!(got == SatResult::Sat, expect);
+        if got == SatResult::Sat {
+            prop_assert!(model_satisfies(&s, &clauses));
+            for &a in &assumps {
+                prop_assert!(s.value(a), "assumption {} violated in model", a);
+            }
+        }
+        // The solver must remain usable and consistent afterwards.
+        let unconstrained = s.solve(&[]);
+        prop_assert_eq!(
+            unconstrained == SatResult::Sat,
+            brute_force_sat(nv, &clauses, &[])
+        );
+    }
+
+    #[test]
+    fn incremental_matches_monolithic(
+        (nv, clauses) in cnf_strategy(),
+        split in 0usize..40,
+    ) {
+        // Add clauses in two batches with a solve in between; the final
+        // verdict must match solving everything at once.
+        let split = split.min(clauses.len());
+        let mut s = Solver::new();
+        for _ in 0..nv { s.new_var(); }
+        for c in &clauses[..split] { s.add_clause(c); }
+        let _ = s.solve(&[]);
+        for c in &clauses[split..] { s.add_clause(c); }
+        let got = s.solve(&[]);
+        let expect = brute_force_sat(nv, &clauses, &[]);
+        prop_assert_eq!(got == SatResult::Sat, expect);
+        if got == SatResult::Sat {
+            prop_assert!(model_satisfies(&s, &clauses));
+        }
+    }
+
+    #[test]
+    fn repeated_solves_are_stable((nv, clauses) in cnf_strategy()) {
+        let mut s = Solver::new();
+        for _ in 0..nv { s.new_var(); }
+        for c in &clauses { s.add_clause(c); }
+        let first = s.solve(&[]);
+        for _ in 0..3 {
+            prop_assert_eq!(s.solve(&[]), first);
+        }
+    }
+}
+
+/// Deterministic regression: a formula family that exercises restarts and
+/// clause-database reduction (many conflicts).
+#[test]
+fn random_hard_instances_solved_consistently() {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(0x6_9ed);
+    for round in 0..8 {
+        let nv = 30;
+        // Near the 3-SAT phase transition (ratio ≈ 4.26) instances are hard.
+        let nc = (nv as f64 * 4.26) as usize;
+        let mut clauses = Vec::new();
+        for _ in 0..nc {
+            let mut c = Vec::new();
+            while c.len() < 3 {
+                let v = rng.gen_range(1..=nv);
+                if !c.contains(&v) && !c.contains(&-v) {
+                    c.push(if rng.gen() { v } else { -v });
+                }
+            }
+            clauses.push(c);
+        }
+        let mut s = Solver::new();
+        for c in &clauses {
+            s.add_clause(c);
+        }
+        let r1 = s.solve(&[]);
+        if r1 == SatResult::Sat {
+            assert!(
+                clauses.iter().all(|c| c.iter().any(|&l| s.value(l))),
+                "round {round}: invalid model"
+            );
+        }
+        // Solve again from scratch: verdict must match.
+        let mut s2 = Solver::new();
+        for c in &clauses {
+            s2.add_clause(c);
+        }
+        assert_eq!(s2.solve(&[]), r1, "round {round}: verdict instability");
+    }
+}

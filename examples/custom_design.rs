@@ -1,0 +1,128 @@
+//! Bring your own accelerator: how a downstream user verifies a design
+//! that is *not* part of the built-in library.
+//!
+//! We define a little interfering accelerator from scratch — a running-
+//! minimum tracker (PUT(x) responds with min so far; RESET clears) — in
+//! two variants: a correct one and one with a back-pressure bug. All G-QED
+//! needs from us is:
+//!
+//! 1. the transition system (the design itself),
+//! 2. the transactional interface (which signals are the handshake and
+//!    payloads), and
+//! 3. the architectural-state projection (here: the min register).
+//!
+//! No assertions, no reference model, no testbench.
+//!
+//! Run with: `cargo run --release --example custom_design`
+
+use gqed::core::{check_design, CheckKind, Verdict};
+use gqed::ha::skeleton::{capture, TxnControl};
+use gqed::ha::{Design, DesignMeta, HaInterface};
+use gqed::ir::{Context, TransitionSystem};
+
+/// Builds the running-minimum accelerator. `buggy` injects a defect: the
+/// min register absorbs the *live input bus* while the response is
+/// stalled by back-pressure.
+fn build_minmax(buggy: bool) -> Design {
+    let w = 8;
+    let mut ctx = Context::new();
+    let mut ts = TransitionSystem::new("mintrack");
+    let ctl = TxnControl::build(&mut ctx, &mut ts, 1);
+
+    let op = ctx.input("op", 1); // 0 = PUT, 1 = RESET
+    let x = ctx.input("x", w);
+    ts.inputs.push(op);
+    ts.inputs.push(x);
+    let op_r = capture(&mut ctx, &mut ts, "op_r", ctl.accept, op);
+    let x_r = capture(&mut ctx, &mut ts, "x_r", ctl.accept, x);
+
+    // Architectural state: the running minimum (all-ones after reset).
+    let min = ctx.state("min", w);
+    let maxval = ctx.ones(w);
+
+    let is_put = ctx.not(op_r);
+    let x_lt = ctx.ult(x_r, min);
+    let lowered = ctx.ite(x_lt, x_r, min);
+    let res_val = ctx.ite(is_put, lowered, maxval);
+    let upd = ctx.ite(is_put, lowered, maxval);
+
+    let held = if buggy {
+        // Defect: while the response waits for out_ready, the live bus
+        // leaks into the min register.
+        let not_rdy = ctx.not(ctl.out_ready);
+        let stalled = ctx.and(ctl.pending, not_rdy);
+        let bus_lt = ctx.ult(x, min);
+        let absorbed = ctx.ite(bus_lt, x, min);
+        ctx.ite(stalled, absorbed, min)
+    } else {
+        min
+    };
+    let min_next = ctx.ite(ctl.done, upd, held);
+    ts.add_state(min, Some(maxval), min_next);
+
+    let res_r = capture(&mut ctx, &mut ts, "res_r", ctl.done, res_val);
+    ts.outputs = vec![
+        ("in_ready".into(), ctl.in_ready),
+        ("out_valid".into(), ctl.out_valid),
+        ("min".into(), res_r),
+    ];
+
+    let iface = HaInterface {
+        in_valid: ctl.in_valid,
+        in_ready: ctl.in_ready,
+        in_payload: vec![op, x],
+        out_valid: ctl.out_valid,
+        out_ready: ctl.out_ready,
+        out_payload: vec![res_r],
+    };
+
+    Design {
+        ctx,
+        ts,
+        iface,
+        arch_state: vec![min], // the one manual insight G-QED needs
+        conventional: vec![],  // we wrote no assertions — that's the point
+        meta: DesignMeta {
+            name: "mintrack",
+            interfering: true,
+            description: "running-minimum tracker (user-defined)",
+            latency: 1,
+            recommended_bound: 10,
+        },
+        injected_bug: if buggy {
+            Some("bus-absorb-on-stall")
+        } else {
+            None
+        },
+    }
+}
+
+fn main() {
+    println!("=== custom design: running-minimum tracker ===\n");
+
+    let clean = build_minmax(false);
+    let o = check_design(&clean, CheckKind::GQed, 10);
+    println!(
+        "correct implementation : {:?} ({:.2?})",
+        o.verdict, o.elapsed
+    );
+    assert!(!o.verdict.is_violation());
+
+    let buggy = build_minmax(true);
+    let o = check_design(&buggy, CheckKind::GQed, 10);
+    match &o.verdict {
+        Verdict::Violation { property, cycles } => {
+            println!("buggy implementation   : VIOLATION of '{property}' in {cycles} cycles");
+            println!("\n{}", {
+                let mut d = buggy.clone();
+                let model = gqed::core::synthesize(&mut d, &gqed::core::QedConfig::gqed());
+                o.trace.as_ref().unwrap().pretty(&d.ctx, &model.ts)
+            });
+        }
+        v => panic!("bug escaped: {v:?}"),
+    }
+    println!(
+        "The defect was found with zero design-specific properties: the\n\
+         designer only declared the interface and pointed at the min register."
+    );
+}

@@ -1,0 +1,79 @@
+//! The paper's motivating scenario: why A-QED breaks on interfering
+//! accelerators, and how G-QED generalizes it.
+//!
+//! Three acts on the `accum` accelerator (ACC/CLR/GET transactions over a
+//! running accumulator):
+//!
+//! 1. **A-QED false-alarms on the bug-free design.** Its functional
+//!    consistency check demands equal responses for equal request
+//!    payloads — but two GETs legitimately return different values when
+//!    ACCs happened in between. The reported "violation" is a false
+//!    positive, demonstrating that A-QED's soundness argument needs
+//!    non-interference.
+//! 2. **G-QED passes the bug-free design.** The generalized functional
+//!    consistency condition additionally requires equal *architectural
+//!    state* at acceptance, and the dual-copy determinism check compares
+//!    equal transaction *sequences*, so legitimate interference is never
+//!    flagged.
+//! 3. **G-QED catches real interference bugs** that both the conventional
+//!    assertions and (conceptually) any single-transaction test miss.
+//!
+//! Run with: `cargo run --release --example interfering_accumulator`
+
+use gqed::core::{check_design, CheckKind, Verdict};
+use gqed::ha::designs::accum;
+
+fn describe(v: &Verdict) -> String {
+    match v {
+        Verdict::Violation { property, cycles } => {
+            format!("VIOLATION of '{property}' ({cycles} cycles)")
+        }
+        Verdict::CleanUpTo(b) => format!("clean up to bound {b}"),
+    }
+}
+
+fn main() {
+    let params = accum::Params::default();
+
+    println!("=== Act 1: A-QED on the BUG-FREE interfering accumulator ===");
+    let clean = accum::build(&params, None);
+    let aqed = check_design(&clean, CheckKind::AQed, 14);
+    println!("A-QED: {}", describe(&aqed.verdict));
+    assert!(aqed.verdict.is_violation());
+    println!(
+        "  -> a FALSE ALARM: the design is correct; two equal GET payloads \
+         returned different values because ACCs interfered in between.\n"
+    );
+
+    println!("=== Act 2: G-QED on the same bug-free design ===");
+    let gqed = check_design(&clean, CheckKind::GQed, 12);
+    println!("G-QED: {}", describe(&gqed.verdict));
+    assert!(!gqed.verdict.is_violation());
+    println!(
+        "  -> the architectural-state condition (FC-G) and the dual-copy \
+         sequence miter (TLD) accept legitimate interference.\n"
+    );
+
+    println!("=== Act 3: real interference bugs ===");
+    for bug in [
+        "carry-leak",
+        "backpressure-acc-corrupt",
+        "stale-result-overwrite",
+        "uninit-acc",
+    ] {
+        let buggy = accum::build(&params, Some(bug));
+        let g = check_design(&buggy, CheckKind::GQed, 16);
+        let c = check_design(&buggy, CheckKind::Conventional, 16);
+        println!(
+            "{bug:28} G-QED: {:44} conventional: {}",
+            describe(&g.verdict),
+            describe(&c.verdict)
+        );
+        assert!(g.verdict.is_violation(), "{bug} must be caught by G-QED");
+    }
+    println!(
+        "\nAll four context-dependent bugs escape the conventional assertions \
+         (the 'well-verified design' escapes of the paper's abstract) and are \
+         caught by G-QED's universal checks."
+    );
+}

@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Regenerates every artifact of the G-QED evaluation (DESIGN.md §3) into
+# results/. Expect roughly an hour of wall-clock on a laptop-class CPU:
+# the bug-detection sweep (table2) and the scaling figure (fig1) dominate.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out=results
+mkdir -p "$out"
+
+echo "== building (release) =="
+cargo build --release --workspace
+
+run() {
+  local name="$1"
+  echo "== $name =="
+  cargo run --release -q -p gqed-bench --bin "$name" | tee "$out/$name.md"
+}
+
+run table1
+run table4
+run table5
+run obscan
+run table2
+run table3
+run fig3
+run fig1
+run fig2
+run ablation
+
+echo "== criterion micro-benchmarks =="
+cargo bench -p gqed-bench 2>&1 | tee "$out/criterion.txt"
+
+echo
+echo "all artifacts written to $out/"

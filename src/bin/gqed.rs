@@ -1,0 +1,365 @@
+//! `gqed` — command-line front-end to the G-QED verification flow.
+//!
+//! ```text
+//! gqed list                         designs and their bug catalogues
+//! gqed check <design> [opts]        run a verification flow
+//!      --bug <id>                   inject a catalogued bug
+//!      --flow gqed|aqed|conv        flow to run (default gqed)
+//!      --bound <n>                  BMC bound (default: design recommendation)
+//!      --vcd <file>                 dump the counterexample waveform
+//! gqed hunt [<design>|--all]        sweep a design's bug catalogue with G-QED
+//! gqed export <design> [opts]       emit the design as BTOR2 on stdout
+//!      --bug <id>                   inject a catalogued bug first
+//!      --wrapped                    export the G-QED-wrapped model instead
+//!      --format btor2|dot|smt2      output format (default btor2)
+//!      --frame <k>                  smt2 only: frame to assert the first
+//!                                   property at (default 5)
+//! gqed bmc <file.btor2> [opts]      model-check an external BTOR2 file
+//!      --bound <n>                  BMC bound (default 20)
+//!      --prove                      try k-induction after clean BMC
+//! gqed prove <design>               k-induction on the conventional assertions
+//!      --max-k <n>                  induction depth limit (default 6)
+//! gqed productivity [--features n --properties n]
+//!                                   evaluate the person-day cost model
+//! ```
+
+use gqed::core::productivity::{
+    conventional_person_days, gqed_person_days, productivity_gain, CaseStudy, ConventionalCosts,
+    GqedCosts,
+};
+use gqed::core::theory::evaluation_bound;
+use gqed::core::{check_design, synthesize, CheckKind, QedConfig, Verdict};
+use gqed::ha::{all_designs, Design, DesignEntry};
+use gqed::ir::to_btor2;
+use std::process::exit;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("list") => cmd_list(),
+        Some("check") => cmd_check(&args[1..]),
+        Some("hunt") => cmd_hunt(&args[1..]),
+        Some("export") => cmd_export(&args[1..]),
+        Some("bmc") => cmd_bmc(&args[1..]),
+        Some("prove") => cmd_prove(&args[1..]),
+        Some("productivity") => cmd_productivity(&args[1..]),
+        _ => {
+            eprintln!("usage: gqed <list|check|hunt|export|bmc|prove|productivity> …");
+            eprintln!("       (see the crate docs or src/bin/gqed.rs for options)");
+            exit(2);
+        }
+    }
+}
+
+fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn has_flag(args: &[String], name: &str) -> bool {
+    args.iter().any(|a| a == name)
+}
+
+fn find_design(name: &str) -> DesignEntry {
+    all_designs()
+        .into_iter()
+        .find(|e| e.name == name)
+        .unwrap_or_else(|| {
+            let names: Vec<&str> = all_designs().iter().map(|e| e.name).collect();
+            eprintln!("unknown design '{name}'; available: {names:?}");
+            exit(2);
+        })
+}
+
+fn build(entry: &DesignEntry, args: &[String]) -> Design {
+    match flag_value(args, "--bug") {
+        Some(b) => entry.build_buggy(b),
+        None => entry.build_clean(),
+    }
+}
+
+fn cmd_list() {
+    for entry in all_designs() {
+        let d = entry.build_clean();
+        println!(
+            "{:10} {:15} {}",
+            entry.name,
+            if entry.interfering {
+                "interfering"
+            } else {
+                "non-interfering"
+            },
+            d.meta.description
+        );
+        for b in (entry.bugs)() {
+            println!(
+                "    {:32} [{:?}] {}",
+                b.id,
+                b.class,
+                if b.expected.gqed {
+                    "G-QED detects"
+                } else {
+                    "outside self-consistency class"
+                }
+            );
+        }
+    }
+}
+
+fn cmd_check(args: &[String]) {
+    let Some(name) = args.first() else {
+        eprintln!("usage: gqed check <design> [--bug id] [--flow gqed|aqed|conv] [--bound n] [--vcd file]");
+        exit(2);
+    };
+    let entry = find_design(name);
+    let design = build(&entry, args);
+    let kind = match flag_value(args, "--flow") {
+        None | Some("gqed") => CheckKind::GQed,
+        Some("aqed") => CheckKind::AQed,
+        Some("conv") | Some("conventional") => CheckKind::Conventional,
+        Some(f) => {
+            eprintln!("unknown flow '{f}'");
+            exit(2);
+        }
+    };
+    let bound = match flag_value(args, "--bound") {
+        Some(b) => b.parse().unwrap_or_else(|_| {
+            eprintln!("bad bound '{b}'");
+            exit(2);
+        }),
+        None => design.meta.recommended_bound,
+    };
+    eprintln!(
+        "checking {} ({}) with {} at bound {bound}…",
+        design.meta.name,
+        design
+            .injected_bug
+            .map(|b| format!("bug: {b}"))
+            .unwrap_or_else(|| "bug-free".into()),
+        kind.name()
+    );
+    let o = check_design(&design, kind, bound);
+    match &o.verdict {
+        Verdict::Violation { property, cycles } => {
+            println!(
+                "VIOLATION of '{property}' in {cycles} cycles ({:.2?})",
+                o.elapsed
+            );
+            let trace = o.trace.as_ref().expect("violation carries trace");
+            // Re-synthesize to print against the right model.
+            let mut d2 = design.clone();
+            let ts = match kind {
+                CheckKind::GQed => synthesize(&mut d2, &QedConfig::gqed()).ts,
+                CheckKind::AQed => synthesize(&mut d2, &QedConfig::aqed()).ts,
+                CheckKind::Conventional => {
+                    let mut ts = d2.ts.clone();
+                    ts.bads = d2.conventional.clone();
+                    ts
+                }
+            };
+            println!("{}", trace.pretty(&d2.ctx, &ts));
+            if let Some(path) = flag_value(args, "--vcd") {
+                let vcd = trace.to_vcd(&d2.ctx, &ts);
+                std::fs::write(path, vcd.render()).expect("write VCD");
+                eprintln!("waveform written to {path}");
+            }
+            exit(1);
+        }
+        Verdict::CleanUpTo(b) => {
+            println!(
+                "clean up to bound {b} ({:.2?}; {} clauses, {} conflicts)",
+                o.elapsed, o.stats.cnf_clauses, o.stats.solver.conflicts
+            );
+        }
+    }
+}
+
+fn cmd_hunt(args: &[String]) {
+    let entries = all_designs();
+    let selected: Vec<&DesignEntry> = match args.first().map(String::as_str) {
+        Some("--all") | None => entries.iter().collect(),
+        Some(name) => vec![entries.iter().find(|e| e.name == name).unwrap_or_else(|| {
+            eprintln!("unknown design '{name}'");
+            exit(2);
+        })],
+    };
+    let mut failures = 0;
+    for entry in selected {
+        println!("== {} ==", entry.name);
+        for bug in (entry.bugs)() {
+            let d = entry.build_buggy(bug.id);
+            let bound = evaluation_bound(&d, &bug);
+            let o = check_design(&d, CheckKind::GQed, bound);
+            let ok = o.verdict.is_violation() == bug.expected.gqed;
+            if !ok {
+                failures += 1;
+            }
+            println!(
+                "  {:32} {:40} {}",
+                bug.id,
+                match &o.verdict {
+                    Verdict::Violation { property, cycles } =>
+                        format!("caught: {property} ({cycles}cy)"),
+                    Verdict::CleanUpTo(b) => format!("clean@{b}"),
+                },
+                if ok { "ok" } else { "MISMATCH" }
+            );
+        }
+    }
+    if failures > 0 {
+        eprintln!("{failures} verdicts disagree with the catalogue");
+        exit(1);
+    }
+}
+
+fn cmd_export(args: &[String]) {
+    let Some(name) = args.first() else {
+        eprintln!("usage: gqed export <design> [--bug id] [--wrapped] [--format btor2|dot]");
+        exit(2);
+    };
+    let entry = find_design(name);
+    let mut design = build(&entry, args);
+    let ts = if has_flag(args, "--wrapped") {
+        synthesize(&mut design, &QedConfig::gqed()).ts
+    } else {
+        // Attach the conventional assertions so the export carries
+        // checkable properties.
+        let mut ts = design.ts.clone();
+        ts.bads = design.conventional.clone();
+        ts
+    };
+    match flag_value(args, "--format") {
+        None | Some("btor2") => print!("{}", to_btor2(&design.ctx, &ts)),
+        Some("dot") => {
+            let mut roots: Vec<(String, gqed::ir::TermId)> = ts.outputs.clone();
+            roots.extend(ts.bads.iter().map(|b| (b.name.clone(), b.term)));
+            print!("{}", gqed::ir::to_dot(&design.ctx, &roots));
+        }
+        Some("smt2") => {
+            if ts.bads.is_empty() {
+                eprintln!("no properties to export; use --wrapped or a buggy build");
+                exit(2);
+            }
+            let k = flag_value(args, "--frame")
+                .map(|v| v.parse().expect("bad --frame"))
+                .unwrap_or(5);
+            print!("{}", gqed::ir::unrolling_to_smt2(&design.ctx, &ts, 0, k));
+        }
+        Some(f) => {
+            eprintln!("unknown format '{f}'");
+            exit(2);
+        }
+    }
+}
+
+fn cmd_bmc(args: &[String]) {
+    let Some(path) = args.first() else {
+        eprintln!("usage: gqed bmc <file.btor2> [--bound n] [--prove]");
+        exit(2);
+    };
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("cannot read {path}: {e}");
+        exit(1);
+    });
+    let (ctx, ts) = gqed::ir::from_btor2(&text).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        exit(1);
+    });
+    if ts.bads.is_empty() {
+        eprintln!("model has no bad properties");
+        exit(2);
+    }
+    let bound: u32 = flag_value(args, "--bound")
+        .map(|v| v.parse().expect("bad --bound"))
+        .unwrap_or(20);
+    eprintln!(
+        "model: {} inputs, {} states ({} bits), {} properties",
+        ts.inputs.len(),
+        ts.states.len(),
+        ts.state_bits(&ctx),
+        ts.bads.len()
+    );
+    let mut engine = gqed::bmc::BmcEngine::new(&ctx, &ts);
+    match engine.check_up_to(bound) {
+        gqed::bmc::BmcResult::Violated(trace) => {
+            println!(
+                "VIOLATION of '{}' in {} cycles",
+                trace.bad_name,
+                trace.len()
+            );
+            println!("{}", trace.pretty(&ctx, &ts));
+            print!("{}", trace.to_btor2_witness(&ctx, &ts));
+            exit(1);
+        }
+        gqed::bmc::BmcResult::NoneUpTo(b) => {
+            println!("clean up to bound {b}");
+            if has_flag(args, "--prove") {
+                for (i, bad) in ts.bads.iter().enumerate() {
+                    let r = gqed::bmc::prove_k_induction(&ctx, &ts, i, 8);
+                    println!(
+                        "{:30} {}",
+                        bad.name,
+                        match r {
+                            gqed::bmc::ProofResult::Proven { k } => format!("PROVEN (k = {k})"),
+                            gqed::bmc::ProofResult::Falsified(t) =>
+                                format!("FALSIFIED ({} cycles)", t.len()),
+                            gqed::bmc::ProofResult::Unknown { max_k } =>
+                                format!("unknown up to k = {max_k}"),
+                        }
+                    );
+                }
+            }
+        }
+    }
+}
+
+fn cmd_prove(args: &[String]) {
+    let Some(name) = args.first() else {
+        eprintln!("usage: gqed prove <design> [--max-k n]");
+        exit(2);
+    };
+    let entry = find_design(name);
+    let design = build(&entry, args);
+    let max_k: u32 = flag_value(args, "--max-k")
+        .map(|v| v.parse().expect("bad --max-k"))
+        .unwrap_or(6);
+    let mut ts = design.ts.clone();
+    ts.bads = design.conventional.clone();
+    for (i, b) in ts.bads.iter().enumerate() {
+        let r = gqed::bmc::prove_k_induction(&design.ctx, &ts, i, max_k);
+        println!(
+            "{:35} {}",
+            b.name,
+            match r {
+                gqed::bmc::ProofResult::Proven { k } => format!("PROVEN (k = {k})"),
+                gqed::bmc::ProofResult::Falsified(t) =>
+                    format!("FALSIFIED ({}-cycle counterexample)", t.len()),
+                gqed::bmc::ProofResult::Unknown { max_k } =>
+                    format!("unknown up to k = {max_k} (needs an invariant)"),
+            }
+        );
+    }
+}
+
+fn cmd_productivity(args: &[String]) {
+    let features: u32 = flag_value(args, "--features")
+        .map(|v| v.parse().expect("bad --features"))
+        .unwrap_or(120);
+    let properties: u32 = flag_value(args, "--properties")
+        .map(|v| v.parse().expect("bad --properties"))
+        .unwrap_or(160);
+    let cs = CaseStudy {
+        features,
+        properties,
+    };
+    let c = ConventionalCosts::default();
+    let g = GqedCosts::default();
+    println!(
+        "conventional: {:.0} person-days; G-QED: {:.0} person-days; gain {:.1}x",
+        conventional_person_days(&cs, &c),
+        gqed_person_days(&cs, &g),
+        productivity_gain(&cs, &c, &g)
+    );
+}

@@ -1,0 +1,95 @@
+//! "A-QED is the special case of G-QED for non-interfering accelerators"
+//! — the paper's framing, checked operationally on the design suite.
+//!
+//! On a non-interfering design (empty architectural-state projection):
+//! * the FC-G condition degenerates to A-QED's input-equality FC, so both
+//!   flows agree on every clean build and on every catalogued bug;
+//! * adding the dual-copy TLD check never *introduces* false positives.
+
+use gqed::core::{check_design, synthesize, CheckKind, QedConfig};
+use gqed::ha::all_designs;
+
+#[test]
+fn flows_agree_on_non_interfering_clean_designs() {
+    for entry in all_designs().into_iter().filter(|e| !e.interfering) {
+        let d = entry.build_clean();
+        let bound = 10.min(d.meta.recommended_bound);
+        let a = check_design(&d, CheckKind::AQed, bound);
+        let g = check_design(&d, CheckKind::GQed, bound);
+        assert_eq!(
+            a.verdict.is_violation(),
+            g.verdict.is_violation(),
+            "{}: A-QED {:?} vs G-QED {:?}",
+            entry.name,
+            a.verdict,
+            g.verdict
+        );
+        assert!(!g.verdict.is_violation());
+    }
+}
+
+#[test]
+fn flows_agree_on_representative_non_interfering_bugs() {
+    for (design, bug) in [
+        ("vecadd", "stale-result-overwrite"),
+        ("relu", "stall-sign-flip"),
+        ("alu", "flag-leak"),
+    ] {
+        let entry = all_designs()
+            .into_iter()
+            .find(|e| e.name == design)
+            .unwrap();
+        let d = entry.build_buggy(bug);
+        let a = check_design(&d, CheckKind::AQed, 14);
+        let g = check_design(&d, CheckKind::GQed, 14);
+        assert!(a.verdict.is_violation(), "{design}::{bug}: A-QED missed");
+        assert!(g.verdict.is_violation(), "{design}::{bug}: G-QED missed");
+    }
+}
+
+#[test]
+fn empty_arch_state_makes_fcg_equal_aqed_fc() {
+    // Structural check: on a non-interfering design the G-QED wrapper's
+    // FC-G monitor has no architectural capture registers at all.
+    let entry = all_designs()
+        .into_iter()
+        .find(|e| e.name == "vecadd")
+        .unwrap();
+    let mut d = entry.build_clean();
+    let model = synthesize(&mut d, &QedConfig::gqed());
+    let arch_regs = model
+        .ts
+        .states
+        .iter()
+        .filter(|s| {
+            d.ctx
+                .var_name(s.term)
+                .map(|n| n.starts_with("fcg.arch"))
+                .unwrap_or(false)
+        })
+        .count();
+    assert_eq!(
+        arch_regs, 0,
+        "non-interfering wrapper must not capture arch state"
+    );
+
+    // …and on an interfering design it has exactly two (slots 1 and 2).
+    let entry = all_designs()
+        .into_iter()
+        .find(|e| e.name == "accum")
+        .unwrap();
+    let mut d = entry.build_clean();
+    let model = synthesize(&mut d, &QedConfig::gqed());
+    let arch_regs = model
+        .ts
+        .states
+        .iter()
+        .filter(|s| {
+            d.ctx
+                .var_name(s.term)
+                .map(|n| n.starts_with("fcg.arch"))
+                .unwrap_or(false)
+        })
+        .count();
+    assert_eq!(arch_regs, 2);
+}

@@ -1,0 +1,174 @@
+//! Concrete (simulation-level) validation of the QED wrapper semantics —
+//! no SAT involved, so these tests are fast and independent of the BMC
+//! stack.
+//!
+//! They pin down the wrapper's design contract:
+//! * the transaction tape is frozen (reads are stable across cycles);
+//! * two copies given the *same* schedule stay in lockstep;
+//! * two copies given *different* schedules still produce equal response
+//!   logs on a correct design (the TLD property, checked by simulation on
+//!   sampled schedules);
+//! * the response-bound monitor never fires on a correct design under a
+//!   responsive environment.
+
+use gqed::core::{synthesize, QedConfig};
+use gqed::ha::designs::accum;
+use gqed::ir::Sim;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+struct Harness {
+    design: gqed::ha::Design,
+    model: gqed::core::WrappedModel,
+}
+
+fn harness() -> Harness {
+    let mut design = accum::build(&accum::Params::default(), None);
+    let model = synthesize(&mut design, &QedConfig::gqed());
+    Harness { design, model }
+}
+
+/// Drives the wrapped model for `cycles` with the given per-copy schedule
+/// bits and tape contents; returns each copy's response log at the end.
+fn run_schedules(
+    h: &Harness,
+    tape_vals: &[u128],
+    sched: [&[(bool, bool)]; 2],
+    cycles: usize,
+) -> [Vec<u128>; 2] {
+    let ctx = &h.design.ctx;
+    let ts = &h.model.ts;
+    let mut sim = Sim::new(ctx, ts);
+    for (i, &t) in h.model.tape.iter().enumerate() {
+        sim = sim.with_initial(t, tape_vals[i % tape_vals.len()]);
+    }
+    let mut inp = HashMap::new();
+    for c in 0..cycles {
+        for (copy, probes) in h.model.copies.iter().enumerate() {
+            let (sv, or) = probes.sched_inputs;
+            let (v, r) = sched[copy][c % sched[copy].len()];
+            inp.insert(sv, u128::from(v));
+            inp.insert(or, u128::from(r));
+        }
+        // FC-G triggers: never fire (not under test here).
+        for i in &ts.inputs {
+            inp.entry(*i).or_insert(0);
+        }
+        let r = sim.step(&inp);
+        assert!(
+            r.fired_bads.is_empty(),
+            "QED property fired on the bug-free design at cycle {c}: {:?}",
+            r.fired_bads
+                .iter()
+                .map(|&b| ts.bads[b].name.clone())
+                .collect::<Vec<_>>()
+        );
+    }
+    // Read out the logs by peeking the olog state registers via outputs:
+    // the logs aren't named outputs, so read the completion counters and
+    // packed outputs through the probes instead.
+    let mut logs = [Vec::new(), Vec::new()];
+    for (copy, probes) in h.model.copies.iter().enumerate() {
+        let ocnt = sim.state_value(probes.ocnt);
+        logs[copy].push(ocnt);
+    }
+    logs
+}
+
+/// ACC(5) as a packed accum payload: op(2 bits)=0, data=5 → 5 << 2.
+fn acc_txn(data: u128) -> u128 {
+    data << 2
+}
+
+#[test]
+fn tape_is_frozen() {
+    let h = harness();
+    let ctx = &h.design.ctx;
+    let ts = &h.model.ts;
+    let mut sim = Sim::new(ctx, ts);
+    for &t in &h.model.tape {
+        sim = sim.with_initial(t, 0x2a5);
+    }
+    let mut inp = HashMap::new();
+    for i in &ts.inputs {
+        inp.insert(*i, 1u128);
+    }
+    for _ in 0..8 {
+        sim.step(&inp);
+    }
+    for &t in &h.model.tape {
+        assert_eq!(sim.state_value(t), 0x2a5, "tape word changed");
+    }
+}
+
+#[test]
+fn identical_schedules_keep_copies_in_lockstep() {
+    let h = harness();
+    let sched: Vec<(bool, bool)> = vec![(true, true), (false, true), (true, false), (true, true)];
+    let logs = run_schedules(
+        &h,
+        &[acc_txn(5), acc_txn(9), acc_txn(1), acc_txn(0)],
+        [&sched, &sched],
+        24,
+    );
+    assert_eq!(logs[0], logs[1]);
+}
+
+#[test]
+fn random_divergent_schedules_never_fire_qed_properties() {
+    // The heart of TLD, validated by simulation: on a correct design, no
+    // pair of sampled schedules may trigger any QED bad.
+    let h = harness();
+    let mut rng = StdRng::seed_from_u64(0xdac2023);
+    for round in 0..30 {
+        let mk = |rng: &mut StdRng| -> Vec<(bool, bool)> {
+            (0..16).map(|_| (rng.gen(), rng.gen())).collect()
+        };
+        let s0 = mk(&mut rng);
+        let s1 = mk(&mut rng);
+        let tape: Vec<u128> = (0..4).map(|_| rng.gen::<u128>() & 0x3ff).collect();
+        // run_schedules asserts no bad fires.
+        let _ = run_schedules(&h, &tape, [&s0, &s1], 28);
+        let _ = round;
+    }
+}
+
+#[test]
+fn fcg_triggers_never_fire_on_clean_design() {
+    // Sample schedules *with* FC-G trigger activity: still no violation.
+    let h = harness();
+    let ctx = &h.design.ctx;
+    let ts = &h.model.ts;
+    let mut rng = StdRng::seed_from_u64(7);
+    // Identify the trigger inputs by name.
+    let triggers: Vec<_> = ts
+        .inputs
+        .iter()
+        .copied()
+        .filter(|&i| {
+            ctx.var_name(i)
+                .map(|n| n.starts_with("fcg."))
+                .unwrap_or(false)
+        })
+        .collect();
+    assert_eq!(triggers.len(), 2);
+    for _ in 0..20 {
+        let mut sim = Sim::new(ctx, ts);
+        for &t in &h.model.tape {
+            sim = sim.with_initial(t, u128::from(rng.gen::<u16>() & 0x3ff));
+        }
+        let mut inp = HashMap::new();
+        for c in 0..30 {
+            for i in &ts.inputs {
+                inp.insert(*i, u128::from(rng.gen::<bool>()));
+            }
+            let r = sim.step(&inp);
+            assert!(
+                r.fired_bads.is_empty(),
+                "false positive at cycle {c}: {:?}",
+                r.fired_bads
+            );
+        }
+    }
+}
