@@ -1,20 +1,38 @@
 //! B2 — bit-blasting throughput: lowering each design's one-frame cone to
 //! an AIG. This is the per-frame cost the BMC unroller pays.
+//!
+//! Gated: re-add `criterion` to `gqed-bench`'s dev-dependencies and build
+//! with `RUSTFLAGS="--cfg gqed_criterion"` to run (see CONTRIBUTING.md).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use gqed_bench::gate_count;
-use gqed_ha::all_designs;
+#[cfg(gqed_criterion)]
+mod real {
+    use criterion::{criterion_group, BenchmarkId, Criterion};
+    use gqed_bench::gate_count;
+    use gqed_ha::all_designs;
 
-fn bench_blast_designs(c: &mut Criterion) {
-    let mut group = c.benchmark_group("bitblast/design-frame");
-    for entry in all_designs() {
-        let design = entry.build_clean();
-        group.bench_with_input(BenchmarkId::from_parameter(entry.name), &design, |b, d| {
-            b.iter(|| std::hint::black_box(gate_count(d)))
-        });
+    fn bench_blast_designs(c: &mut Criterion) {
+        let mut group = c.benchmark_group("bitblast/design-frame");
+        for entry in all_designs() {
+            let design = entry.build_clean();
+            group.bench_with_input(BenchmarkId::from_parameter(entry.name), &design, |b, d| {
+                b.iter(|| std::hint::black_box(gate_count(d)))
+            });
+        }
+        group.finish();
     }
-    group.finish();
+
+    criterion_group!(benches, bench_blast_designs);
 }
 
-criterion_group!(benches, bench_blast_designs);
-criterion_main!(benches);
+#[cfg(gqed_criterion)]
+fn main() {
+    real::benches();
+    criterion::Criterion::default()
+        .configure_from_args()
+        .final_summary();
+}
+
+#[cfg(not(gqed_criterion))]
+fn main() {
+    eprintln!("bitblast bench is gated; rebuild with --cfg gqed_criterion (see CONTRIBUTING.md)");
+}

@@ -1,27 +1,45 @@
 //! B3 — BMC frame cost: checking the G-QED properties of the wrapped
 //! `accum` model at increasing bounds. Measures how unrolling depth
 //! translates into solve time (the scalability axis of Figure 1).
+//!
+//! Gated: re-add `criterion` to `gqed-bench`'s dev-dependencies and build
+//! with `RUSTFLAGS="--cfg gqed_criterion"` to run (see CONTRIBUTING.md).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use gqed_bmc::BmcEngine;
-use gqed_core::{synthesize, QedConfig};
-use gqed_ha::designs::accum;
+#[cfg(gqed_criterion)]
+mod real {
+    use criterion::{criterion_group, BenchmarkId, Criterion};
+    use gqed_bmc::BmcEngine;
+    use gqed_core::{synthesize, QedConfig};
+    use gqed_ha::designs::accum;
 
-fn bench_bmc_bounds(c: &mut Criterion) {
-    let mut group = c.benchmark_group("bmc/gqed-accum");
-    group.sample_size(10);
-    for &bound in &[2u32, 4, 6] {
-        group.bench_with_input(BenchmarkId::from_parameter(bound), &bound, |b, &bound| {
-            b.iter(|| {
-                let mut d = accum::build(&accum::Params::default(), None);
-                let model = synthesize(&mut d, &QedConfig::gqed());
-                let mut engine = BmcEngine::new(&d.ctx, &model.ts);
-                std::hint::black_box(engine.check_up_to(bound))
-            })
-        });
+    fn bench_bmc_bounds(c: &mut Criterion) {
+        let mut group = c.benchmark_group("bmc/gqed-accum");
+        group.sample_size(10);
+        for &bound in &[2u32, 4, 6] {
+            group.bench_with_input(BenchmarkId::from_parameter(bound), &bound, |b, &bound| {
+                b.iter(|| {
+                    let mut d = accum::build(&accum::Params::default(), None);
+                    let model = synthesize(&mut d, &QedConfig::gqed());
+                    let mut engine = BmcEngine::new(&d.ctx, &model.ts);
+                    std::hint::black_box(engine.check_up_to(bound))
+                })
+            });
+        }
+        group.finish();
     }
-    group.finish();
+
+    criterion_group!(benches, bench_bmc_bounds);
 }
 
-criterion_group!(benches, bench_bmc_bounds);
-criterion_main!(benches);
+#[cfg(gqed_criterion)]
+fn main() {
+    real::benches();
+    criterion::Criterion::default()
+        .configure_from_args()
+        .final_summary();
+}
+
+#[cfg(not(gqed_criterion))]
+fn main() {
+    eprintln!("bmc_frames bench is gated; rebuild with --cfg gqed_criterion (see CONTRIBUTING.md)");
+}

@@ -1,81 +1,101 @@
 //! B1 — SAT-solver micro-benchmark: random 3-SAT near the phase
 //! transition, plus a structured pigeonhole family. The solver is the
 //! bottom of the whole G-QED stack; its throughput bounds everything else.
+//!
+//! Gated: the criterion dev-dependency is not part of the offline
+//! workspace. Re-add `criterion` (and `rand` if desired) to
+//! `gqed-bench`'s dev-dependencies and build with
+//! `RUSTFLAGS="--cfg gqed_criterion"` to run; by default this binary is a
+//! no-op stub so `cargo bench` still succeeds offline.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use gqed_sat::Solver;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+#[cfg(gqed_criterion)]
+mod real {
+    use criterion::{criterion_group, BenchmarkId, Criterion};
+    use gqed_logic::SplitMix64;
+    use gqed_sat::Solver;
 
-fn random_3sat(num_vars: i32, ratio: f64, seed: u64) -> Vec<Vec<i32>> {
-    let mut rng = StdRng::seed_from_u64(seed);
-    let nc = (num_vars as f64 * ratio) as usize;
-    (0..nc)
-        .map(|_| {
-            let mut c = Vec::new();
-            while c.len() < 3 {
-                let v = rng.gen_range(1..=num_vars);
-                if !c.contains(&v) && !c.contains(&-v) {
-                    c.push(if rng.gen() { v } else { -v });
+    fn random_3sat(num_vars: i32, ratio: f64, seed: u64) -> Vec<Vec<i32>> {
+        let mut rng = SplitMix64::new(seed);
+        let nc = (num_vars as f64 * ratio) as usize;
+        (0..nc)
+            .map(|_| {
+                let mut c = Vec::new();
+                while c.len() < 3 {
+                    let v = rng.range_i32(1, num_vars);
+                    if !c.contains(&v) && !c.contains(&-v) {
+                        c.push(if rng.next_bool() { v } else { -v });
+                    }
+                }
+                c
+            })
+            .collect()
+    }
+
+    fn pigeonhole(pigeons: usize) -> Vec<Vec<i32>> {
+        let holes = pigeons - 1;
+        let var = |p: usize, h: usize| (p * holes + h + 1) as i32;
+        let mut clauses = Vec::new();
+        for p in 0..pigeons {
+            clauses.push((0..holes).map(|h| var(p, h)).collect());
+        }
+        for h in 0..holes {
+            for p1 in 0..pigeons {
+                for p2 in p1 + 1..pigeons {
+                    clauses.push(vec![-var(p1, h), -var(p2, h)]);
                 }
             }
-            c
-        })
-        .collect()
-}
-
-fn pigeonhole(pigeons: usize) -> Vec<Vec<i32>> {
-    let holes = pigeons - 1;
-    let var = |p: usize, h: usize| (p * holes + h + 1) as i32;
-    let mut clauses = Vec::new();
-    for p in 0..pigeons {
-        clauses.push((0..holes).map(|h| var(p, h)).collect());
-    }
-    for h in 0..holes {
-        for p1 in 0..pigeons {
-            for p2 in p1 + 1..pigeons {
-                clauses.push(vec![-var(p1, h), -var(p2, h)]);
-            }
         }
+        clauses
     }
-    clauses
-}
 
-fn bench_random_3sat(c: &mut Criterion) {
-    let mut group = c.benchmark_group("sat/random-3sat@4.1");
-    for &n in &[40, 60, 80] {
-        let instances: Vec<Vec<Vec<i32>>> = (0..4).map(|s| random_3sat(n, 4.1, s)).collect();
-        group.bench_with_input(BenchmarkId::from_parameter(n), &instances, |b, insts| {
-            b.iter(|| {
-                for clauses in insts {
+    fn bench_random_3sat(c: &mut Criterion) {
+        let mut group = c.benchmark_group("sat/random-3sat@4.1");
+        for &n in &[40, 60, 80] {
+            let instances: Vec<Vec<Vec<i32>>> = (0..4).map(|s| random_3sat(n, 4.1, s)).collect();
+            group.bench_with_input(BenchmarkId::from_parameter(n), &instances, |b, insts| {
+                b.iter(|| {
+                    for clauses in insts {
+                        let mut s = Solver::new();
+                        for cl in clauses {
+                            s.add_clause(cl);
+                        }
+                        std::hint::black_box(s.solve(&[]));
+                    }
+                })
+            });
+        }
+        group.finish();
+    }
+
+    fn bench_pigeonhole(c: &mut Criterion) {
+        let mut group = c.benchmark_group("sat/pigeonhole");
+        for &p in &[6usize, 7, 8] {
+            let clauses = pigeonhole(p);
+            group.bench_with_input(BenchmarkId::from_parameter(p), &clauses, |b, cls| {
+                b.iter(|| {
                     let mut s = Solver::new();
-                    for cl in clauses {
+                    for cl in cls {
                         s.add_clause(cl);
                     }
                     std::hint::black_box(s.solve(&[]));
-                }
-            })
-        });
+                })
+            });
+        }
+        group.finish();
     }
-    group.finish();
+
+    criterion_group!(benches, bench_random_3sat, bench_pigeonhole);
 }
 
-fn bench_pigeonhole(c: &mut Criterion) {
-    let mut group = c.benchmark_group("sat/pigeonhole");
-    for &p in &[6usize, 7, 8] {
-        let clauses = pigeonhole(p);
-        group.bench_with_input(BenchmarkId::from_parameter(p), &clauses, |b, cls| {
-            b.iter(|| {
-                let mut s = Solver::new();
-                for cl in cls {
-                    s.add_clause(cl);
-                }
-                std::hint::black_box(s.solve(&[]));
-            })
-        });
-    }
-    group.finish();
+#[cfg(gqed_criterion)]
+fn main() {
+    real::benches();
+    criterion::Criterion::default()
+        .configure_from_args()
+        .final_summary();
 }
 
-criterion_group!(benches, bench_random_3sat, bench_pigeonhole);
-criterion_main!(benches);
+#[cfg(not(gqed_criterion))]
+fn main() {
+    eprintln!("sat_solver bench is gated; rebuild with --cfg gqed_criterion (see CONTRIBUTING.md)");
+}

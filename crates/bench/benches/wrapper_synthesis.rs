@@ -1,23 +1,43 @@
 //! B4 — QED-module synthesis cost: time to build the G-QED wrapper
 //! (tape + dual copies + monitors) around each design. The paper's
 //! productivity claim rests on this being automatic and cheap.
+//!
+//! Gated: re-add `criterion` to `gqed-bench`'s dev-dependencies and build
+//! with `RUSTFLAGS="--cfg gqed_criterion"` to run (see CONTRIBUTING.md).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use gqed_core::{synthesize, QedConfig};
-use gqed_ha::all_designs;
+#[cfg(gqed_criterion)]
+mod real {
+    use criterion::{criterion_group, BenchmarkId, Criterion};
+    use gqed_core::{synthesize, QedConfig};
+    use gqed_ha::all_designs;
 
-fn bench_synthesis(c: &mut Criterion) {
-    let mut group = c.benchmark_group("wrapper/synthesize-gqed");
-    for entry in all_designs() {
-        group.bench_function(BenchmarkId::from_parameter(entry.name), |b| {
-            b.iter_with_setup(
-                || entry.build_clean(),
-                |mut d| std::hint::black_box(synthesize(&mut d, &QedConfig::gqed())),
-            )
-        });
+    fn bench_synthesis(c: &mut Criterion) {
+        let mut group = c.benchmark_group("wrapper/synthesize-gqed");
+        for entry in all_designs() {
+            group.bench_function(BenchmarkId::from_parameter(entry.name), |b| {
+                b.iter_with_setup(
+                    || entry.build_clean(),
+                    |mut d| std::hint::black_box(synthesize(&mut d, &QedConfig::gqed())),
+                )
+            });
+        }
+        group.finish();
     }
-    group.finish();
+
+    criterion_group!(benches, bench_synthesis);
 }
 
-criterion_group!(benches, bench_synthesis);
-criterion_main!(benches);
+#[cfg(gqed_criterion)]
+fn main() {
+    real::benches();
+    criterion::Criterion::default()
+        .configure_from_args()
+        .final_summary();
+}
+
+#[cfg(not(gqed_criterion))]
+fn main() {
+    eprintln!(
+        "wrapper_synthesis bench is gated; rebuild with --cfg gqed_criterion (see CONTRIBUTING.md)"
+    );
+}

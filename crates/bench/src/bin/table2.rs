@@ -9,145 +9,41 @@
 //! only by design-specific assertions — the honest boundary of the
 //! technique.
 //!
+//! The obligations run through the campaign runner, so `--jobs N`
+//! parallelizes the sweep; the rendered table is byte-identical for any
+//! worker count.
+//!
 //! Regenerate with: `cargo run --release -p gqed-bench --bin table2`
-//! (the full sweep takes a few minutes; pass a design name to restrict).
+//! (pass a design name to restrict, `--jobs N` to parallelize).
 
-use gqed_bench::{md_header, md_row};
-use gqed_core::theory::evaluation_bound;
-use gqed_core::{check_design, CheckKind, Verdict};
-use gqed_ha::all_designs;
-
-fn verdict_cell(v: &Verdict) -> String {
-    match v {
-        Verdict::Violation { property, cycles } => format!("✔ {property} ({cycles}cy)"),
-        Verdict::CleanUpTo(b) => format!("– clean@{b}"),
-    }
-}
+use gqed_bench::tables::render_table2;
+use gqed_campaign::Telemetry;
 
 fn main() {
-    let filter = std::env::args().nth(1);
-    let designs = all_designs();
-
-    println!("## Table 2a — A-QED applicability (clean builds)\n");
-    println!(
-        "{}",
-        md_header(&["design", "class", "A-QED on bug-free build"])
-    );
-    for entry in &designs {
-        if let Some(f) = &filter {
-            if f != entry.name {
-                continue;
-            }
-        }
-        let d = entry.build_clean();
-        let o = check_design(&d, CheckKind::AQed, d.meta.recommended_bound.min(14));
-        let cell = match (&o.verdict, entry.interfering) {
-            (Verdict::Violation { .. }, true) => "FALSE ALARM (inapplicable)".to_string(),
-            (Verdict::CleanUpTo(b), _) => format!("clean@{b} (sound)"),
-            (Verdict::Violation { property, .. }, false) => {
-                format!("UNEXPECTED violation: {property}")
-            }
-        };
-        println!(
-            "{}",
-            md_row(&[
-                entry.name.to_string(),
-                if entry.interfering {
-                    "interfering".into()
-                } else {
-                    "non-interfering".into()
-                },
-                cell,
-            ])
-        );
-    }
-
-    println!("\n## Table 2b — bug detection per flow\n");
-    println!(
-        "{}",
-        md_header(&[
-            "design",
-            "bug",
-            "class",
-            "G-QED",
-            "A-QED",
-            "conventional",
-            "expected (G/A/C)",
-            "ok",
-        ])
-    );
-
-    let mut totals = (0u32, 0u32, 0u32, 0u32); // (bugs, gqed hits, conv hits, escapes caught by gqed)
-    let mut mismatches = 0u32;
-    for entry in &designs {
-        if let Some(f) = &filter {
-            if f != entry.name {
-                continue;
-            }
-        }
-        for bug in (entry.bugs)() {
-            let d = entry.build_buggy(bug.id);
-            let bound = evaluation_bound(&d, &bug);
-            // Baseline flows run at the design's recommended bound: deep
-            // enough to catch what they can catch (every conventional hit
-            // and A-QED hit lands well below it), cheap enough that the
-            // escape demonstrations (unsatisfiable unrollings) stay
-            // tractable.
-            let base_bound = d.meta.recommended_bound.min(12);
-            let g = check_design(&d, CheckKind::GQed, bound);
-            let c = check_design(&d, CheckKind::Conventional, base_bound);
-            let a_cell = if entry.interfering {
-                "n/a (interfering)".to_string()
-            } else {
-                let a = check_design(&d, CheckKind::AQed, base_bound);
-                verdict_cell(&a.verdict)
-            };
-            let ok_g = g.verdict.is_violation() == bug.expected.gqed;
-            let ok_c = c.verdict.is_violation() == bug.expected.conventional;
-            if !(ok_g && ok_c) {
-                mismatches += 1;
-            }
-            totals.0 += 1;
-            if g.verdict.is_violation() {
-                totals.1 += 1;
-            }
-            if c.verdict.is_violation() {
-                totals.2 += 1;
-            }
-            if g.verdict.is_violation() && !c.verdict.is_violation() {
-                totals.3 += 1;
-            }
-            println!(
-                "{}",
-                md_row(&[
-                    entry.name.to_string(),
-                    bug.id.to_string(),
-                    format!("{:?}", bug.class),
-                    verdict_cell(&g.verdict),
-                    a_cell,
-                    verdict_cell(&c.verdict),
-                    format!(
-                        "{}/{}/{}",
-                        u8::from(bug.expected.gqed),
-                        u8::from(bug.expected.aqed),
-                        u8::from(bug.expected.conventional)
-                    ),
-                    if ok_g && ok_c {
-                        "✓".into()
-                    } else {
-                        "MISMATCH".into()
-                    },
-                ])
-            );
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let jobs = args
+        .iter()
+        .position(|a| a == "--jobs")
+        .and_then(|i| args.get(i + 1))
+        .map(|v| v.parse().expect("bad --jobs"))
+        .unwrap_or(1);
+    let filter = args
+        .iter()
+        .enumerate()
+        .filter(|(i, a)| {
+            !a.starts_with("--") && args.get(i.wrapping_sub(1)).is_none_or(|p| p != "--jobs")
+        })
+        .map(|(_, a)| a.as_str())
+        .next();
+    if let Some(f) = filter {
+        if !gqed_ha::all_designs().iter().any(|e| e.name == f) {
+            eprintln!("unknown design '{f}'");
+            std::process::exit(2);
         }
     }
-    println!("\n### Summary");
-    println!("catalogued bugs            : {}", totals.0);
-    println!("detected by G-QED          : {}", totals.1);
-    println!("detected by conventional   : {}", totals.2);
-    println!("conventional-flow escapes caught by G-QED: {}", totals.3);
-    println!("verdicts disagreeing with catalogue ground truth: {mismatches}");
-    if mismatches > 0 {
+    let t = render_table2(filter, jobs, &Telemetry::null());
+    print!("{}", t.markdown);
+    if t.mismatches > 0 {
         std::process::exit(1);
     }
 }

@@ -3,63 +3,43 @@
 //! G-QED run on each clean design, plus counterexample data for one
 //! representative bug.
 //!
+//! The `time` column is the obligation's wall-clock; `solve time` is the
+//! BMC engine's own cumulative wall-clock (`BmcStats::wall`) — the gap
+//! between them is wrapper synthesis and cone-of-influence reduction.
+//!
 //! Regenerate with: `cargo run --release -p gqed-bench --bin table3`
+//! (pass a design name to restrict, `--jobs N` to parallelize the runs
+//! through the campaign runner).
 
-use gqed_bench::{md_header, md_row};
-use gqed_core::{check_design, CheckKind, Verdict};
-use gqed_ha::all_designs;
+use gqed_bench::tables::render_table3;
+use gqed_campaign::Telemetry;
 
 fn main() {
-    println!("## Table 3 — G-QED model-checking effort per design\n");
-    println!(
-        "{}",
-        md_header(&[
-            "design",
-            "bound",
-            "CNF vars",
-            "CNF clauses",
-            "AIG gates",
-            "conflicts",
-            "time",
-            "repr. bug",
-            "cex cycles",
-            "bug time",
-        ])
-    );
-    for entry in all_designs() {
-        let clean = entry.build_clean();
-        let bound = clean.meta.recommended_bound.min(12);
-        let o = check_design(&clean, CheckKind::GQed, bound);
-        assert!(!o.verdict.is_violation(), "{}: false positive", entry.name);
-
-        // Representative bug: the first G-QED-detectable one.
-        let bug = (entry.bugs)()
-            .into_iter()
-            .find(|b| b.expected.gqed)
-            .expect("every design has a detectable bug");
-        let buggy = entry.build_buggy(bug.id);
-        let bo = check_design(&buggy, CheckKind::GQed, 20);
-        let (cex, btime) = match &bo.verdict {
-            Verdict::Violation { cycles, .. } => {
-                (cycles.to_string(), format!("{:.2?}", bo.elapsed))
-            }
-            Verdict::CleanUpTo(_) => ("MISSED".into(), "-".into()),
-        };
-
-        println!(
-            "{}",
-            md_row(&[
-                entry.name.to_string(),
-                bound.to_string(),
-                o.stats.cnf_vars.to_string(),
-                o.stats.cnf_clauses.to_string(),
-                o.stats.aig_ands.to_string(),
-                o.stats.solver.conflicts.to_string(),
-                format!("{:.2?}", o.elapsed),
-                bug.id.to_string(),
-                cex,
-                btime,
-            ])
-        );
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let jobs = args
+        .iter()
+        .position(|a| a == "--jobs")
+        .and_then(|i| args.get(i + 1))
+        .map(|v| v.parse().expect("bad --jobs"))
+        .unwrap_or(1);
+    let filter = args
+        .iter()
+        .enumerate()
+        .filter(|(i, a)| {
+            !a.starts_with("--") && args.get(i.wrapping_sub(1)).is_none_or(|p| p != "--jobs")
+        })
+        .map(|(_, a)| a.as_str())
+        .next();
+    if let Some(f) = filter {
+        if !gqed_ha::all_designs().iter().any(|e| e.name == f) {
+            eprintln!("unknown design '{f}'");
+            std::process::exit(2);
+        }
+    }
+    let t = render_table3(filter, jobs, &Telemetry::null());
+    print!("{}", t.markdown);
+    if t.mismatches > 0 {
+        eprintln!("{} rows disagree with the catalogue", t.mismatches);
+        std::process::exit(1);
     }
 }

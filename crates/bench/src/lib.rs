@@ -7,11 +7,11 @@
 //! Markdown emission, and the random-simulation baseline used by F2.
 
 #![warn(missing_docs)]
+pub mod tables;
+
 use gqed_ha::Design;
 use gqed_ir::{BitBlaster, Sim};
-use gqed_logic::Aig;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use gqed_logic::{Aig, SplitMix64};
 use std::collections::HashMap;
 
 /// Bit-blasts one frame of the design (all next-state functions plus
@@ -67,7 +67,7 @@ pub fn random_differential_expose(
     seed: u64,
     max_cycles: u64,
 ) -> ExposeResult {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::new(seed);
     let mut sim_c = Sim::new(&clean.ctx, &clean.ts);
     let mut sim_b = Sim::new(&buggy.ctx, &buggy.ts);
     // Uninitialized states in the buggy build start at a random value
@@ -75,8 +75,7 @@ pub fn random_differential_expose(
     for s in &buggy.ts.states {
         if s.init.is_none() {
             let w = buggy.ctx.width(s.term);
-            let v = rng.gen::<u128>() & if w >= 128 { u128::MAX } else { (1 << w) - 1 };
-            sim_b = sim_b.with_initial(s.term, v);
+            sim_b = sim_b.with_initial(s.term, rng.bits(w));
         }
     }
 
@@ -86,15 +85,15 @@ pub fn random_differential_expose(
         // Identical stimulus for both builds (the interfaces are
         // structurally identical, so payload k of one maps to payload k
         // of the other).
-        let iv = u128::from(rng.gen::<bool>());
-        let or = u128::from(rng.gen_ratio(3, 4)); // mostly responsive env
+        let iv = u128::from(rng.next_bool());
+        let or = u128::from(rng.ratio(3, 4)); // mostly responsive env
         inp_c.insert(clean.iface.in_valid, iv);
         inp_b.insert(buggy.iface.in_valid, iv);
         inp_c.insert(clean.iface.out_ready, or);
         inp_b.insert(buggy.iface.out_ready, or);
         for (pc, pb) in clean.iface.in_payload.iter().zip(&buggy.iface.in_payload) {
             let w = clean.ctx.width(*pc);
-            let v = rng.gen::<u128>() & if w >= 128 { u128::MAX } else { (1 << w) - 1 };
+            let v = rng.bits(w);
             inp_c.insert(*pc, v);
             inp_b.insert(*pb, v);
         }

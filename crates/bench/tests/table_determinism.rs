@@ -1,0 +1,19 @@
+//! Satellite: Table 2 is byte-identical regardless of campaign worker
+//! count. Rows are rendered from the deterministically ordered record
+//! vector, never from completion order — this test pins that down on a
+//! single-design subset (the full sweep is the table binary's job).
+
+use gqed_bench::tables::render_table2;
+use gqed_campaign::Telemetry;
+
+#[test]
+fn table2_bytes_identical_across_worker_counts() {
+    let one = render_table2(Some("relu"), 1, &Telemetry::null());
+    let four = render_table2(Some("relu"), 4, &Telemetry::null());
+    assert_eq!(one.mismatches, 0);
+    assert_eq!(four.mismatches, 0);
+    assert_eq!(one.markdown, four.markdown);
+    // Sanity: the subset actually rendered rows.
+    assert!(one.markdown.contains("relu"));
+    assert!(one.markdown.contains("Table 2b"));
+}

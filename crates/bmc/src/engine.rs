@@ -13,8 +13,11 @@ use crate::trace::Trace;
 use gqed_ir::{BitBlaster, Context, TermId, TransitionSystem};
 use gqed_logic::aig::{Aig, AigLit};
 use gqed_logic::{Cnf, Tseitin};
-use gqed_sat::{SatResult, Solver, SolverStats};
+use gqed_sat::{SolveOutcome, Solver, SolverStats};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// Outcome of a bounded check.
 #[derive(Clone, Debug)]
@@ -40,6 +43,86 @@ impl BmcResult {
     }
 }
 
+/// Why a limited check stopped without a verdict.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum StopReason {
+    /// The per-query conflict budget ran out.
+    BudgetExhausted,
+    /// The cooperative cancellation flag was raised.
+    Interrupted,
+    /// The wall-clock deadline passed.
+    DeadlineExpired,
+}
+
+impl StopReason {
+    /// The stop reason of an inconclusive solver outcome, `None` for
+    /// verdicts.
+    pub fn from_outcome(outcome: SolveOutcome) -> Option<StopReason> {
+        match outcome {
+            SolveOutcome::BudgetExhausted => Some(StopReason::BudgetExhausted),
+            SolveOutcome::Interrupted => Some(StopReason::Interrupted),
+            SolveOutcome::DeadlineExpired => Some(StopReason::DeadlineExpired),
+            SolveOutcome::Sat | SolveOutcome::Unsat => None,
+        }
+    }
+}
+
+/// Outcome of a limited bounded check ([`BmcEngine::try_check_up_to`]).
+#[derive(Clone, Debug)]
+pub enum BmcStatus {
+    /// A violation was found (and confirmed by concrete replay).
+    Violated(Trace),
+    /// No `bad` property fires within the given bound (inclusive).
+    NoneUpTo(u32),
+    /// The check stopped early without a verdict.
+    Stopped {
+        /// The frame being examined when the check stopped. Frames
+        /// `0..frame` are fully checked and clean.
+        frame: u32,
+        /// Why the check stopped.
+        reason: StopReason,
+    },
+}
+
+impl BmcStatus {
+    /// Whether a violation was found.
+    pub fn is_violated(&self) -> bool {
+        matches!(self, BmcStatus::Violated(_))
+    }
+}
+
+/// Resource limits applied to each solver query of a limited check.
+/// `Default` means unlimited: no budget, no deadline, no interrupt.
+#[derive(Clone, Default)]
+pub struct BmcLimits {
+    /// Conflict budget per solver query.
+    pub budget: Option<u64>,
+    /// Wall-clock deadline for the whole check.
+    pub deadline: Option<Instant>,
+    /// Cooperative cancellation flag, shared with whoever may want to stop
+    /// this check (e.g. a faster racing engine).
+    pub interrupt: Option<Arc<AtomicBool>>,
+}
+
+impl BmcLimits {
+    /// Polls the wall-clock signals (interrupt and deadline, not budget) —
+    /// used between frames so a raised flag stops the check before the
+    /// next frame is encoded, not just at the next solver call.
+    pub fn poll(&self) -> Option<StopReason> {
+        if let Some(flag) = &self.interrupt {
+            if flag.load(Ordering::Relaxed) {
+                return Some(StopReason::Interrupted);
+            }
+        }
+        if let Some(d) = self.deadline {
+            if Instant::now() >= d {
+                return Some(StopReason::DeadlineExpired);
+            }
+        }
+        None
+    }
+}
+
 /// Size and effort metrics of an engine instance (reported in the
 /// evaluation tables).
 #[derive(Clone, Copy, Debug)]
@@ -52,6 +135,9 @@ pub struct BmcStats {
     pub cnf_vars: u32,
     /// CNF clauses added.
     pub cnf_clauses: usize,
+    /// Cumulative wall-clock time spent inside this engine's check calls
+    /// (encoding + solving + trace extraction).
+    pub wall: Duration,
     /// SAT solver search statistics.
     pub solver: SolverStats,
 }
@@ -84,6 +170,8 @@ pub struct BmcEngine<'a> {
     bad_lits: HashMap<(usize, u32), i32>,
     /// Number of CNF clauses already mirrored into the solver.
     synced_clauses: usize,
+    /// Wall-clock time accumulated across check calls.
+    wall: Duration,
 }
 
 impl<'a> BmcEngine<'a> {
@@ -100,6 +188,7 @@ impl<'a> BmcEngine<'a> {
             init_state_bits: HashMap::new(),
             bad_lits: HashMap::new(),
             synced_clauses: 0,
+            wall: Duration::ZERO,
         }
     }
 
@@ -120,6 +209,7 @@ impl<'a> BmcEngine<'a> {
             aig_ands: self.aig.num_ands(),
             cnf_vars: self.cnf.num_vars(),
             cnf_clauses: self.cnf.num_clauses(),
+            wall: self.wall,
             solver: self.solver.stats(),
         }
     }
@@ -225,25 +315,72 @@ impl<'a> BmcEngine<'a> {
         lit
     }
 
+    /// Runs one solver query under the given limits.
+    fn solve_query(&mut self, assumptions: &[i32], limits: &BmcLimits) -> SolveOutcome {
+        match &limits.interrupt {
+            Some(flag) => self.solver.set_interrupt(Arc::clone(flag)),
+            None => self.solver.clear_interrupt(),
+        }
+        match limits.deadline {
+            Some(d) => self.solver.set_deadline(d),
+            None => self.solver.clear_deadline(),
+        }
+        self.solver
+            .solve_bounded(assumptions, limits.budget.unwrap_or(u64::MAX))
+    }
+
+    fn stop_reason(outcome: SolveOutcome) -> StopReason {
+        StopReason::from_outcome(outcome).expect("verdicts are handled before stop_reason")
+    }
+
     /// Checks a single `bad` property at exactly `frame`; returns a
     /// replay-confirmed trace if violated there.
     pub fn check_bad_at(&mut self, bad_index: usize, frame: u32) -> Option<Trace> {
+        let t0 = Instant::now();
+        let r = self
+            .check_bad_at_inner(bad_index, frame, &BmcLimits::default())
+            .expect("unlimited check cannot stop early");
+        self.wall += t0.elapsed();
+        r
+    }
+
+    /// [`BmcEngine::check_bad_at`] under resource limits: `Err` carries the
+    /// reason the query stopped without a verdict.
+    pub fn check_bad_at_limited(
+        &mut self,
+        bad_index: usize,
+        frame: u32,
+        limits: &BmcLimits,
+    ) -> Result<Option<Trace>, StopReason> {
+        let t0 = Instant::now();
+        let r = self.check_bad_at_inner(bad_index, frame, limits);
+        self.wall += t0.elapsed();
+        r
+    }
+
+    fn check_bad_at_inner(
+        &mut self,
+        bad_index: usize,
+        frame: u32,
+        limits: &BmcLimits,
+    ) -> Result<Option<Trace>, StopReason> {
         let bad_lit = self.encode_bad_at(bad_index, frame);
         // Constraint clauses added during extension must reach the solver
         // too; encode_bad_at only syncs its own cone, so sync again.
         self.flush_cnf();
         let mut assumptions = self.constraint_assumptions(frame);
         assumptions.push(bad_lit);
-        match self.solver.solve(&assumptions) {
-            SatResult::Unsat => None,
-            SatResult::Sat => {
+        match self.solve_query(&assumptions, limits) {
+            SolveOutcome::Unsat => Ok(None),
+            SolveOutcome::Sat => {
                 let trace = self.extract_trace(bad_index, frame);
                 // Hard soundness guard: every trace must replay concretely.
                 replay(self.ctx, self.ts, &trace).unwrap_or_else(|e| {
                     panic!("BMC produced a non-replayable counterexample: {e}")
                 });
-                Some(trace)
+                Ok(Some(trace))
             }
+            stop => Err(Self::stop_reason(stop)),
         }
     }
 
@@ -271,11 +408,36 @@ impl<'a> BmcEngine<'a> {
     /// property); returns a replay-confirmed trace for the property that
     /// fired, if any.
     pub fn check_any_bad_at(&mut self, frame: u32) -> Option<Trace> {
+        let t0 = Instant::now();
+        let r = self
+            .check_any_bad_at_inner(frame, &BmcLimits::default())
+            .expect("unlimited check cannot stop early");
+        self.wall += t0.elapsed();
+        r
+    }
+
+    /// [`BmcEngine::check_any_bad_at`] under resource limits.
+    pub fn check_any_bad_at_limited(
+        &mut self,
+        frame: u32,
+        limits: &BmcLimits,
+    ) -> Result<Option<Trace>, StopReason> {
+        let t0 = Instant::now();
+        let r = self.check_any_bad_at_inner(frame, limits);
+        self.wall += t0.elapsed();
+        r
+    }
+
+    fn check_any_bad_at_inner(
+        &mut self,
+        frame: u32,
+        limits: &BmcLimits,
+    ) -> Result<Option<Trace>, StopReason> {
         if self.ts.bads.is_empty() {
-            return None;
+            return Ok(None);
         }
         if self.ts.bads.len() == 1 {
-            return self.check_bad_at(0, frame);
+            return self.check_bad_at_inner(0, frame, limits);
         }
         // Blast every bad at this frame and OR them in the AIG (sharing
         // their cones), caching the individual bits for identification.
@@ -294,15 +456,15 @@ impl<'a> BmcEngine<'a> {
         }
         let any = self.aig.or_all(&bad_bits);
         if any == AigLit::FALSE {
-            return None; // all bads fold to constant false here
+            return Ok(None); // all bads fold to constant false here
         }
         let any_lit = self.tseitin.lit(&self.aig, &mut self.cnf, any);
         self.flush_cnf();
         let mut assumptions = self.constraint_assumptions(frame);
         assumptions.push(any_lit);
-        match self.solver.solve(&assumptions) {
-            SatResult::Unsat => None,
-            SatResult::Sat => {
+        match self.solve_query(&assumptions, limits) {
+            SolveOutcome::Unsat => Ok(None),
+            SolveOutcome::Sat => {
                 // Identify which property fired in the model.
                 let bad_index = bad_bits
                     .iter()
@@ -312,8 +474,9 @@ impl<'a> BmcEngine<'a> {
                 replay(self.ctx, self.ts, &trace).unwrap_or_else(|e| {
                     panic!("BMC produced a non-replayable counterexample: {e}")
                 });
-                Some(trace)
+                Ok(Some(trace))
             }
+            stop => Err(Self::stop_reason(stop)),
         }
     }
 
@@ -326,12 +489,36 @@ impl<'a> BmcEngine<'a> {
     /// Checks all `bad` properties at frames `0..=bound`, depth-first by
     /// frame; returns the first (shallowest) confirmed violation.
     pub fn check_up_to(&mut self, bound: u32) -> BmcResult {
+        match self.try_check_up_to(bound, &BmcLimits::default()) {
+            BmcStatus::Violated(t) => BmcResult::Violated(t),
+            BmcStatus::NoneUpTo(b) => BmcResult::NoneUpTo(b),
+            BmcStatus::Stopped { .. } => unreachable!("no limits installed"),
+        }
+    }
+
+    /// [`BmcEngine::check_up_to`] under resource limits. The interrupt
+    /// flag and deadline are also polled *between* frames, so a raised
+    /// flag stops the check before the next frame is even encoded; frames
+    /// `0..frame` of a [`BmcStatus::Stopped`] result are fully checked.
+    pub fn try_check_up_to(&mut self, bound: u32, limits: &BmcLimits) -> BmcStatus {
+        let t0 = Instant::now();
+        let status = self.try_check_up_to_inner(bound, limits);
+        self.wall += t0.elapsed();
+        status
+    }
+
+    fn try_check_up_to_inner(&mut self, bound: u32, limits: &BmcLimits) -> BmcStatus {
         for frame in 0..=bound {
-            if let Some(t) = self.check_any_bad_at(frame) {
-                return BmcResult::Violated(t);
+            if let Some(reason) = limits.poll() {
+                return BmcStatus::Stopped { frame, reason };
+            }
+            match self.check_any_bad_at_inner(frame, limits) {
+                Ok(Some(t)) => return BmcStatus::Violated(t),
+                Ok(None) => {}
+                Err(reason) => return BmcStatus::Stopped { frame, reason },
             }
         }
-        BmcResult::NoneUpTo(bound)
+        BmcStatus::NoneUpTo(bound)
     }
 
     /// Reads the model value of a vector of AIG literals.
@@ -514,6 +701,73 @@ mod tests {
         assert!(s6.frames > s2.frames);
         assert!(s6.cnf_clauses >= s2.cnf_clauses);
         assert!(s6.aig_ands >= s2.aig_ands);
+    }
+
+    #[test]
+    fn wall_time_accumulates() {
+        let (ctx, ts) = counter_reaches(200, 8);
+        let mut engine = BmcEngine::new(&ctx, &ts);
+        assert_eq!(engine.stats().wall, Duration::ZERO);
+        let _ = engine.check_up_to(4);
+        let w4 = engine.stats().wall;
+        assert!(w4 > Duration::ZERO);
+        let _ = engine.check_up_to(8);
+        assert!(engine.stats().wall >= w4);
+    }
+
+    #[test]
+    fn raised_interrupt_stops_check() {
+        let (ctx, ts) = counter_reaches(200, 8);
+        let mut engine = BmcEngine::new(&ctx, &ts);
+        let flag = Arc::new(AtomicBool::new(true));
+        let limits = BmcLimits {
+            interrupt: Some(Arc::clone(&flag)),
+            ..BmcLimits::default()
+        };
+        match engine.try_check_up_to(10, &limits) {
+            BmcStatus::Stopped {
+                frame: 0,
+                reason: StopReason::Interrupted,
+            } => {}
+            other => panic!("expected immediate interrupt, got {other:?}"),
+        }
+        // Lowering the flag lets the same engine finish.
+        flag.store(false, Ordering::Relaxed);
+        assert!(matches!(
+            engine.try_check_up_to(10, &limits),
+            BmcStatus::NoneUpTo(10)
+        ));
+    }
+
+    #[test]
+    fn expired_deadline_stops_check() {
+        let (ctx, ts) = counter_reaches(200, 8);
+        let mut engine = BmcEngine::new(&ctx, &ts);
+        let limits = BmcLimits {
+            deadline: Some(Instant::now()),
+            ..BmcLimits::default()
+        };
+        match engine.try_check_up_to(10, &limits) {
+            BmcStatus::Stopped {
+                reason: StopReason::DeadlineExpired,
+                ..
+            } => {}
+            other => panic!("expected deadline stop, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn limited_check_still_finds_violations() {
+        let (ctx, ts) = counter_reaches(3, 8);
+        let mut engine = BmcEngine::new(&ctx, &ts);
+        let limits = BmcLimits {
+            budget: Some(1_000_000),
+            ..BmcLimits::default()
+        };
+        match engine.try_check_up_to(10, &limits) {
+            BmcStatus::Violated(t) => assert_eq!(t.len(), 4),
+            other => panic!("expected violation, got {other:?}"),
+        }
     }
 
     #[test]

@@ -15,13 +15,14 @@
 //! is used to certify the bug-free design versions (the "passes G-QED"
 //! rows) beyond the BMC bound.
 
-use crate::engine::BmcEngine;
+use crate::engine::{BmcEngine, BmcLimits, StopReason};
 use crate::trace::Trace;
 use gqed_ir::{BitBlaster, Context, TransitionSystem};
 use gqed_logic::aig::Aig;
 use gqed_logic::{Cnf, Tseitin};
-use gqed_sat::{SatResult, Solver};
+use gqed_sat::{SolveOutcome, Solver};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Outcome of a k-induction proof attempt.
 #[derive(Clone, Debug)]
@@ -37,6 +38,15 @@ pub enum ProofResult {
     Unknown {
         /// The depth limit that was exhausted.
         max_k: u32,
+    },
+    /// The attempt stopped early under resource limits
+    /// ([`prove_k_induction_limited`]).
+    Cancelled {
+        /// Depth being examined when the attempt stopped; depths `0..k`
+        /// completed both their base and step queries.
+        k: u32,
+        /// Why the attempt stopped.
+        reason: StopReason,
     },
 }
 
@@ -55,13 +65,35 @@ pub fn prove_k_induction(
     bad_index: usize,
     max_k: u32,
 ) -> ProofResult {
+    prove_k_induction_limited(ctx, ts, bad_index, max_k, &BmcLimits::default())
+}
+
+/// [`prove_k_induction`] under resource limits: the base-case and
+/// inductive-step queries both run with the limits' conflict budget,
+/// deadline and interrupt flag, and the flag is additionally polled
+/// between depths so cancellation lands before the next (exponentially
+/// larger) step query is even encoded.
+pub fn prove_k_induction_limited(
+    ctx: &Context,
+    ts: &TransitionSystem,
+    bad_index: usize,
+    max_k: u32,
+    limits: &BmcLimits,
+) -> ProofResult {
     let mut base = BmcEngine::new(ctx, ts);
     for k in 0..=max_k {
-        if let Some(trace) = base.check_bad_at(bad_index, k) {
-            return ProofResult::Falsified(trace);
+        if let Some(reason) = limits.poll() {
+            return ProofResult::Cancelled { k, reason };
         }
-        if inductive_step_holds(ctx, ts, bad_index, k) {
-            return ProofResult::Proven { k };
+        match base.check_bad_at_limited(bad_index, k, limits) {
+            Ok(Some(trace)) => return ProofResult::Falsified(trace),
+            Ok(None) => {}
+            Err(reason) => return ProofResult::Cancelled { k, reason },
+        }
+        match inductive_step_holds(ctx, ts, bad_index, k, limits) {
+            Ok(true) => return ProofResult::Proven { k },
+            Ok(false) => {}
+            Err(reason) => return ProofResult::Cancelled { k, reason },
         }
     }
     ProofResult::Unknown { max_k }
@@ -69,8 +101,14 @@ pub fn prove_k_induction(
 
 /// Checks the inductive step at depth `k`: from an arbitrary state, `k`
 /// violation-free constrained cycles cannot be followed by a violation.
-/// Returns true iff the step query is unsatisfiable.
-fn inductive_step_holds(ctx: &Context, ts: &TransitionSystem, bad_index: usize, k: u32) -> bool {
+/// Returns `Ok(true)` iff the step query is unsatisfiable.
+fn inductive_step_holds(
+    ctx: &Context,
+    ts: &TransitionSystem,
+    bad_index: usize,
+    k: u32,
+    limits: &BmcLimits,
+) -> Result<bool, StopReason> {
     let mut aig = Aig::new();
     let mut cnf = Cnf::new();
     let mut enc = Tseitin::new();
@@ -115,7 +153,17 @@ fn inductive_step_holds(ctx: &Context, ts: &TransitionSystem, bad_index: usize, 
     for c in cnf.clauses() {
         solver.add_clause(c);
     }
-    solver.solve(&[]) == SatResult::Unsat
+    if let Some(flag) = &limits.interrupt {
+        solver.set_interrupt(Arc::clone(flag));
+    }
+    if let Some(d) = limits.deadline {
+        solver.set_deadline(d);
+    }
+    match solver.solve_bounded(&[], limits.budget.unwrap_or(u64::MAX)) {
+        SolveOutcome::Unsat => Ok(true),
+        SolveOutcome::Sat => Ok(false),
+        stop => Err(StopReason::from_outcome(stop).expect("verdicts handled above")),
+    }
 }
 
 #[cfg(test)]

@@ -24,8 +24,8 @@ pub mod kind;
 pub mod replay;
 pub mod trace;
 
-pub use engine::{BmcEngine, BmcResult, BmcStats};
+pub use engine::{BmcEngine, BmcLimits, BmcResult, BmcStats, BmcStatus, StopReason};
 pub use equiv::{prove_equivalent, EquivResult};
-pub use kind::{prove_k_induction, ProofResult};
+pub use kind::{prove_k_induction, prove_k_induction_limited, ProofResult};
 pub use replay::{replay, ReplayError};
 pub use trace::Trace;

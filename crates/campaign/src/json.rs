@@ -1,0 +1,424 @@
+//! A minimal in-tree JSON encoder (and validator, for tests).
+//!
+//! The telemetry stream is JSONL: one self-contained JSON object per line.
+//! The workspace is dependency-free by policy, so this module implements
+//! the small subset of JSON the campaign needs — objects with ordered
+//! keys, strings, integers, floats, booleans, nulls and arrays — plus a
+//! recursive-descent validator used by the test-suite to assert every
+//! emitted line is well-formed.
+
+use std::fmt::Write as _;
+
+/// An owned JSON value. Object keys keep insertion order so emitted lines
+/// are byte-stable across runs — a requirement for the determinism tests.
+#[derive(Clone, Debug, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A signed integer (covers all counters the campaign emits).
+    Int(i64),
+    /// An unsigned integer (solver statistics are `u64`).
+    UInt(u64),
+    /// A finite float; non-finite values render as `null`.
+    Float(f64),
+    /// A string (escaped on render).
+    Str(String),
+    /// An array.
+    Array(Vec<JsonValue>),
+    /// An object with insertion-ordered keys.
+    Object(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// An empty object, ready for [`JsonValue::field`] chaining.
+    pub fn obj() -> JsonValue {
+        JsonValue::Object(Vec::new())
+    }
+
+    /// Appends a field (builder style). Panics if `self` is not an object.
+    pub fn field(mut self, key: &str, value: impl Into<JsonValue>) -> JsonValue {
+        match &mut self {
+            JsonValue::Object(fields) => fields.push((key.to_string(), value.into())),
+            other => panic!("field() on non-object {other:?}"),
+        }
+        self
+    }
+
+    /// Renders the value as compact JSON (no whitespace).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out);
+        out
+    }
+
+    fn render_into(&self, out: &mut String) {
+        match self {
+            JsonValue::Null => out.push_str("null"),
+            JsonValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            JsonValue::Int(i) => {
+                let _ = write!(out, "{i}");
+            }
+            JsonValue::UInt(u) => {
+                let _ = write!(out, "{u}");
+            }
+            JsonValue::Float(f) => {
+                if f.is_finite() {
+                    let _ = write!(out, "{f}");
+                } else {
+                    out.push_str("null");
+                }
+            }
+            JsonValue::Str(s) => escape_into(s, out),
+            JsonValue::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.render_into(out);
+                }
+                out.push(']');
+            }
+            JsonValue::Object(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    escape_into(k, out);
+                    out.push(':');
+                    v.render_into(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+impl From<bool> for JsonValue {
+    fn from(b: bool) -> Self {
+        JsonValue::Bool(b)
+    }
+}
+impl From<i64> for JsonValue {
+    fn from(i: i64) -> Self {
+        JsonValue::Int(i)
+    }
+}
+impl From<u32> for JsonValue {
+    fn from(u: u32) -> Self {
+        JsonValue::UInt(u64::from(u))
+    }
+}
+impl From<u64> for JsonValue {
+    fn from(u: u64) -> Self {
+        JsonValue::UInt(u)
+    }
+}
+impl From<usize> for JsonValue {
+    fn from(u: usize) -> Self {
+        JsonValue::UInt(u as u64)
+    }
+}
+impl From<f64> for JsonValue {
+    fn from(f: f64) -> Self {
+        JsonValue::Float(f)
+    }
+}
+impl From<&str> for JsonValue {
+    fn from(s: &str) -> Self {
+        JsonValue::Str(s.to_string())
+    }
+}
+impl From<String> for JsonValue {
+    fn from(s: String) -> Self {
+        JsonValue::Str(s)
+    }
+}
+impl<T: Into<JsonValue>> From<Option<T>> for JsonValue {
+    fn from(o: Option<T>) -> Self {
+        match o {
+            Some(v) => v.into(),
+            None => JsonValue::Null,
+        }
+    }
+}
+
+fn escape_into(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Validates that `s` is exactly one well-formed JSON value (per RFC 8259
+/// grammar, minus `\u` surrogate-pair pairing checks). Used by the tests
+/// to assert every telemetry line parses.
+pub fn is_valid_json(s: &str) -> bool {
+    let b = s.as_bytes();
+    let mut pos = 0usize;
+    skip_ws(b, &mut pos);
+    if !parse_value(b, &mut pos) {
+        return false;
+    }
+    skip_ws(b, &mut pos);
+    pos == b.len()
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> bool {
+    match b.get(*pos) {
+        Some(b'{') => parse_object(b, pos),
+        Some(b'[') => parse_array(b, pos),
+        Some(b'"') => parse_string(b, pos),
+        Some(b't') => parse_lit(b, pos, b"true"),
+        Some(b'f') => parse_lit(b, pos, b"false"),
+        Some(b'n') => parse_lit(b, pos, b"null"),
+        Some(b'-' | b'0'..=b'9') => parse_number(b, pos),
+        _ => false,
+    }
+}
+
+fn parse_lit(b: &[u8], pos: &mut usize, lit: &[u8]) -> bool {
+    if b[*pos..].starts_with(lit) {
+        *pos += lit.len();
+        true
+    } else {
+        false
+    }
+}
+
+fn parse_object(b: &[u8], pos: &mut usize) -> bool {
+    *pos += 1; // '{'
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return true;
+    }
+    loop {
+        skip_ws(b, pos);
+        if !parse_string(b, pos) {
+            return false;
+        }
+        skip_ws(b, pos);
+        if b.get(*pos) != Some(&b':') {
+            return false;
+        }
+        *pos += 1;
+        skip_ws(b, pos);
+        if !parse_value(b, pos) {
+            return false;
+        }
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return true;
+            }
+            _ => return false,
+        }
+    }
+}
+
+fn parse_array(b: &[u8], pos: &mut usize) -> bool {
+    *pos += 1; // '['
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return true;
+    }
+    loop {
+        skip_ws(b, pos);
+        if !parse_value(b, pos) {
+            return false;
+        }
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return true;
+            }
+            _ => return false,
+        }
+    }
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> bool {
+    if b.get(*pos) != Some(&b'"') {
+        return false;
+    }
+    *pos += 1;
+    while let Some(&c) = b.get(*pos) {
+        match c {
+            b'"' => {
+                *pos += 1;
+                return true;
+            }
+            b'\\' => {
+                *pos += 1;
+                match b.get(*pos) {
+                    Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => *pos += 1,
+                    Some(b'u') => {
+                        *pos += 1;
+                        for _ in 0..4 {
+                            match b.get(*pos) {
+                                Some(h) if h.is_ascii_hexdigit() => *pos += 1,
+                                _ => return false,
+                            }
+                        }
+                    }
+                    _ => return false,
+                }
+            }
+            0x00..=0x1f => return false, // raw control char
+            _ => *pos += 1,
+        }
+    }
+    false // unterminated
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> bool {
+    if b.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    match b.get(*pos) {
+        Some(b'0') => *pos += 1,
+        Some(b'1'..=b'9') => {
+            while matches!(b.get(*pos), Some(b'0'..=b'9')) {
+                *pos += 1;
+            }
+        }
+        _ => return false,
+    }
+    if b.get(*pos) == Some(&b'.') {
+        *pos += 1;
+        if !matches!(b.get(*pos), Some(b'0'..=b'9')) {
+            return false;
+        }
+        while matches!(b.get(*pos), Some(b'0'..=b'9')) {
+            *pos += 1;
+        }
+    }
+    if matches!(b.get(*pos), Some(b'e' | b'E')) {
+        *pos += 1;
+        if matches!(b.get(*pos), Some(b'+' | b'-')) {
+            *pos += 1;
+        }
+        if !matches!(b.get(*pos), Some(b'0'..=b'9')) {
+            return false;
+        }
+        while matches!(b.get(*pos), Some(b'0'..=b'9')) {
+            *pos += 1;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_ordered_object() {
+        let v = JsonValue::obj()
+            .field("type", "job_start")
+            .field("attempt", 1u32)
+            .field("bug", Option::<&str>::None)
+            .field("ok", true);
+        assert_eq!(
+            v.render(),
+            r#"{"type":"job_start","attempt":1,"bug":null,"ok":true}"#
+        );
+    }
+
+    #[test]
+    fn escapes_strings() {
+        let v = JsonValue::from("a\"b\\c\nd\te\u{1}");
+        assert_eq!(v.render(), r#""a\"b\\c\nd\te\u0001""#);
+        assert!(is_valid_json(&v.render()));
+    }
+
+    #[test]
+    fn every_rendered_value_validates() {
+        let v = JsonValue::obj()
+            .field("s", "héllo ✓")
+            .field("n", -42i64)
+            .field("u", u64::MAX)
+            .field("f", 1.5f64)
+            .field(
+                "a",
+                JsonValue::Array(vec![JsonValue::Null, JsonValue::Bool(false)]),
+            )
+            .field("o", JsonValue::obj().field("k", 0u32));
+        assert!(is_valid_json(&v.render()));
+    }
+
+    #[test]
+    fn validator_accepts_canonical_forms() {
+        for ok in [
+            "null",
+            "true",
+            "0",
+            "-1",
+            "1.25e-3",
+            r#""""#,
+            r#""\u00e9""#,
+            "[]",
+            "[1,2,3]",
+            "{}",
+            r#"{"a":[{"b":null}]}"#,
+            "  { \"x\" : 1 }  ",
+        ] {
+            assert!(is_valid_json(ok), "should accept: {ok}");
+        }
+    }
+
+    #[test]
+    fn validator_rejects_malformed_input() {
+        for bad in [
+            "",
+            "{",
+            "}",
+            "[1,]",
+            "{\"a\":}",
+            "{\"a\" 1}",
+            "nul",
+            "01",
+            "1.",
+            "1e",
+            "\"unterminated",
+            "\"bad\\q\"",
+            "\"\\u12g4\"",
+            "{} {}",
+            "\u{1}",
+        ] {
+            assert!(!is_valid_json(bad), "should reject: {bad}");
+        }
+    }
+
+    #[test]
+    fn nonfinite_floats_render_as_null() {
+        assert_eq!(JsonValue::Float(f64::NAN).render(), "null");
+        assert_eq!(JsonValue::Float(f64::INFINITY).render(), "null");
+    }
+}

@@ -1,0 +1,22 @@
+//! Parallel verification campaign runner.
+//!
+//! A *campaign* is the full set of verification obligations implied by the
+//! HA catalog: for every design, the clean-design proof obligations plus one
+//! bounded check per (bug version × flow ∈ {G-QED, A-QED, Conventional}).
+//! This crate enumerates those obligations into a shared work queue, runs
+//! them on a `std::thread` worker pool with per-job wall-clock deadlines and
+//! conflict budgets, escalates budgets Luby-style on timeout, isolates
+//! panicking jobs with `catch_unwind`, races BMC against k-induction on
+//! clean designs under a cooperative cancellation flag, and records
+//! everything as JSONL telemetry.
+
+#![warn(missing_docs)]
+pub mod json;
+pub mod obligation;
+pub mod runner;
+pub mod telemetry;
+
+pub use json::{is_valid_json, JsonValue};
+pub use obligation::{enumerate_obligations, FlowFilter, Obligation, ObligationKind};
+pub use runner::{run_campaign, CampaignConfig, CampaignSummary, JobRecord, JobVerdict};
+pub use telemetry::{SharedBuffer, Telemetry};

@@ -1,0 +1,772 @@
+//! The parallel campaign runner.
+//!
+//! Obligations go into a shared work queue; `jobs` worker threads drain
+//! it. Each attempt runs under a conflict budget and wall-clock deadline
+//! scaled by the Luby sequence of the attempt number — a timed-out
+//! obligation goes back on the queue with a larger allowance until
+//! `max_attempts` is reached, at which point it is recorded as
+//! `timeout-escalated`. Panicking jobs are isolated with `catch_unwind`
+//! and recorded as `failed`; neither ever takes the campaign down.
+//!
+//! Clean-design proof obligations race a bounded BMC engine against a
+//! k-induction prover: both run concurrently sharing one cancellation
+//! flag, and the first engine to reach a *conclusive* result raises the
+//! flag, interrupting the other mid-search. An inconclusive k-induction
+//! outcome (`Unknown`) does not cancel the BMC side — a bounded-clean
+//! certificate is still worth waiting for.
+
+use crate::json::JsonValue;
+use crate::obligation::{Obligation, ObligationKind};
+use crate::telemetry::Telemetry;
+use gqed_bmc::{BmcLimits, BmcStats, StopReason};
+use gqed_core::{check_design_limited, CheckKind, CheckStatus, Verdict};
+use gqed_ha::{all_designs, Design};
+use gqed_sat::{luby, SolveOutcome, Solver};
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Campaign-wide configuration.
+#[derive(Clone, Debug)]
+pub struct CampaignConfig {
+    /// Worker threads draining the obligation queue.
+    pub jobs: usize,
+    /// Base per-attempt wall-clock deadline in milliseconds; scaled by
+    /// `luby(attempt)` on retries. `None` = no deadline.
+    pub deadline_ms: Option<u64>,
+    /// Base per-attempt conflict budget (per solver query); scaled by
+    /// `luby(attempt)` on retries. `None` = unlimited.
+    pub base_budget: Option<u64>,
+    /// Attempts before an obligation is recorded as timeout-escalated.
+    pub max_attempts: u32,
+    /// Race BMC against k-induction on clean-design proof obligations.
+    /// Off = BMC only (fully deterministic certificates, used by the
+    /// table generators).
+    pub race_clean: bool,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        CampaignConfig {
+            jobs: 1,
+            deadline_ms: None,
+            base_budget: None,
+            max_attempts: 4,
+            race_clean: true,
+        }
+    }
+}
+
+/// Final verdict of one obligation.
+#[derive(Clone, Debug, PartialEq)]
+pub enum JobVerdict {
+    /// A property violation was found (replay-confirmed).
+    Violation {
+        /// Violated property name.
+        property: String,
+        /// Counterexample length in cycles.
+        cycles: usize,
+    },
+    /// No violation up to the bound (inclusive).
+    Clean {
+        /// The bound that was exhausted.
+        bound: u32,
+    },
+    /// Proven unreachable at every depth by k-induction.
+    Proven {
+        /// Deepest induction depth used across the properties.
+        k: u32,
+    },
+    /// k-induction gave up without the BMC side being able to certify a
+    /// bound either (only possible when limits stopped the BMC side).
+    Unknown {
+        /// The exhausted induction depth limit.
+        max_k: u32,
+    },
+    /// Every attempt timed out, budgets exhausted through the Luby
+    /// escalation schedule.
+    TimeoutEscalated {
+        /// Attempts made.
+        attempts: u32,
+    },
+    /// The job panicked (isolated by `catch_unwind`).
+    Failed {
+        /// The panic payload, if it was a string.
+        message: String,
+    },
+}
+
+impl JobVerdict {
+    /// Whether this is a confirmed violation.
+    pub fn is_violation(&self) -> bool {
+        matches!(self, JobVerdict::Violation { .. })
+    }
+
+    /// Whether a definite verdict was reached (violation, bounded-clean
+    /// or proven).
+    pub fn is_conclusive(&self) -> bool {
+        matches!(
+            self,
+            JobVerdict::Violation { .. } | JobVerdict::Clean { .. } | JobVerdict::Proven { .. }
+        )
+    }
+
+    /// Stable telemetry tag.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            JobVerdict::Violation { .. } => "violation",
+            JobVerdict::Clean { .. } => "clean",
+            JobVerdict::Proven { .. } => "proven",
+            JobVerdict::Unknown { .. } => "unknown",
+            JobVerdict::TimeoutEscalated { .. } => "timeout-escalated",
+            JobVerdict::Failed { .. } => "failed",
+        }
+    }
+
+    /// A normalized comparison key, stable across scheduling orders. The
+    /// soundness-relevant content (violation or not, which property, how
+    /// many cycles) is deterministic; *which* engine certified a pass
+    /// (bounded-clean vs proven) is a latency race on proof obligations,
+    /// so passes normalize to one key.
+    pub fn normalized(&self) -> String {
+        match self {
+            JobVerdict::Violation { property, cycles } => {
+                format!("violation:{property}:{cycles}")
+            }
+            JobVerdict::Clean { .. } | JobVerdict::Proven { .. } => "pass".to_string(),
+            JobVerdict::Unknown { .. } => "unknown".to_string(),
+            JobVerdict::TimeoutEscalated { .. } => "timeout".to_string(),
+            JobVerdict::Failed { .. } => "failed".to_string(),
+        }
+    }
+}
+
+/// One obligation's complete campaign record.
+#[derive(Clone, Debug)]
+pub struct JobRecord {
+    /// The obligation.
+    pub obligation: Obligation,
+    /// Final verdict.
+    pub verdict: JobVerdict,
+    /// Attempts made (1 = no retries).
+    pub attempts: u32,
+    /// Total wall-clock across all attempts.
+    pub wall: Duration,
+    /// Which engine produced the verdict: `bmc`, `kind`, or `-`.
+    pub engine: &'static str,
+    /// BMC engine statistics of the deciding run, when available. CNF
+    /// sizes are cumulative over the incremental unrolling, so
+    /// `cnf_clauses`/`cnf_vars` are the peak encoding size.
+    pub stats: Option<BmcStats>,
+    /// Whether a conclusive verdict contradicts the catalogue ground
+    /// truth.
+    pub mismatch: bool,
+}
+
+/// Aggregated campaign outcome.
+#[derive(Clone, Debug)]
+pub struct CampaignSummary {
+    /// Per-obligation records, in obligation order.
+    pub records: Vec<JobRecord>,
+    /// Wall-clock of the whole campaign.
+    pub wall: Duration,
+    /// Worker threads used.
+    pub jobs: usize,
+    /// Confirmed violations.
+    pub violations: usize,
+    /// Conclusive non-violations (bounded-clean or proven).
+    pub passes: usize,
+    /// Inconclusive k-induction outcomes.
+    pub unknowns: usize,
+    /// Obligations that exhausted every escalation attempt.
+    pub timeouts: usize,
+    /// Panicked obligations.
+    pub failures: usize,
+    /// Conclusive verdicts contradicting the catalogue ground truth.
+    pub mismatches: usize,
+}
+
+impl CampaignSummary {
+    /// Whether every obligation reached a conclusive verdict agreeing
+    /// with the catalogue.
+    pub fn is_success(&self) -> bool {
+        self.failures == 0 && self.timeouts == 0 && self.mismatches == 0
+    }
+
+    /// Process exit code for the CLI: 0 on success, 1 otherwise.
+    pub fn exit_code(&self) -> i32 {
+        i32::from(!self.is_success())
+    }
+}
+
+/// Result of one attempt at one obligation.
+enum AttemptResult {
+    Verdict(JobVerdict, Option<BmcStats>, &'static str),
+    Stopped(StopReason),
+}
+
+struct QueueState {
+    pending: VecDeque<(usize, u32)>, // (obligation index, attempt number)
+    active: usize,
+}
+
+struct Shared<'a> {
+    obligations: &'a [Obligation],
+    config: &'a CampaignConfig,
+    telemetry: &'a Telemetry,
+    queue: Mutex<QueueState>,
+    cv: Condvar,
+    results: Mutex<Vec<Option<JobRecord>>>,
+    wall_acc: Mutex<Vec<Duration>>,
+}
+
+/// Runs every obligation to a final verdict and returns the aggregate.
+///
+/// Every obligation ends in exactly one `job_verdict` telemetry event; a
+/// `campaign_summary` event closes the stream.
+pub fn run_campaign(
+    obligations: &[Obligation],
+    config: &CampaignConfig,
+    telemetry: &Telemetry,
+) -> CampaignSummary {
+    let t0 = Instant::now();
+    let n = obligations.len();
+    let shared = Shared {
+        obligations,
+        config,
+        telemetry,
+        queue: Mutex::new(QueueState {
+            pending: (0..n).map(|i| (i, 1)).collect(),
+            active: 0,
+        }),
+        cv: Condvar::new(),
+        results: Mutex::new(vec![None; n]),
+        wall_acc: Mutex::new(vec![Duration::ZERO; n]),
+    };
+    let workers = config.jobs.max(1).min(n.max(1));
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| worker(&shared));
+        }
+    });
+    let records: Vec<JobRecord> = shared
+        .results
+        .into_inner()
+        .unwrap_or_else(|e| e.into_inner())
+        .into_iter()
+        .map(|r| r.expect("every obligation ends in a verdict"))
+        .collect();
+
+    let mut summary = CampaignSummary {
+        wall: t0.elapsed(),
+        jobs: workers,
+        violations: 0,
+        passes: 0,
+        unknowns: 0,
+        timeouts: 0,
+        failures: 0,
+        mismatches: 0,
+        records: Vec::new(),
+    };
+    for r in &records {
+        match &r.verdict {
+            JobVerdict::Violation { .. } => summary.violations += 1,
+            JobVerdict::Clean { .. } | JobVerdict::Proven { .. } => summary.passes += 1,
+            JobVerdict::Unknown { .. } => summary.unknowns += 1,
+            JobVerdict::TimeoutEscalated { .. } => summary.timeouts += 1,
+            JobVerdict::Failed { .. } => summary.failures += 1,
+        }
+        if r.mismatch {
+            summary.mismatches += 1;
+        }
+    }
+    summary.records = records;
+    telemetry.emit(
+        &JsonValue::obj()
+            .field("type", "campaign_summary")
+            .field("obligations", summary.records.len())
+            .field("violations", summary.violations)
+            .field("passes", summary.passes)
+            .field("unknowns", summary.unknowns)
+            .field("timeouts", summary.timeouts)
+            .field("failures", summary.failures)
+            .field("mismatches", summary.mismatches)
+            .field("jobs", summary.jobs)
+            .field("wall_ms", summary.wall.as_millis() as u64),
+    );
+    telemetry.flush();
+    summary
+}
+
+fn worker(shared: &Shared) {
+    loop {
+        // Pop the next attempt, or exit when the queue is drained AND no
+        // attempt is in flight (an in-flight attempt may still re-enqueue
+        // its obligation for escalation).
+        let (index, attempt) = {
+            let mut q = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if let Some(job) = q.pending.pop_front() {
+                    q.active += 1;
+                    break job;
+                }
+                if q.active == 0 {
+                    shared.cv.notify_all();
+                    return;
+                }
+                q = shared.cv.wait(q).unwrap_or_else(|e| e.into_inner());
+            }
+        };
+
+        let obl = &shared.obligations[index];
+        let factor = luby(u64::from(attempt));
+        let budget = shared.config.base_budget.map(|b| b.saturating_mul(factor));
+        let deadline_ms = shared
+            .config
+            .deadline_ms
+            .map(|ms| ms.saturating_mul(factor));
+        let limits = BmcLimits {
+            budget,
+            deadline: deadline_ms.map(|ms| Instant::now() + Duration::from_millis(ms)),
+            interrupt: None,
+        };
+        shared.telemetry.emit(
+            &JsonValue::obj()
+                .field("type", "job_start")
+                .field("job", obl.id.as_str())
+                .field("design", obl.design)
+                .field("bug", obl.bug)
+                .field("flow", obl.flow_tag())
+                .field("attempt", attempt)
+                .field("budget", budget)
+                .field("deadline_ms", deadline_ms),
+        );
+
+        let t0 = Instant::now();
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            run_attempt(obl, &limits, shared.config)
+        }));
+        let attempt_wall = t0.elapsed();
+        let total_wall = {
+            let mut acc = shared.wall_acc.lock().unwrap_or_else(|e| e.into_inner());
+            acc[index] += attempt_wall;
+            acc[index]
+        };
+
+        let mut requeue = false;
+        match outcome {
+            Ok(AttemptResult::Verdict(verdict, stats, engine)) => {
+                finish(shared, index, verdict, attempt, total_wall, engine, stats);
+            }
+            Ok(AttemptResult::Stopped(reason)) => {
+                if attempt < shared.config.max_attempts {
+                    let next_factor = luby(u64::from(attempt + 1));
+                    shared.telemetry.emit(
+                        &JsonValue::obj()
+                            .field("type", "job_retry")
+                            .field("job", obl.id.as_str())
+                            .field("attempt", attempt)
+                            .field("reason", stop_tag(reason))
+                            .field(
+                                "next_budget",
+                                shared
+                                    .config
+                                    .base_budget
+                                    .map(|b| b.saturating_mul(next_factor)),
+                            )
+                            .field(
+                                "next_deadline_ms",
+                                shared
+                                    .config
+                                    .deadline_ms
+                                    .map(|ms| ms.saturating_mul(next_factor)),
+                            ),
+                    );
+                    requeue = true;
+                } else {
+                    finish(
+                        shared,
+                        index,
+                        JobVerdict::TimeoutEscalated { attempts: attempt },
+                        attempt,
+                        total_wall,
+                        "-",
+                        None,
+                    );
+                }
+            }
+            Err(payload) => {
+                let message = panic_message(payload.as_ref());
+                finish(
+                    shared,
+                    index,
+                    JobVerdict::Failed { message },
+                    attempt,
+                    total_wall,
+                    "-",
+                    None,
+                );
+            }
+        }
+
+        let mut q = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+        if requeue {
+            q.pending.push_back((index, attempt + 1));
+        }
+        q.active -= 1;
+        shared.cv.notify_all();
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+fn stop_tag(reason: StopReason) -> &'static str {
+    match reason {
+        StopReason::BudgetExhausted => "budget-exhausted",
+        StopReason::Interrupted => "interrupted",
+        StopReason::DeadlineExpired => "deadline-expired",
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn finish(
+    shared: &Shared,
+    index: usize,
+    verdict: JobVerdict,
+    attempts: u32,
+    wall: Duration,
+    engine: &'static str,
+    stats: Option<BmcStats>,
+) {
+    let obl = &shared.obligations[index];
+    let mismatch = match (obl.expect_violation, verdict.is_conclusive()) {
+        (Some(expected), true) => verdict.is_violation() != expected,
+        _ => false,
+    };
+    let mut ev = JsonValue::obj()
+        .field("type", "job_verdict")
+        .field("job", obl.id.as_str())
+        .field("verdict", verdict.tag())
+        .field("attempts", attempts)
+        .field("wall_ms", wall.as_millis() as u64)
+        .field("engine", engine)
+        .field("mismatch", mismatch);
+    ev = match &verdict {
+        JobVerdict::Violation { property, cycles } => ev
+            .field("property", property.as_str())
+            .field("cycles", *cycles),
+        JobVerdict::Clean { bound } => ev.field("bound", *bound),
+        JobVerdict::Proven { k } => ev.field("k", *k),
+        JobVerdict::Unknown { max_k } => ev.field("max_k", *max_k),
+        JobVerdict::TimeoutEscalated { attempts } => ev.field("attempts_made", *attempts),
+        JobVerdict::Failed { message } => ev.field("message", message.as_str()),
+    };
+    if let Some(s) = &stats {
+        ev = ev
+            .field("frames", s.frames)
+            .field("aig_ands", s.aig_ands)
+            .field("cnf_vars", s.cnf_vars)
+            .field("peak_cnf_clauses", s.cnf_clauses)
+            .field("conflicts", s.solver.conflicts)
+            .field("decisions", s.solver.decisions)
+            .field("propagations", s.solver.propagations)
+            .field("restarts", s.solver.restarts)
+            .field("bmc_wall_ms", s.wall.as_millis() as u64);
+    }
+    shared.telemetry.emit(&ev);
+    let record = JobRecord {
+        obligation: obl.clone(),
+        verdict,
+        attempts,
+        wall,
+        engine,
+        stats,
+        mismatch,
+    };
+    shared.results.lock().unwrap_or_else(|e| e.into_inner())[index] = Some(record);
+}
+
+fn build_design(obl: &Obligation) -> Design {
+    let entry = all_designs()
+        .into_iter()
+        .find(|e| e.name == obl.design)
+        .unwrap_or_else(|| panic!("unknown design '{}'", obl.design));
+    (entry.build)(obl.bug)
+}
+
+fn run_attempt(obl: &Obligation, limits: &BmcLimits, config: &CampaignConfig) -> AttemptResult {
+    match &obl.kind {
+        ObligationKind::Check { kind, bound } => {
+            let design = build_design(obl);
+            match check_design_limited(&design, *kind, *bound, limits) {
+                CheckStatus::Done(o) => {
+                    let verdict = match o.verdict {
+                        Verdict::Violation { property, cycles } => {
+                            JobVerdict::Violation { property, cycles }
+                        }
+                        Verdict::CleanUpTo(b) => JobVerdict::Clean { bound: b },
+                    };
+                    AttemptResult::Verdict(verdict, Some(o.stats), "bmc")
+                }
+                CheckStatus::Stopped { reason, .. } => AttemptResult::Stopped(reason),
+            }
+        }
+        ObligationKind::ProveClean { bound, max_k } => {
+            let design = build_design(obl);
+            if config.race_clean {
+                race_prove_clean(&design, *bound, *max_k, limits)
+            } else {
+                // Deterministic single-engine path: bounded BMC only.
+                match check_design_limited(&design, CheckKind::GQed, *bound, limits) {
+                    CheckStatus::Done(o) => {
+                        let verdict = match o.verdict {
+                            Verdict::Violation { property, cycles } => {
+                                JobVerdict::Violation { property, cycles }
+                            }
+                            Verdict::CleanUpTo(b) => JobVerdict::Clean { bound: b },
+                        };
+                        AttemptResult::Verdict(verdict, Some(o.stats), "bmc")
+                    }
+                    CheckStatus::Stopped { reason, .. } => AttemptResult::Stopped(reason),
+                }
+            }
+        }
+        ObligationKind::DebugPanic => {
+            panic!("injected campaign panic (obligation {})", obl.id)
+        }
+        ObligationKind::DebugExhaust => run_debug_exhaust(limits),
+    }
+}
+
+/// What the k-induction side of a clean-design race concluded.
+enum KindSide {
+    Violation { property: String, cycles: usize },
+    Proven { k: u32 },
+    Unknown { max_k: u32 },
+    Stopped(StopReason),
+}
+
+/// First-verdict-wins race of bounded BMC against k-induction over the
+/// clean design's G-QED properties. Both engines share one cancellation
+/// flag through [`gqed_sat::Solver::set_interrupt`]; the first side to
+/// reach a conclusive verdict raises it and the loser unwinds at its next
+/// poll. A `KindSide::Unknown` outcome is inconclusive and does NOT
+/// cancel the BMC side.
+fn race_prove_clean(design: &Design, bound: u32, max_k: u32, limits: &BmcLimits) -> AttemptResult {
+    let cancel = Arc::new(AtomicBool::new(false));
+    let side_limits = BmcLimits {
+        budget: limits.budget,
+        deadline: limits.deadline,
+        interrupt: Some(Arc::clone(&cancel)),
+    };
+
+    let (bmc_out, kind_out) = std::thread::scope(|s| {
+        let bmc_limits = side_limits.clone();
+        let bmc_cancel = Arc::clone(&cancel);
+        let bmc = s.spawn(move || {
+            let r = check_design_limited(design, CheckKind::GQed, bound, &bmc_limits);
+            if matches!(r, CheckStatus::Done(_)) {
+                bmc_cancel.store(true, Ordering::Relaxed);
+            }
+            r
+        });
+        let kind_limits = side_limits.clone();
+        let kind_cancel = Arc::clone(&cancel);
+        let kind = s.spawn(move || {
+            let r = run_kind_side(design, max_k, &kind_limits);
+            if matches!(r, KindSide::Violation { .. } | KindSide::Proven { .. }) {
+                kind_cancel.store(true, Ordering::Relaxed);
+            }
+            r
+        });
+        let bmc_out = match bmc.join() {
+            Ok(r) => r,
+            Err(p) => std::panic::resume_unwind(p),
+        };
+        let kind_out = match kind.join() {
+            Ok(r) => r,
+            Err(p) => std::panic::resume_unwind(p),
+        };
+        (bmc_out, kind_out)
+    });
+
+    // Merge: violations first (both engines search shallow-first, so a
+    // violation from either is the shallowest one), then the strongest
+    // pass certificate, then inconclusive outcomes.
+    match (bmc_out, kind_out) {
+        (CheckStatus::Done(o), kind_out) => {
+            match o.verdict {
+                Verdict::Violation { property, cycles } => AttemptResult::Verdict(
+                    JobVerdict::Violation { property, cycles },
+                    Some(o.stats),
+                    "bmc",
+                ),
+                Verdict::CleanUpTo(b) => match kind_out {
+                    // The kind side also concluded: its proof outranks the
+                    // bounded certificate.
+                    KindSide::Proven { k } => {
+                        AttemptResult::Verdict(JobVerdict::Proven { k }, Some(o.stats), "kind")
+                    }
+                    KindSide::Violation { property, cycles } => AttemptResult::Verdict(
+                        JobVerdict::Violation { property, cycles },
+                        Some(o.stats),
+                        "kind",
+                    ),
+                    _ => {
+                        AttemptResult::Verdict(JobVerdict::Clean { bound: b }, Some(o.stats), "bmc")
+                    }
+                },
+            }
+        }
+        (CheckStatus::Stopped { reason, stats, .. }, kind_out) => match kind_out {
+            KindSide::Violation { property, cycles } => AttemptResult::Verdict(
+                JobVerdict::Violation { property, cycles },
+                Some(stats),
+                "kind",
+            ),
+            KindSide::Proven { k } => {
+                AttemptResult::Verdict(JobVerdict::Proven { k }, Some(stats), "kind")
+            }
+            KindSide::Unknown { max_k } => {
+                // BMC was stopped by the *outer* limits (the kind side
+                // never raises the flag on Unknown), so this attempt is a
+                // timeout unless the stop was the race flag — which it
+                // cannot be here.
+                match reason {
+                    StopReason::Interrupted => {
+                        AttemptResult::Verdict(JobVerdict::Unknown { max_k }, Some(stats), "kind")
+                    }
+                    r => AttemptResult::Stopped(r),
+                }
+            }
+            KindSide::Stopped(kr) => AttemptResult::Stopped(match reason {
+                // Report the more actionable of the two stop reasons:
+                // prefer whichever is not the mutual-cancellation echo.
+                StopReason::Interrupted => kr,
+                r => r,
+            }),
+        },
+    }
+}
+
+/// The k-induction side of a clean-design race: proves every G-QED
+/// property of the wrapped model, shallow depths first per property.
+fn run_kind_side(design: &Design, max_k: u32, limits: &BmcLimits) -> KindSide {
+    let mut d = design.clone();
+    let model = gqed_core::synthesize(&mut d, &gqed_core::QedConfig::gqed());
+    let ts = model.ts.cone_of_influence(&d.ctx);
+    let mut deepest = 0u32;
+    for i in 0..ts.bads.len() {
+        match gqed_bmc::prove_k_induction_limited(&d.ctx, &ts, i, max_k, limits) {
+            gqed_bmc::ProofResult::Proven { k } => deepest = deepest.max(k),
+            gqed_bmc::ProofResult::Falsified(t) => {
+                return KindSide::Violation {
+                    property: t.bad_name.clone(),
+                    cycles: t.len(),
+                }
+            }
+            gqed_bmc::ProofResult::Unknown { max_k } => return KindSide::Unknown { max_k },
+            gqed_bmc::ProofResult::Cancelled { reason, .. } => return KindSide::Stopped(reason),
+        }
+    }
+    KindSide::Proven { k: deepest }
+}
+
+/// Test-only obligation body: a pigeonhole refutation far larger than any
+/// sane conflict budget, guaranteeing `BudgetExhausted`/`DeadlineExpired`
+/// stops that drive the Luby escalation path end to end.
+fn run_debug_exhaust(limits: &BmcLimits) -> AttemptResult {
+    let mut s = Solver::new();
+    let pigeons = 11usize;
+    let holes = pigeons - 1;
+    let var = |p: usize, h: usize| (p * holes + h + 1) as i32;
+    for p in 0..pigeons {
+        let clause: Vec<i32> = (0..holes).map(|h| var(p, h)).collect();
+        s.add_clause(&clause);
+    }
+    for h in 0..holes {
+        for p1 in 0..pigeons {
+            for p2 in p1 + 1..pigeons {
+                s.add_clause(&[-var(p1, h), -var(p2, h)]);
+            }
+        }
+    }
+    if let Some(flag) = &limits.interrupt {
+        s.set_interrupt(Arc::clone(flag));
+    }
+    if let Some(d) = limits.deadline {
+        s.set_deadline(d);
+    }
+    match s.solve_bounded(&[], limits.budget.unwrap_or(u64::MAX)) {
+        SolveOutcome::Sat | SolveOutcome::Unsat => {
+            // Only reachable with an effectively unlimited budget.
+            AttemptResult::Verdict(JobVerdict::Clean { bound: 0 }, None, "-")
+        }
+        stop => {
+            AttemptResult::Stopped(StopReason::from_outcome(stop).expect("verdicts handled above"))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::obligation::{enumerate_obligations, FlowFilter};
+
+    fn relu_obligations() -> Vec<Obligation> {
+        enumerate_obligations(FlowFilter::all(), &["relu".to_string()])
+    }
+
+    #[test]
+    fn sequential_campaign_reaches_verdicts() {
+        let obls = relu_obligations();
+        let summary = run_campaign(&obls, &CampaignConfig::default(), &Telemetry::null());
+        assert_eq!(summary.records.len(), obls.len());
+        assert!(summary.is_success(), "summary: {summary:?}");
+        for r in &summary.records {
+            assert!(
+                r.verdict.is_conclusive(),
+                "{}: {:?}",
+                r.obligation.id,
+                r.verdict
+            );
+            assert_eq!(r.attempts, 1);
+        }
+    }
+
+    #[test]
+    fn queue_drains_with_more_workers_than_jobs() {
+        let obls = enumerate_obligations(
+            FlowFilter {
+                gqed: false,
+                aqed: false,
+                conventional: true,
+            },
+            &["relu".to_string()],
+        );
+        let config = CampaignConfig {
+            jobs: 8,
+            ..CampaignConfig::default()
+        };
+        let summary = run_campaign(&obls, &config, &Telemetry::null());
+        assert_eq!(summary.records.len(), obls.len());
+        assert!(summary.is_success());
+    }
+
+    #[test]
+    fn empty_campaign_terminates() {
+        let summary = run_campaign(&[], &CampaignConfig::default(), &Telemetry::null());
+        assert!(summary.records.is_empty());
+        assert!(summary.is_success());
+    }
+}

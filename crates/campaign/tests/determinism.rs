@@ -1,0 +1,80 @@
+//! Satellite: campaign verdicts are independent of worker count.
+//!
+//! `--jobs 4` must yield the same (obligation → verdict, counterexample
+//! length) pairs as `--jobs 1`. Scheduling order differs wildly between
+//! the two, so this exercises the result-slot indexing and the absence of
+//! cross-job state.
+
+use gqed_campaign::{
+    enumerate_obligations, run_campaign, CampaignConfig, CampaignSummary, FlowFilter, Telemetry,
+};
+
+fn run(jobs: usize, race_clean: bool) -> CampaignSummary {
+    let obls = enumerate_obligations(FlowFilter::all(), &["relu".to_string()]);
+    assert!(!obls.is_empty());
+    let config = CampaignConfig {
+        jobs,
+        race_clean,
+        ..CampaignConfig::default()
+    };
+    run_campaign(&obls, &config, &Telemetry::null())
+}
+
+/// (id, normalized verdict) pairs — the soundness-relevant content.
+fn normalized(s: &CampaignSummary) -> Vec<(String, String)> {
+    s.records
+        .iter()
+        .map(|r| (r.obligation.id.clone(), r.verdict.normalized()))
+        .collect()
+}
+
+#[test]
+fn jobs4_matches_jobs1() {
+    let seq = run(1, true);
+    let par = run(4, true);
+    assert!(seq.is_success(), "sequential campaign failed: {seq:?}");
+    assert!(par.is_success(), "parallel campaign failed: {par:?}");
+    assert_eq!(normalized(&seq), normalized(&par));
+}
+
+#[test]
+fn non_racing_campaign_is_fully_deterministic() {
+    // With the clean-design race disabled every verdict (not just its
+    // normalization) must match exactly, including which engine decided
+    // and the bounded-clean bound.
+    let a = run(1, false);
+    let b = run(4, false);
+    let exact = |s: &CampaignSummary| {
+        s.records
+            .iter()
+            .map(|r| {
+                (
+                    r.obligation.id.clone(),
+                    format!("{:?}", r.verdict),
+                    r.engine,
+                )
+            })
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(exact(&a), exact(&b));
+}
+
+#[test]
+fn counterexample_lengths_are_stable_across_worker_counts() {
+    let seq = run(1, true);
+    let par = run(4, true);
+    let cex = |s: &CampaignSummary| {
+        s.records
+            .iter()
+            .filter_map(|r| match &r.verdict {
+                gqed_campaign::JobVerdict::Violation { property, cycles } => {
+                    Some((r.obligation.id.clone(), property.clone(), *cycles))
+                }
+                _ => None,
+            })
+            .collect::<Vec<_>>()
+    };
+    let seq_cex = cex(&seq);
+    assert!(!seq_cex.is_empty(), "relu bug checks must find violations");
+    assert_eq!(seq_cex, cex(&par));
+}

@@ -14,7 +14,7 @@
 //! engine statistics used by the evaluation tables.
 
 use crate::wrapper::{synthesize, QedConfig};
-use gqed_bmc::{BmcEngine, BmcResult, BmcStats, Trace};
+use gqed_bmc::{BmcEngine, BmcLimits, BmcStats, BmcStatus, StopReason, Trace};
 use gqed_ha::Design;
 use std::time::{Duration, Instant};
 
@@ -76,11 +76,49 @@ pub struct CheckOutcome {
     pub elapsed: Duration,
 }
 
+/// Result of a flow run under resource limits.
+#[derive(Clone, Debug)]
+pub enum CheckStatus {
+    /// The flow reached a verdict.
+    Done(CheckOutcome),
+    /// The flow stopped without a verdict.
+    Stopped {
+        /// Flow that was running.
+        kind: CheckKind,
+        /// Frame being examined when the run stopped; frames `0..frame`
+        /// are fully checked and clean.
+        frame: u32,
+        /// Why the run stopped.
+        reason: StopReason,
+        /// BMC engine statistics at the stop point.
+        stats: BmcStats,
+        /// Wall-clock time of the partial run.
+        elapsed: Duration,
+    },
+}
+
 /// Runs `kind` on (a clone of) `design` with BMC bound `bound`.
 ///
 /// The design is cloned because wrapper synthesis extends its term
 /// context; the caller's build stays pristine.
 pub fn check_design(design: &Design, kind: CheckKind, bound: u32) -> CheckOutcome {
+    match check_design_limited(design, kind, bound, &BmcLimits::default()) {
+        CheckStatus::Done(o) => o,
+        CheckStatus::Stopped { .. } => unreachable!("no limits installed"),
+    }
+}
+
+/// [`check_design`] under resource limits: a per-query conflict budget, a
+/// wall-clock deadline and a cooperative cancellation flag, all threaded
+/// down into the SAT search. The campaign runner uses this to bound and
+/// retry individual obligations without losing soundness: a
+/// [`CheckStatus::Stopped`] result says nothing about the property.
+pub fn check_design_limited(
+    design: &Design,
+    kind: CheckKind,
+    bound: u32,
+    limits: &BmcLimits,
+) -> CheckStatus {
     let start = Instant::now();
     let mut d = design.clone();
     let (ctx, ts) = match kind {
@@ -101,11 +139,11 @@ pub fn check_design(design: &Design, kind: CheckKind, bound: u32) -> CheckOutcom
     // Classic preprocessing: drop state that cannot reach any property.
     let ts = ts.cone_of_influence(&ctx);
     let mut engine = BmcEngine::new(&ctx, &ts);
-    let result = engine.check_up_to(bound);
+    let result = engine.try_check_up_to(bound, limits);
     let stats = engine.stats();
     let elapsed = start.elapsed();
     match result {
-        BmcResult::Violated(trace) => CheckOutcome {
+        BmcStatus::Violated(trace) => CheckStatus::Done(CheckOutcome {
             kind,
             verdict: Verdict::Violation {
                 property: trace.bad_name.clone(),
@@ -114,11 +152,18 @@ pub fn check_design(design: &Design, kind: CheckKind, bound: u32) -> CheckOutcom
             trace: Some(trace),
             stats,
             elapsed,
-        },
-        BmcResult::NoneUpTo(b) => CheckOutcome {
+        }),
+        BmcStatus::NoneUpTo(b) => CheckStatus::Done(CheckOutcome {
             kind,
             verdict: Verdict::CleanUpTo(b),
             trace: None,
+            stats,
+            elapsed,
+        }),
+        BmcStatus::Stopped { frame, reason } => CheckStatus::Stopped {
+            kind,
+            frame,
+            reason,
             stats,
             elapsed,
         },

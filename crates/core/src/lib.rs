@@ -32,5 +32,7 @@ pub mod productivity;
 pub mod theory;
 pub mod wrapper;
 
-pub use check::{check_design, CheckKind, CheckOutcome, Verdict};
+pub use check::{
+    check_design, check_design_limited, CheckKind, CheckOutcome, CheckStatus, Verdict,
+};
 pub use wrapper::{synthesize, QedChecks, QedConfig, WrappedModel};

@@ -98,6 +98,24 @@ pub fn evaluation_bound(design: &Design, bug: &gqed_ha::BugInfo) -> u32 {
     }
 }
 
+/// The BMC bound for a *baseline* run (A-QED or conventional assertions)
+/// of a catalogued bug.
+///
+/// Same policy as [`evaluation_bound`], keyed on whether the catalogue
+/// expects *this* flow to detect the bug: an expected detection runs at
+/// the theoretical bound (capped at 20) so multi-transaction witnesses —
+/// e.g. the canonical A-QED accumulator-leak bug, whose shortest A-QED
+/// witness needs two completed transactions — fit inside it; an expected
+/// escape runs at the design's recommended bound, where the clean verdict
+/// already demonstrates the miss without a deep unsatisfiable unrolling.
+pub fn baseline_bound(design: &Design, bug: &gqed_ha::BugInfo, expect_detect: bool) -> u32 {
+    if expect_detect {
+        detection_bound(design, bug.min_transactions + 1).min(20)
+    } else {
+        design.meta.recommended_bound.min(12)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -11,6 +11,10 @@
 //!   variable `v` ↦ literals `v` / `-v`), writable to a `.cnf` file.
 //! * [`tseitin`] — the Tseitin transformation from an AIG cone to CNF.
 //!
+//! It also hosts [`rng`] — a tiny deterministic splitmix64 PRNG shared by
+//! tests, benchmarks and the simulation baseline so the workspace needs no
+//! external randomness crate and builds fully offline.
+//!
 //! The crate is dependency-free and independent of the SAT solver: the
 //! solver (`gqed-sat`) consumes DIMACS-style clauses, so either side can be
 //! swapped out.
@@ -19,9 +23,11 @@
 pub mod aig;
 pub mod aiger;
 pub mod cnf;
+pub mod rng;
 pub mod tseitin;
 
 pub use aig::{Aig, AigLit};
 pub use aiger::to_aiger;
 pub use cnf::Cnf;
+pub use rng::SplitMix64;
 pub use tseitin::Tseitin;

@@ -45,4 +45,5 @@ mod solver;
 pub use dimacs::{parse_dimacs, solver_from_dimacs};
 pub use drat::{check_rup_proof, to_drat, ProofStep};
 pub use lit::{Lit, Var};
-pub use solver::{SatResult, Solver, SolverStats};
+pub use luby::luby;
+pub use solver::{SatResult, SolveOutcome, Solver, SolverStats};

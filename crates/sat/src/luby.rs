@@ -5,7 +5,12 @@
 //! factor, and is the standard choice in MiniSat-family solvers.
 
 /// Returns the `i`-th element of the Luby sequence (`i` is 1-based).
-pub(crate) fn luby(i: u64) -> u64 {
+///
+/// Exported for budget-escalation schedules outside the solver: the
+/// campaign runner retries timed-out obligations with conflict budgets of
+/// `base * luby(attempt)`, inheriting the sequence's universal-optimality
+/// guarantee for restarting randomized searches.
+pub fn luby(i: u64) -> u64 {
     // Find the finite subsequence containing index i, then the index within.
     let mut k: u32 = 1;
     while (1u64 << k) - 1 < i {

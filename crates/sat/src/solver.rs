@@ -5,6 +5,9 @@ use crate::drat::ProofStep;
 use crate::heap::VarHeap;
 use crate::lit::{Lit, Var};
 use crate::luby::luby;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
 
 /// Result of a [`Solver::solve`] call.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -13,6 +16,39 @@ pub enum SatResult {
     Sat,
     /// The formula is unsatisfiable under the given assumptions.
     Unsat,
+}
+
+/// Outcome of a [`Solver::solve_bounded`] call: either a definite verdict
+/// or the reason the search stopped early. Early stops leave the solver
+/// backtracked to the root level and fully usable for further calls.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SolveOutcome {
+    /// A satisfying assignment was found; read it with [`Solver::value`].
+    Sat,
+    /// The formula is unsatisfiable under the given assumptions.
+    Unsat,
+    /// The conflict budget ran out before a verdict.
+    BudgetExhausted,
+    /// The flag installed with [`Solver::set_interrupt`] was raised.
+    Interrupted,
+    /// The wall-clock deadline from [`Solver::set_deadline`] passed.
+    DeadlineExpired,
+}
+
+impl SolveOutcome {
+    /// The definite verdict, if the search reached one.
+    pub fn verdict(self) -> Option<SatResult> {
+        match self {
+            SolveOutcome::Sat => Some(SatResult::Sat),
+            SolveOutcome::Unsat => Some(SatResult::Unsat),
+            _ => None,
+        }
+    }
+
+    /// True when the search stopped without a verdict.
+    pub fn is_inconclusive(self) -> bool {
+        self.verdict().is_none()
+    }
 }
 
 /// Cumulative search statistics, exposed for the evaluation tables.
@@ -72,6 +108,10 @@ pub struct Solver {
     /// Subset of the last `solve` call's assumptions responsible for an
     /// Unsat-under-assumptions verdict (empty when Unsat is global).
     conflict_core: Vec<i32>,
+    /// Cooperative cancellation flag, polled during search when set.
+    interrupt: Option<Arc<AtomicBool>>,
+    /// Wall-clock deadline, polled during search when set.
+    deadline: Option<Instant>,
 }
 
 impl Default for Solver {
@@ -104,7 +144,52 @@ impl Solver {
             reduce_inc: 500,
             proof: None,
             conflict_core: Vec::new(),
+            interrupt: None,
+            deadline: None,
         }
+    }
+
+    /// Installs a cooperative cancellation flag. The CDCL search polls it
+    /// every few hundred steps with a relaxed atomic load; raising it from
+    /// any thread makes in-flight and future [`Solver::solve_bounded`]
+    /// calls return [`SolveOutcome::Interrupted`] promptly. This is the
+    /// mechanism behind first-verdict-wins engine racing: both engines
+    /// share one flag and the winner raises it.
+    pub fn set_interrupt(&mut self, flag: Arc<AtomicBool>) {
+        self.interrupt = Some(flag);
+    }
+
+    /// Removes the flag installed with [`Solver::set_interrupt`].
+    pub fn clear_interrupt(&mut self) {
+        self.interrupt = None;
+    }
+
+    /// Installs a wall-clock deadline. Search calls past the deadline
+    /// return [`SolveOutcome::DeadlineExpired`]. `Instant::now` is only
+    /// consulted at the same polling cadence as the interrupt flag, so the
+    /// deadline costs nothing on the hot path.
+    pub fn set_deadline(&mut self, deadline: Instant) {
+        self.deadline = Some(deadline);
+    }
+
+    /// Removes the deadline installed with [`Solver::set_deadline`].
+    pub fn clear_deadline(&mut self) {
+        self.deadline = None;
+    }
+
+    /// Polls the cooperative stop signals.
+    fn poll_stop(&self) -> Option<SolveOutcome> {
+        if let Some(flag) = &self.interrupt {
+            if flag.load(Ordering::Relaxed) {
+                return Some(SolveOutcome::Interrupted);
+            }
+        }
+        if let Some(d) = self.deadline {
+            if Instant::now() >= d {
+                return Some(SolveOutcome::DeadlineExpired);
+            }
+        }
+        None
     }
 
     /// After an Unsat verdict from [`Solver::solve`] with assumptions: the
@@ -619,19 +704,40 @@ impl Solver {
     /// On [`SatResult::Sat`], the model is available through
     /// [`Solver::value`]. The solver stays usable for further `add_clause`
     /// / `solve` calls either way.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an interrupt flag or deadline installed on this solver
+    /// stops the search — use [`Solver::solve_bounded`] when cancellation
+    /// is in play.
     pub fn solve(&mut self, assumptions: &[i32]) -> SatResult {
-        self.solve_limited(assumptions, u64::MAX)
-            .expect("unlimited solve cannot exhaust its budget")
+        match self.solve_bounded(assumptions, u64::MAX) {
+            SolveOutcome::Sat => SatResult::Sat,
+            SolveOutcome::Unsat => SatResult::Unsat,
+            stop => panic!("unlimited solve stopped without a verdict: {stop:?}"),
+        }
     }
 
     /// [`Solver::solve`] with a conflict budget: returns `None` when the
-    /// budget is exhausted before a verdict (the solver backtracks to the
-    /// root level and stays usable). Useful for portfolio schedules and
-    /// anytime checking.
+    /// search stops before a verdict — budget exhausted, interrupt raised,
+    /// or deadline passed (the solver backtracks to the root level and
+    /// stays usable). Use [`Solver::solve_bounded`] to distinguish the
+    /// stop reasons.
     pub fn solve_limited(&mut self, assumptions: &[i32], budget: u64) -> Option<SatResult> {
+        self.solve_bounded(assumptions, budget).verdict()
+    }
+
+    /// The full search entry point: a conflict budget plus the cooperative
+    /// interrupt flag and wall-clock deadline installed on the solver.
+    /// Early stops report *why* the search gave up; the solver backtracks
+    /// to the root level and stays usable for further calls.
+    pub fn solve_bounded(&mut self, assumptions: &[i32], budget: u64) -> SolveOutcome {
         self.conflict_core.clear();
         if !self.ok {
-            return Some(SatResult::Unsat);
+            return SolveOutcome::Unsat;
+        }
+        if let Some(stop) = self.poll_stop() {
+            return stop;
         }
         self.cancel_until(0);
         self.ensure_vars(assumptions);
@@ -640,9 +746,12 @@ impl Solver {
         if self.propagate().is_some() {
             self.log_add(&[]);
             self.ok = false;
-            return Some(SatResult::Unsat);
+            return SolveOutcome::Unsat;
         }
         let conflicts_at_entry = self.stats.conflicts;
+        // Interrupt/deadline polling cadence: every 64 search steps
+        // (conflicts + decisions), cheap relative to clause propagation.
+        let mut steps_until_poll: u32 = 64;
 
         let mut restart_round: u64 = 0;
         let mut conflicts_this_round: u64 = 0;
@@ -661,11 +770,19 @@ impl Solver {
                 if self.decision_level() == 0 {
                     self.log_add(&[]);
                     self.ok = false;
-                    return Some(SatResult::Unsat);
+                    return SolveOutcome::Unsat;
                 }
                 if self.stats.conflicts - conflicts_at_entry >= budget {
                     self.cancel_until(0);
-                    return None;
+                    return SolveOutcome::BudgetExhausted;
+                }
+                steps_until_poll = steps_until_poll.saturating_sub(1);
+                if steps_until_poll == 0 {
+                    steps_until_poll = 64;
+                    if let Some(stop) = self.poll_stop() {
+                        self.cancel_until(0);
+                        return stop;
+                    }
                 }
                 let (clause, bt, lbd) = self.analyze(confl);
                 self.log_add(&clause);
@@ -717,7 +834,7 @@ impl Solver {
                             // The assumption is already falsified: report
                             // the failing core and stop.
                             self.conflict_core = self.analyze_final(a);
-                            return Some(SatResult::Unsat);
+                            return SolveOutcome::Unsat;
                         }
                         _ => {
                             next = Some(a);
@@ -739,10 +856,18 @@ impl Solver {
                     None => {
                         // Complete assignment: SAT.
                         self.model = self.assigns.clone();
-                        return Some(SatResult::Sat);
+                        return SolveOutcome::Sat;
                     }
                     Some(d) => {
                         self.stats.decisions += 1;
+                        steps_until_poll = steps_until_poll.saturating_sub(1);
+                        if steps_until_poll == 0 {
+                            steps_until_poll = 64;
+                            if let Some(stop) = self.poll_stop() {
+                                self.cancel_until(0);
+                                return stop;
+                            }
+                        }
                         self.new_decision_level();
                         self.enqueue(d, None);
                     }
@@ -1022,5 +1147,91 @@ mod tests {
         }
         let _ = s.solve(&[]);
         assert!(s.stats().decisions > 0 || s.stats().propagations > 0);
+    }
+
+    /// A pigeonhole instance big enough that the search cannot finish
+    /// before the first interrupt poll.
+    fn hard_pigeonhole(s: &mut Solver, pigeons: usize) {
+        let holes = pigeons - 1;
+        let mut v = Vec::new();
+        for _ in 0..pigeons {
+            let mut row = Vec::new();
+            for _ in 0..holes {
+                row.push(s.new_var());
+            }
+            v.push(row);
+        }
+        for row in &v {
+            s.add_clause(row);
+        }
+        for p1 in 0..pigeons {
+            for p2 in (p1 + 1)..pigeons {
+                for (a, b) in v[p1].iter().zip(&v[p2]) {
+                    s.add_clause(&[-a, -b]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn raised_interrupt_stops_search() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        use std::sync::Arc;
+        let mut s = Solver::new();
+        hard_pigeonhole(&mut s, 10);
+        let flag = Arc::new(AtomicBool::new(true));
+        s.set_interrupt(Arc::clone(&flag));
+        assert_eq!(
+            s.solve_bounded(&[], u64::MAX),
+            SolveOutcome::Interrupted,
+            "pre-raised flag must stop the search at entry"
+        );
+        // Lower the flag: the same solver finishes normally.
+        flag.store(false, Ordering::Relaxed);
+        assert_eq!(s.solve_bounded(&[], u64::MAX), SolveOutcome::Unsat);
+    }
+
+    #[test]
+    fn expired_deadline_stops_search() {
+        let mut s = Solver::new();
+        hard_pigeonhole(&mut s, 10);
+        s.set_deadline(Instant::now());
+        assert_eq!(
+            s.solve_bounded(&[], u64::MAX),
+            SolveOutcome::DeadlineExpired
+        );
+        s.clear_deadline();
+        assert_eq!(s.solve_bounded(&[], u64::MAX), SolveOutcome::Unsat);
+    }
+
+    #[test]
+    fn budget_exhaustion_reported_as_outcome() {
+        let mut s = Solver::new();
+        hard_pigeonhole(&mut s, 8);
+        assert_eq!(s.solve_bounded(&[], 1), SolveOutcome::BudgetExhausted);
+        assert_eq!(s.solve_bounded(&[], u64::MAX), SolveOutcome::Unsat);
+    }
+
+    #[test]
+    fn concurrent_interrupt_from_other_thread() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        use std::sync::Arc;
+        let mut s = Solver::new();
+        hard_pigeonhole(&mut s, 12);
+        let flag = Arc::new(AtomicBool::new(false));
+        s.set_interrupt(Arc::clone(&flag));
+        std::thread::scope(|scope| {
+            scope.spawn(|| {
+                std::thread::sleep(std::time::Duration::from_millis(30));
+                flag.store(true, Ordering::Relaxed);
+            });
+            let out = s.solve_bounded(&[], u64::MAX);
+            // Either the solver was fast enough to refute PHP(12) (very
+            // unlikely) or the interrupt landed.
+            assert!(
+                out == SolveOutcome::Interrupted || out == SolveOutcome::Unsat,
+                "unexpected outcome {out:?}"
+            );
+        });
     }
 }

@@ -2,11 +2,9 @@
 //! assumption-free formula must come with a DRAT proof that the
 //! independent RUP checker accepts.
 
+use gqed_logic::SplitMix64;
 use gqed_sat::drat::{check_rup_proof, to_drat, ProofStep};
 use gqed_sat::{SatResult, Solver};
-use proptest::prelude::*;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 fn solve_with_proof(clauses: &[Vec<i32>]) -> (SatResult, Vec<ProofStep>) {
     let mut s = Solver::new();
@@ -71,7 +69,7 @@ fn xor_chain_refutations_check() {
 
 #[test]
 fn random_unsat_instances_yield_checkable_proofs() {
-    let mut rng = StdRng::seed_from_u64(2023);
+    let mut rng = SplitMix64::new(2023);
     let mut checked = 0;
     for _ in 0..60 {
         let nv = 12;
@@ -80,9 +78,9 @@ fn random_unsat_instances_yield_checkable_proofs() {
             .map(|_| {
                 let mut c = Vec::new();
                 while c.len() < 3 {
-                    let v = rng.gen_range(1..=nv);
+                    let v = rng.range_i32(1, nv);
                     if !c.contains(&v) && !c.contains(&-v) {
-                        c.push(if rng.gen() { v } else { -v });
+                        c.push(if rng.next_bool() { v } else { -v });
                     }
                 }
                 c
@@ -97,19 +95,26 @@ fn random_unsat_instances_yield_checkable_proofs() {
     assert!(checked >= 10, "too few unsat instances sampled: {checked}");
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(80))]
+#[cfg(gqed_proptest)]
+mod proptests {
+    use super::solve_with_proof;
+    use gqed_sat::{check_rup_proof, SatResult};
+    use proptest::prelude::*;
 
-    #[test]
-    fn every_unsat_verdict_is_certified(
-        clauses in prop::collection::vec(
-            prop::collection::vec((1i32..=8).prop_flat_map(|v| prop_oneof![Just(v), Just(-v)]), 1..=3),
-            1..=60,
-        ),
-    ) {
-        let (r, proof) = solve_with_proof(&clauses);
-        if r == SatResult::Unsat {
-            prop_assert_eq!(check_rup_proof(&clauses, &proof), Ok(()));
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(80))]
+
+        #[test]
+        fn every_unsat_verdict_is_certified(
+            clauses in prop::collection::vec(
+                prop::collection::vec((1i32..=8).prop_flat_map(|v| prop_oneof![Just(v), Just(-v)]), 1..=3),
+                1..=60,
+            ),
+        ) {
+            let (r, proof) = solve_with_proof(&clauses);
+            if r == SatResult::Unsat {
+                prop_assert_eq!(check_rup_proof(&clauses, &proof), Ok(()));
+            }
         }
     }
 }

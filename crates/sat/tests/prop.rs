@@ -5,23 +5,13 @@
 //! satisfy the formula. Assumptions and incremental clause addition are
 //! fuzzed the same way — these paths carry the BMC engine, so they get the
 //! heaviest scrutiny.
+//!
+//! The proptest suites are opt-in (`--cfg gqed_proptest` with the
+//! `proptest` dev-dependency restored); the deterministic seeded fuzz
+//! below always runs and needs nothing beyond the workspace.
 
+use gqed_logic::SplitMix64;
 use gqed_sat::{SatResult, Solver};
-use proptest::prelude::*;
-
-/// A random clause: non-empty vector of DIMACS lits over `1..=num_vars`.
-fn clause_strategy(num_vars: i32) -> impl Strategy<Value = Vec<i32>> {
-    prop::collection::vec(
-        (1..=num_vars).prop_flat_map(|v| prop_oneof![Just(v), Just(-v)]),
-        1..=4,
-    )
-}
-
-fn cnf_strategy() -> impl Strategy<Value = (i32, Vec<Vec<i32>>)> {
-    (2i32..=10).prop_flat_map(|nv| {
-        prop::collection::vec(clause_strategy(nv), 1..=40).prop_map(move |cs| (nv, cs))
-    })
-}
 
 fn brute_force_sat(num_vars: i32, clauses: &[Vec<i32>], fixed: &[i32]) -> bool {
     'outer: for m in 0u32..(1 << num_vars) {
@@ -49,83 +39,94 @@ fn model_satisfies(s: &Solver, clauses: &[Vec<i32>]) -> bool {
     clauses.iter().all(|c| c.iter().any(|&l| s.value(l)))
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(300))]
-
-    #[test]
-    fn agrees_with_brute_force((nv, clauses) in cnf_strategy()) {
-        let mut s = Solver::new();
-        for _ in 0..nv { s.new_var(); }
-        for c in &clauses { s.add_clause(c); }
-        let expect = brute_force_sat(nv, &clauses, &[]);
-        let got = s.solve(&[]);
-        prop_assert_eq!(got == SatResult::Sat, expect);
-        if got == SatResult::Sat {
-            prop_assert!(model_satisfies(&s, &clauses), "model does not satisfy formula");
+/// A random 3-clause over `1..=nv` with distinct variables.
+fn random_clause(rng: &mut SplitMix64, nv: i32, max_len: usize) -> Vec<i32> {
+    let len = 1 + rng.below(max_len as u64) as usize;
+    let mut c: Vec<i32> = Vec::new();
+    while c.len() < len {
+        let v = rng.range_i32(1, nv);
+        if !c.contains(&v) && !c.contains(&-v) {
+            c.push(if rng.next_bool() { v } else { -v });
         }
     }
+    c
+}
 
-    #[test]
-    fn agrees_under_assumptions(
-        (nv, clauses) in cnf_strategy(),
-        assump_bits in prop::collection::vec(any::<bool>(), 3),
-    ) {
-        let mut s = Solver::new();
-        for _ in 0..nv { s.new_var(); }
-        for c in &clauses { s.add_clause(c); }
-        // Assume polarities for up to 3 of the variables.
-        let assumps: Vec<i32> = assump_bits
-            .iter()
-            .enumerate()
-            .take(nv as usize)
-            .map(|(i, &pos)| if pos { i as i32 + 1 } else { -(i as i32 + 1) })
+/// Seeded replacement for the proptest agreement suite: random small CNFs
+/// checked against exhaustive enumeration, including assumption solving
+/// and incremental addition. Runs offline on every `cargo test`.
+#[test]
+fn seeded_fuzz_agrees_with_brute_force() {
+    let mut rng = SplitMix64::new(0xdac_2023);
+    for round in 0..300 {
+        let nv = 2 + rng.below(9) as i32; // 2..=10 variables
+        let nc = 1 + rng.below(40) as usize;
+        let clauses: Vec<Vec<i32>> = (0..nc)
+            .map(|_| random_clause(&mut rng, nv, nv.min(4) as usize))
             .collect();
-        let expect = brute_force_sat(nv, &clauses, &assumps);
-        let got = s.solve(&assumps);
-        prop_assert_eq!(got == SatResult::Sat, expect);
+        let mut s = Solver::new();
+        for _ in 0..nv {
+            s.new_var();
+        }
+        for c in &clauses {
+            s.add_clause(c);
+        }
+        let expect = brute_force_sat(nv, &clauses, &[]);
+        let got = s.solve(&[]);
+        assert_eq!(got == SatResult::Sat, expect, "round {round}");
         if got == SatResult::Sat {
-            prop_assert!(model_satisfies(&s, &clauses));
+            assert!(model_satisfies(&s, &clauses), "round {round}: bad model");
+        }
+
+        // Assumption agreement on the same formula.
+        let assumps: Vec<i32> = (1..=nv.min(3))
+            .map(|v| if rng.next_bool() { v } else { -v })
+            .collect();
+        let expect_a = brute_force_sat(nv, &clauses, &assumps);
+        let got_a = s.solve(&assumps);
+        assert_eq!(got_a == SatResult::Sat, expect_a, "round {round} (assumed)");
+        if got_a == SatResult::Sat {
+            assert!(model_satisfies(&s, &clauses));
             for &a in &assumps {
-                prop_assert!(s.value(a), "assumption {} violated in model", a);
+                assert!(s.value(a), "round {round}: assumption {a} violated");
             }
         }
         // The solver must remain usable and consistent afterwards.
-        let unconstrained = s.solve(&[]);
-        prop_assert_eq!(
-            unconstrained == SatResult::Sat,
-            brute_force_sat(nv, &clauses, &[])
-        );
+        assert_eq!(s.solve(&[]) == SatResult::Sat, expect, "round {round}");
     }
+}
 
-    #[test]
-    fn incremental_matches_monolithic(
-        (nv, clauses) in cnf_strategy(),
-        split in 0usize..40,
-    ) {
-        // Add clauses in two batches with a solve in between; the final
-        // verdict must match solving everything at once.
-        let split = split.min(clauses.len());
+/// Seeded replacement for the incremental-vs-monolithic proptest.
+#[test]
+fn seeded_incremental_matches_monolithic() {
+    let mut rng = SplitMix64::new(0x1c4e_beef);
+    for round in 0..150 {
+        let nv = 2 + rng.below(9) as i32;
+        let nc = 2 + rng.below(30) as usize;
+        let clauses: Vec<Vec<i32>> = (0..nc)
+            .map(|_| random_clause(&mut rng, nv, nv.min(4) as usize))
+            .collect();
+        let split = rng.below(clauses.len() as u64) as usize;
         let mut s = Solver::new();
-        for _ in 0..nv { s.new_var(); }
-        for c in &clauses[..split] { s.add_clause(c); }
+        for _ in 0..nv {
+            s.new_var();
+        }
+        for c in &clauses[..split] {
+            s.add_clause(c);
+        }
         let _ = s.solve(&[]);
-        for c in &clauses[split..] { s.add_clause(c); }
+        for c in &clauses[split..] {
+            s.add_clause(c);
+        }
         let got = s.solve(&[]);
         let expect = brute_force_sat(nv, &clauses, &[]);
-        prop_assert_eq!(got == SatResult::Sat, expect);
+        assert_eq!(got == SatResult::Sat, expect, "round {round}");
         if got == SatResult::Sat {
-            prop_assert!(model_satisfies(&s, &clauses));
+            assert!(model_satisfies(&s, &clauses), "round {round}");
         }
-    }
-
-    #[test]
-    fn repeated_solves_are_stable((nv, clauses) in cnf_strategy()) {
-        let mut s = Solver::new();
-        for _ in 0..nv { s.new_var(); }
-        for c in &clauses { s.add_clause(c); }
-        let first = s.solve(&[]);
+        // Verdicts must be stable across repeated solves.
         for _ in 0..3 {
-            prop_assert_eq!(s.solve(&[]), first);
+            assert_eq!(s.solve(&[]), got, "round {round}: instability");
         }
     }
 }
@@ -134,9 +135,7 @@ proptest! {
 /// clause-database reduction (many conflicts).
 #[test]
 fn random_hard_instances_solved_consistently() {
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
-    let mut rng = StdRng::seed_from_u64(0x6_9ed);
+    let mut rng = SplitMix64::new(0x6_9ed);
     for round in 0..8 {
         let nv = 30;
         // Near the 3-SAT phase transition (ratio ≈ 4.26) instances are hard.
@@ -145,9 +144,9 @@ fn random_hard_instances_solved_consistently() {
         for _ in 0..nc {
             let mut c = Vec::new();
             while c.len() < 3 {
-                let v = rng.gen_range(1..=nv);
+                let v = rng.range_i32(1, nv);
                 if !c.contains(&v) && !c.contains(&-v) {
-                    c.push(if rng.gen() { v } else { -v });
+                    c.push(if rng.next_bool() { v } else { -v });
                 }
             }
             clauses.push(c);
@@ -169,5 +168,107 @@ fn random_hard_instances_solved_consistently() {
             s2.add_clause(c);
         }
         assert_eq!(s2.solve(&[]), r1, "round {round}: verdict instability");
+    }
+}
+
+#[cfg(gqed_proptest)]
+mod proptests {
+    use super::{brute_force_sat, model_satisfies};
+    use gqed_sat::{SatResult, Solver};
+    use proptest::prelude::*;
+
+    /// A random clause: non-empty vector of DIMACS lits over `1..=num_vars`.
+    fn clause_strategy(num_vars: i32) -> impl Strategy<Value = Vec<i32>> {
+        prop::collection::vec(
+            (1..=num_vars).prop_flat_map(|v| prop_oneof![Just(v), Just(-v)]),
+            1..=4,
+        )
+    }
+
+    fn cnf_strategy() -> impl Strategy<Value = (i32, Vec<Vec<i32>>)> {
+        (2i32..=10).prop_flat_map(|nv| {
+            prop::collection::vec(clause_strategy(nv), 1..=40).prop_map(move |cs| (nv, cs))
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(300))]
+
+        #[test]
+        fn agrees_with_brute_force((nv, clauses) in cnf_strategy()) {
+            let mut s = Solver::new();
+            for _ in 0..nv { s.new_var(); }
+            for c in &clauses { s.add_clause(c); }
+            let expect = brute_force_sat(nv, &clauses, &[]);
+            let got = s.solve(&[]);
+            prop_assert_eq!(got == SatResult::Sat, expect);
+            if got == SatResult::Sat {
+                prop_assert!(model_satisfies(&s, &clauses), "model does not satisfy formula");
+            }
+        }
+
+        #[test]
+        fn agrees_under_assumptions(
+            (nv, clauses) in cnf_strategy(),
+            assump_bits in prop::collection::vec(any::<bool>(), 3),
+        ) {
+            let mut s = Solver::new();
+            for _ in 0..nv { s.new_var(); }
+            for c in &clauses { s.add_clause(c); }
+            // Assume polarities for up to 3 of the variables.
+            let assumps: Vec<i32> = assump_bits
+                .iter()
+                .enumerate()
+                .take(nv as usize)
+                .map(|(i, &pos)| if pos { i as i32 + 1 } else { -(i as i32 + 1) })
+                .collect();
+            let expect = brute_force_sat(nv, &clauses, &assumps);
+            let got = s.solve(&assumps);
+            prop_assert_eq!(got == SatResult::Sat, expect);
+            if got == SatResult::Sat {
+                prop_assert!(model_satisfies(&s, &clauses));
+                for &a in &assumps {
+                    prop_assert!(s.value(a), "assumption {} violated in model", a);
+                }
+            }
+            // The solver must remain usable and consistent afterwards.
+            let unconstrained = s.solve(&[]);
+            prop_assert_eq!(
+                unconstrained == SatResult::Sat,
+                brute_force_sat(nv, &clauses, &[])
+            );
+        }
+
+        #[test]
+        fn incremental_matches_monolithic(
+            (nv, clauses) in cnf_strategy(),
+            split in 0usize..40,
+        ) {
+            // Add clauses in two batches with a solve in between; the final
+            // verdict must match solving everything at once.
+            let split = split.min(clauses.len());
+            let mut s = Solver::new();
+            for _ in 0..nv { s.new_var(); }
+            for c in &clauses[..split] { s.add_clause(c); }
+            let _ = s.solve(&[]);
+            for c in &clauses[split..] { s.add_clause(c); }
+            let got = s.solve(&[]);
+            let expect = brute_force_sat(nv, &clauses, &[]);
+            prop_assert_eq!(got == SatResult::Sat, expect);
+            if got == SatResult::Sat {
+                prop_assert!(model_satisfies(&s, &clauses));
+            }
+        }
+
+        #[test]
+        fn repeated_solves_are_stable((nv, clauses) in cnf_strategy()) {
+            let mut s = Solver::new();
+            for _ in 0..nv { s.new_var(); }
+            for c in &clauses { s.add_clause(c); }
+            let first = s.solve(&[]);
+            for _ in 0..3 {
+                prop_assert_eq!(s.solve(&[]), first);
+            }
+        }
     }
 }

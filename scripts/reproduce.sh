@@ -2,33 +2,41 @@
 # Regenerates every artifact of the G-QED evaluation (DESIGN.md §3) into
 # results/. Expect roughly an hour of wall-clock on a laptop-class CPU:
 # the bug-detection sweep (table2) and the scaling figure (fig1) dominate.
+# The campaign and the table2/table3 sweeps parallelize across all cores.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 out=results
 mkdir -p "$out"
+jobs=$(nproc 2>/dev/null || echo 2)
 
 echo "== building (release) =="
 cargo build --release --workspace
 
 run() {
   local name="$1"
+  shift
   echo "== $name =="
-  cargo run --release -q -p gqed-bench --bin "$name" | tee "$out/$name.md"
+  cargo run --release -q -p gqed-bench --bin "$name" -- "$@" | tee "$out/$name.md"
 }
+
+echo "== campaign (full obligation sweep, $jobs workers) =="
+cargo run --release -q --bin gqed -- campaign --all \
+  --jobs "$jobs" --deadline-ms 600000 \
+  --telemetry "$out/campaign.jsonl" | tee "$out/campaign.txt"
 
 run table1
 run table4
 run table5
 run obscan
-run table2
-run table3
+run table2 --jobs "$jobs"
+run table3 --jobs "$jobs"
 run fig3
 run fig1
 run fig2
 run ablation
 
-echo "== criterion micro-benchmarks =="
+echo "== criterion micro-benchmarks (gated; no-op without --cfg gqed_criterion) =="
 cargo bench -p gqed-bench 2>&1 | tee "$out/criterion.txt"
 
 echo

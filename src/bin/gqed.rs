@@ -19,6 +19,15 @@
 //!      --prove                      try k-induction after clean BMC
 //! gqed prove <design>               k-induction on the conventional assertions
 //!      --max-k <n>                  induction depth limit (default 6)
+//! gqed campaign [<design>…|--all]   run the full verification campaign
+//!      --jobs <n>                   worker threads (default 1)
+//!      --deadline-ms <m>            per-attempt deadline, Luby-escalated
+//!      --budget <c>                 per-attempt conflict budget, Luby-escalated
+//!      --max-attempts <n>           escalation attempts (default 4)
+//!      --telemetry <file>           write JSONL telemetry (schema: EXPERIMENTS.md)
+//!      --flow gqed[,aqed,conv]      restrict to the listed flows
+//!      --no-race                    disable the BMC vs k-induction race
+//!                                   on clean designs
 //! gqed productivity [--features n --properties n]
 //!                                   evaluate the person-day cost model
 //! ```
@@ -42,9 +51,10 @@ fn main() {
         Some("export") => cmd_export(&args[1..]),
         Some("bmc") => cmd_bmc(&args[1..]),
         Some("prove") => cmd_prove(&args[1..]),
+        Some("campaign") => cmd_campaign(&args[1..]),
         Some("productivity") => cmd_productivity(&args[1..]),
         _ => {
-            eprintln!("usage: gqed <list|check|hunt|export|bmc|prove|productivity> …");
+            eprintln!("usage: gqed <list|check|hunt|export|bmc|prove|campaign|productivity> …");
             eprintln!("       (see the crate docs or src/bin/gqed.rs for options)");
             exit(2);
         }
@@ -307,6 +317,8 @@ fn cmd_bmc(args: &[String]) {
                                 format!("FALSIFIED ({} cycles)", t.len()),
                             gqed::bmc::ProofResult::Unknown { max_k } =>
                                 format!("unknown up to k = {max_k}"),
+                            gqed::bmc::ProofResult::Cancelled { k, reason } =>
+                                format!("cancelled at k = {k} ({reason:?})"),
                         }
                     );
                 }
@@ -338,9 +350,130 @@ fn cmd_prove(args: &[String]) {
                     format!("FALSIFIED ({}-cycle counterexample)", t.len()),
                 gqed::bmc::ProofResult::Unknown { max_k } =>
                     format!("unknown up to k = {max_k} (needs an invariant)"),
+                gqed::bmc::ProofResult::Cancelled { k, reason } =>
+                    format!("cancelled at k = {k} ({reason:?})"),
             }
         );
     }
+}
+
+fn cmd_campaign(args: &[String]) {
+    use gqed::campaign::{
+        enumerate_obligations, run_campaign, CampaignConfig, FlowFilter, Telemetry,
+    };
+
+    let designs: Vec<String> = args
+        .iter()
+        .enumerate()
+        .filter(|(i, a)| {
+            !a.starts_with("--")
+                && !matches!(
+                    args.get(i.wrapping_sub(1)).map(String::as_str),
+                    Some(
+                        "--jobs"
+                            | "--deadline-ms"
+                            | "--budget"
+                            | "--max-attempts"
+                            | "--telemetry"
+                            | "--flow"
+                    )
+                )
+        })
+        .map(|(_, a)| a.clone())
+        .collect();
+    if designs.is_empty() && !has_flag(args, "--all") {
+        eprintln!(
+            "usage: gqed campaign [<design>…|--all] [--jobs n] [--deadline-ms m] [--budget c]"
+        );
+        eprintln!("                     [--max-attempts n] [--telemetry file] [--flow gqed,aqed,conv] [--no-race]");
+        exit(2);
+    }
+    for name in &designs {
+        find_design(name); // validate early with the friendly error
+    }
+
+    let flows = match flag_value(args, "--flow") {
+        None => FlowFilter::all(),
+        Some(list) => {
+            let mut f = FlowFilter {
+                gqed: false,
+                aqed: false,
+                conventional: false,
+            };
+            for flow in list.split(',') {
+                match flow {
+                    "gqed" => f.gqed = true,
+                    "aqed" => f.aqed = true,
+                    "conv" | "conventional" => f.conventional = true,
+                    other => {
+                        eprintln!("unknown flow '{other}' (expected gqed, aqed or conv)");
+                        exit(2);
+                    }
+                }
+            }
+            f
+        }
+    };
+    fn parse_flag<T: std::str::FromStr>(args: &[String], name: &str) -> Option<T> {
+        flag_value(args, name).map(|v| {
+            v.parse().unwrap_or_else(|_| {
+                eprintln!("bad {name} '{v}'");
+                exit(2);
+            })
+        })
+    }
+    let config = CampaignConfig {
+        jobs: parse_flag(args, "--jobs").unwrap_or(1),
+        deadline_ms: parse_flag(args, "--deadline-ms"),
+        base_budget: parse_flag(args, "--budget"),
+        max_attempts: parse_flag(args, "--max-attempts").unwrap_or(4),
+        race_clean: !has_flag(args, "--no-race"),
+    };
+    let telemetry = match flag_value(args, "--telemetry") {
+        Some(path) => Telemetry::file(std::path::Path::new(path)).unwrap_or_else(|e| {
+            eprintln!("cannot open telemetry file {path}: {e}");
+            exit(1);
+        }),
+        None => Telemetry::null(),
+    };
+
+    let obligations = enumerate_obligations(flows, &designs);
+    eprintln!(
+        "campaign: {} obligations, {} worker(s)…",
+        obligations.len(),
+        config.jobs.max(1)
+    );
+    let summary = run_campaign(&obligations, &config, &telemetry);
+
+    println!(
+        "{:34} {:8} {:44} {:>3} {:>10}  engine",
+        "obligation", "flow", "verdict", "try", "wall"
+    );
+    for r in &summary.records {
+        println!(
+            "{:34} {:8} {:44} {:>3} {:>10}  {}{}",
+            r.obligation.id,
+            r.obligation.flow_tag(),
+            format!("{:?}", r.verdict),
+            r.attempts,
+            format!("{:.1?}", r.wall),
+            r.engine,
+            if r.mismatch { "  MISMATCH" } else { "" }
+        );
+    }
+    println!(
+        "\n{} obligations in {:.2?} on {} worker(s): {} violations, {} passes, {} unknown, {} timeouts, {} failures, {} mismatches",
+        summary.records.len(),
+        summary.wall,
+        summary.jobs,
+        summary.violations,
+        summary.passes,
+        summary.unknowns,
+        summary.timeouts,
+        summary.failures,
+        summary.mismatches
+    );
+    exit(summary.exit_code());
 }
 
 fn cmd_productivity(args: &[String]) {

@@ -13,6 +13,7 @@
 //!
 //! | module | crate | contents |
 //! |--------|-------|----------|
+//! | [`campaign`] | `gqed-campaign` | parallel verification campaign runner + JSONL telemetry |
 //! | [`core`] | `gqed-core` | G-QED/A-QED wrapper synthesis, check flows, productivity model, theory |
 //! | [`ha`] | `gqed-ha` | the accelerator design library + bug catalogues |
 //! | [`bmc`] | `gqed-bmc` | the bounded model checker + k-induction + replay |
@@ -44,6 +45,7 @@
 
 #![warn(missing_docs)]
 pub use gqed_bmc as bmc;
+pub use gqed_campaign as campaign;
 pub use gqed_core as core;
 pub use gqed_ha as ha;
 pub use gqed_ir as ir;

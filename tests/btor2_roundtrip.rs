@@ -6,13 +6,12 @@
 
 use gqed::ha::all_designs;
 use gqed::ir::{from_btor2, to_btor2, Sim};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use gqed::logic::SplitMix64;
 use std::collections::HashMap;
 
 #[test]
 fn all_designs_roundtrip_and_match_behavior() {
-    let mut rng = StdRng::seed_from_u64(0xb702);
+    let mut rng = SplitMix64::new(0xb702);
     for entry in all_designs() {
         let d = entry.build_clean();
         let text = to_btor2(&d.ctx, &d.ts);
@@ -33,7 +32,7 @@ fn all_designs_roundtrip_and_match_behavior() {
             for (&a, &b) in d.ts.inputs.iter().zip(&ts2.inputs) {
                 let w = d.ctx.width(a);
                 assert_eq!(w, ctx2.width(b), "{}: input width mismatch", entry.name);
-                let v = rng.gen::<u128>() & if w >= 128 { u128::MAX } else { (1 << w) - 1 };
+                let v = rng.bits(w);
                 i1.insert(a, v);
                 i2.insert(b, v);
             }

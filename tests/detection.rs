@@ -7,7 +7,7 @@
 //! representative per (design-family, bug-class) cell so `cargo test`
 //! stays minutes, not hours.
 
-use gqed::core::theory::evaluation_bound;
+use gqed::core::theory::{baseline_bound, evaluation_bound};
 use gqed::core::{check_design, CheckKind};
 use gqed::ha::all_designs;
 
@@ -22,10 +22,6 @@ fn run_case(design: &str, bug: &str) {
         .unwrap_or_else(|| panic!("{design} has no bug '{bug}'"));
     let d = entry.build_buggy(bug);
     let bound = evaluation_bound(&d, &info);
-    // Baseline flows run at the design's recommended bound (same policy
-    // as the Table 2 generator): every baseline hit lands well below it,
-    // and escape demonstrations stay cheap.
-    let base_bound = d.meta.recommended_bound.min(12);
 
     let g = check_design(&d, CheckKind::GQed, bound);
     assert_eq!(
@@ -36,7 +32,15 @@ fn run_case(design: &str, bug: &str) {
         g.verdict
     );
 
-    let c = check_design(&d, CheckKind::Conventional, base_bound);
+    // Baseline flows use the shared policy from `gqed_core::theory` (same
+    // as the Table 2 generator): deep enough for an expected detection —
+    // the run stops at the violating frame anyway — and the cheap
+    // recommended bound for escape demonstrations.
+    let c = check_design(
+        &d,
+        CheckKind::Conventional,
+        baseline_bound(&d, &info, info.expected.conventional),
+    );
     assert_eq!(
         c.verdict.is_violation(),
         info.expected.conventional,
@@ -49,7 +53,11 @@ fn run_case(design: &str, bug: &str) {
     // interfering ones any violation may be a false alarm, so the verdict
     // carries no detection information).
     if !entry.interfering {
-        let a = check_design(&d, CheckKind::AQed, base_bound);
+        let a = check_design(
+            &d,
+            CheckKind::AQed,
+            baseline_bound(&d, &info, info.expected.aqed),
+        );
         assert_eq!(
             a.verdict.is_violation(),
             info.expected.aqed,

@@ -14,8 +14,7 @@
 use gqed::core::{synthesize, QedConfig};
 use gqed::ha::designs::accum;
 use gqed::ir::Sim;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use gqed::logic::SplitMix64;
 use std::collections::HashMap;
 
 struct Harness {
@@ -120,14 +119,16 @@ fn random_divergent_schedules_never_fire_qed_properties() {
     // The heart of TLD, validated by simulation: on a correct design, no
     // pair of sampled schedules may trigger any QED bad.
     let h = harness();
-    let mut rng = StdRng::seed_from_u64(0xdac2023);
+    let mut rng = SplitMix64::new(0xdac2023);
     for round in 0..30 {
-        let mk = |rng: &mut StdRng| -> Vec<(bool, bool)> {
-            (0..16).map(|_| (rng.gen(), rng.gen())).collect()
+        let mk = |rng: &mut SplitMix64| -> Vec<(bool, bool)> {
+            (0..16)
+                .map(|_| (rng.next_bool(), rng.next_bool()))
+                .collect()
         };
         let s0 = mk(&mut rng);
         let s1 = mk(&mut rng);
-        let tape: Vec<u128> = (0..4).map(|_| rng.gen::<u128>() & 0x3ff).collect();
+        let tape: Vec<u128> = (0..4).map(|_| rng.bits(10)).collect();
         // run_schedules asserts no bad fires.
         let _ = run_schedules(&h, &tape, [&s0, &s1], 28);
         let _ = round;
@@ -140,7 +141,7 @@ fn fcg_triggers_never_fire_on_clean_design() {
     let h = harness();
     let ctx = &h.design.ctx;
     let ts = &h.model.ts;
-    let mut rng = StdRng::seed_from_u64(7);
+    let mut rng = SplitMix64::new(7);
     // Identify the trigger inputs by name.
     let triggers: Vec<_> = ts
         .inputs
@@ -156,12 +157,12 @@ fn fcg_triggers_never_fire_on_clean_design() {
     for _ in 0..20 {
         let mut sim = Sim::new(ctx, ts);
         for &t in &h.model.tape {
-            sim = sim.with_initial(t, u128::from(rng.gen::<u16>() & 0x3ff));
+            sim = sim.with_initial(t, rng.bits(10));
         }
         let mut inp = HashMap::new();
         for c in 0..30 {
             for i in &ts.inputs {
-                inp.insert(*i, u128::from(rng.gen::<bool>()));
+                inp.insert(*i, u128::from(rng.next_bool()));
             }
             let r = sim.step(&inp);
             assert!(
