@@ -1,10 +1,13 @@
 //! Satellite: Table 2 is byte-identical regardless of campaign worker
-//! count. Rows are rendered from the deterministically ordered record
-//! vector, never from completion order — this test pins that down on a
-//! single-design subset (the full sweep is the table binary's job).
+//! count *and* of the retry schedule. Rows are rendered from the
+//! deterministically ordered record vector, never from completion order,
+//! and a budget-forced escalation run (warm-start resumes included) must
+//! reach exactly the verdicts and counterexample lengths of an unlimited
+//! run — this test pins both down on a single-design subset (the full
+//! sweep is the table binary's job).
 
-use gqed_bench::tables::render_table2;
-use gqed_campaign::Telemetry;
+use gqed_bench::tables::{render_table2, render_table2_with};
+use gqed_campaign::{CampaignConfig, Telemetry};
 
 #[test]
 fn table2_bytes_identical_across_worker_counts() {
@@ -16,4 +19,28 @@ fn table2_bytes_identical_across_worker_counts() {
     // Sanity: the subset actually rendered rows.
     assert!(one.markdown.contains("relu"));
     assert!(one.markdown.contains("Table 2b"));
+}
+
+#[test]
+fn table2_bytes_identical_under_forced_escalation() {
+    let unlimited = render_table2(Some("relu"), 1, &Telemetry::null());
+    // A conflict budget far below the hardest query forces every
+    // non-trivial obligation through budget-exhausted stops and
+    // Luby-escalated retries; warm-start resumes pick each one up at the
+    // stopped frame. None of that may leak into the verdicts: same
+    // violations, same counterexample lengths, same bytes.
+    let escalated_config = CampaignConfig {
+        jobs: 1,
+        deadline_ms: None,
+        base_budget: Some(600),
+        max_attempts: 16,
+        race_clean: false,
+        warm_start: true,
+    };
+    let escalated = render_table2_with(Some("relu"), &escalated_config, &Telemetry::null());
+    assert_eq!(escalated.mismatches, 0);
+    assert_eq!(
+        unlimited.markdown, escalated.markdown,
+        "escalated retries changed the rendered table"
+    );
 }

@@ -10,7 +10,7 @@
 
 use crate::replay::replay;
 use crate::trace::Trace;
-use gqed_ir::{BitBlaster, Context, TermId, TransitionSystem};
+use gqed_ir::{BitBlaster, Context, Model, TermId, TransitionSystem};
 use gqed_logic::aig::{Aig, AigLit};
 use gqed_logic::{Cnf, Tseitin};
 use gqed_sat::{SolveOutcome, Solver, SolverStats};
@@ -138,6 +138,12 @@ pub struct BmcStats {
     /// Cumulative wall-clock time spent inside this engine's check calls
     /// (encoding + solving + trace extraction).
     pub wall: Duration,
+    /// Cumulative number of per-frame queries solved by
+    /// [`BmcEngine::try_check_up_to`] over this engine's lifetime. A warm
+    /// resume does not re-query clean frames, so this counts real solving
+    /// work — the deterministic "frames solved from zero" metric the
+    /// bench regression gate compares cold vs. warm.
+    pub frame_queries: u64,
     /// SAT solver search statistics.
     pub solver: SolverStats,
 }
@@ -151,14 +157,43 @@ struct Frame {
     constraint_act: Option<i32>,
 }
 
+/// How an engine holds its model: borrowed from the caller (the classic
+/// construction) or shared ownership of a prebuilt [`Model`]. The enum
+/// stays private; the accessors [`mctx`]/[`mts`] are free functions over
+/// `&ModelRef` so the borrow checker sees field-disjoint borrows of the
+/// engine (a method taking `&self` would conflict with `&mut self.aig` on
+/// the blasting paths).
+enum ModelRef<'a> {
+    Borrowed {
+        ctx: &'a Context,
+        ts: &'a TransitionSystem,
+    },
+    Shared(Arc<Model>),
+}
+
+fn mctx<'b>(m: &'b ModelRef<'_>) -> &'b Context {
+    match m {
+        ModelRef::Borrowed { ctx, .. } => ctx,
+        ModelRef::Shared(model) => &model.ctx,
+    }
+}
+
+fn mts<'b>(m: &'b ModelRef<'_>) -> &'b TransitionSystem {
+    match m {
+        ModelRef::Borrowed { ts, .. } => ts,
+        ModelRef::Shared(model) => &model.ts,
+    }
+}
+
 /// Incremental BMC engine for a single `(Context, TransitionSystem)` pair.
 ///
-/// The context and system are borrowed for the engine's lifetime; build the
-/// full model (including any QED wrapper logic) before constructing the
-/// engine.
+/// The context and system are borrowed for the engine's lifetime
+/// ([`BmcEngine::new`]) or owned via a shared [`Model`]
+/// ([`BmcEngine::for_model`], which yields a `'static` engine that can
+/// live inside a resumable session). Build the full model (including any
+/// QED wrapper logic) before constructing the engine.
 pub struct BmcEngine<'a> {
-    ctx: &'a Context,
-    ts: &'a TransitionSystem,
+    model: ModelRef<'a>,
     aig: Aig,
     cnf: Cnf,
     solver: Solver,
@@ -172,14 +207,27 @@ pub struct BmcEngine<'a> {
     synced_clauses: usize,
     /// Wall-clock time accumulated across check calls.
     wall: Duration,
+    /// Frames `0..verified_clean` are proven clean (no bad fires there);
+    /// [`BmcEngine::try_check_up_to`] resumes from here, making a re-run
+    /// after an early stop a warm start rather than a re-solve.
+    verified_clean: u32,
+    /// Reusable assumption buffer for solver queries (constraint
+    /// activation literals + the query literal), to avoid a fresh `Vec`
+    /// per query.
+    assumption_buf: Vec<i32>,
+    /// Per-frame queries solved by `try_check_up_to` (see [`BmcStats`]).
+    frame_queries: u64,
 }
 
 impl<'a> BmcEngine<'a> {
     /// Creates an engine with no frames unrolled yet.
     pub fn new(ctx: &'a Context, ts: &'a TransitionSystem) -> Self {
+        Self::with_model(ModelRef::Borrowed { ctx, ts })
+    }
+
+    fn with_model(model: ModelRef<'a>) -> Self {
         BmcEngine {
-            ctx,
-            ts,
+            model,
             aig: Aig::new(),
             cnf: Cnf::new(),
             solver: Solver::new(),
@@ -189,7 +237,18 @@ impl<'a> BmcEngine<'a> {
             bad_lits: HashMap::new(),
             synced_clauses: 0,
             wall: Duration::ZERO,
+            verified_clean: 0,
+            assumption_buf: Vec::new(),
+            frame_queries: 0,
         }
+    }
+
+    /// Number of leading frames proven clean so far. A later
+    /// [`BmcEngine::try_check_up_to`] call starts checking at this frame,
+    /// which is what makes re-running after a budget/deadline stop a
+    /// resume instead of a restart.
+    pub fn verified_clean(&self) -> u32 {
+        self.verified_clean
     }
 
     /// Renders the engine's current CNF (the whole unrolling encoded so
@@ -210,6 +269,7 @@ impl<'a> BmcEngine<'a> {
             cnf_vars: self.cnf.num_vars(),
             cnf_clauses: self.cnf.num_clauses(),
             wall: self.wall,
+            frame_queries: self.frame_queries,
             solver: self.solver.stats(),
         }
     }
@@ -233,14 +293,14 @@ impl<'a> BmcEngine<'a> {
             let mut blaster = BitBlaster::new();
             // Seed state bits.
             if f == 0 {
-                for s in &self.ts.states {
-                    let w = self.ctx.width(s.term);
+                for s in &mts(&self.model).states {
+                    let w = mctx(&self.model).width(s.term);
                     let bits = match s.init {
                         Some(init) => {
-                            let v = gqed_ir::eval_terms(self.ctx, &[init], |t| {
+                            let v = gqed_ir::eval_terms(mctx(&self.model), &[init], |t| {
                                 panic!(
                                     "init must be constant, found leaf '{}'",
-                                    self.ctx.var_name(t).unwrap_or("?")
+                                    mctx(&self.model).var_name(t).unwrap_or("?")
                                 )
                             })[0];
                             Self::const_bits(v, w)
@@ -251,16 +311,16 @@ impl<'a> BmcEngine<'a> {
                             bits
                         }
                     };
-                    blaster.seed(self.ctx, s.term, bits);
+                    blaster.seed(mctx(&self.model), s.term, bits);
                 }
             } else {
                 // Next-state bits computed in the previous frame.
                 let prev = self.frames.len() - 1;
                 let mut next_bits: Vec<(TermId, Vec<AigLit>)> = Vec::new();
-                for s in &self.ts.states {
+                for s in &mts(&self.model).states {
                     let prev_frame = &mut self.frames[prev];
                     let bits = prev_frame.blaster.blast(
-                        self.ctx,
+                        mctx(&self.model),
                         &mut self.aig,
                         s.next,
                         &mut leaf_provider(&mut prev_frame.input_bits),
@@ -268,7 +328,7 @@ impl<'a> BmcEngine<'a> {
                     next_bits.push((s.term, bits));
                 }
                 for (t, bits) in next_bits {
-                    blaster.seed(self.ctx, t, bits);
+                    blaster.seed(mctx(&self.model), t, bits);
                 }
             }
             let mut fr = Frame {
@@ -278,11 +338,11 @@ impl<'a> BmcEngine<'a> {
             };
             // Encode this frame's environment constraints behind one
             // activation literal.
-            if !self.ts.constraints.is_empty() {
+            if !mts(&self.model).constraints.is_empty() {
                 let act = self.cnf.fresh_var();
-                for &c in &self.ts.constraints {
+                for &c in &mts(&self.model).constraints {
                     let bits = fr.blaster.blast(
-                        self.ctx,
+                        mctx(&self.model),
                         &mut self.aig,
                         c,
                         &mut leaf_provider(&mut fr.input_bits),
@@ -302,10 +362,10 @@ impl<'a> BmcEngine<'a> {
             return l;
         }
         self.extend_to(frame);
-        let term = self.ts.bads[bad_index].term;
+        let term = mts(&self.model).bads[bad_index].term;
         let fr = &mut self.frames[frame as usize];
         let bits = fr.blaster.blast(
-            self.ctx,
+            mctx(&self.model),
             &mut self.aig,
             term,
             &mut leaf_provider(&mut fr.input_bits),
@@ -368,14 +428,12 @@ impl<'a> BmcEngine<'a> {
         // Constraint clauses added during extension must reach the solver
         // too; encode_bad_at only syncs its own cone, so sync again.
         self.flush_cnf();
-        let mut assumptions = self.constraint_assumptions(frame);
-        assumptions.push(bad_lit);
-        match self.solve_query(&assumptions, limits) {
+        match self.solve_with_constraints(frame, bad_lit, limits) {
             SolveOutcome::Unsat => Ok(None),
             SolveOutcome::Sat => {
                 let trace = self.extract_trace(bad_index, frame);
                 // Hard soundness guard: every trace must replay concretely.
-                replay(self.ctx, self.ts, &trace).unwrap_or_else(|e| {
+                replay(mctx(&self.model), mts(&self.model), &trace).unwrap_or_else(|e| {
                     panic!("BMC produced a non-replayable counterexample: {e}")
                 });
                 Ok(Some(trace))
@@ -433,21 +491,21 @@ impl<'a> BmcEngine<'a> {
         frame: u32,
         limits: &BmcLimits,
     ) -> Result<Option<Trace>, StopReason> {
-        if self.ts.bads.is_empty() {
+        if mts(&self.model).bads.is_empty() {
             return Ok(None);
         }
-        if self.ts.bads.len() == 1 {
+        if mts(&self.model).bads.len() == 1 {
             return self.check_bad_at_inner(0, frame, limits);
         }
         // Blast every bad at this frame and OR them in the AIG (sharing
         // their cones), caching the individual bits for identification.
         self.extend_to(frame);
-        let mut bad_bits: Vec<AigLit> = Vec::with_capacity(self.ts.bads.len());
-        for bad_index in 0..self.ts.bads.len() {
-            let term = self.ts.bads[bad_index].term;
+        let mut bad_bits: Vec<AigLit> = Vec::with_capacity(mts(&self.model).bads.len());
+        for bad_index in 0..mts(&self.model).bads.len() {
+            let term = mts(&self.model).bads[bad_index].term;
             let fr = &mut self.frames[frame as usize];
             let bits = fr.blaster.blast(
-                self.ctx,
+                mctx(&self.model),
                 &mut self.aig,
                 term,
                 &mut leaf_provider(&mut fr.input_bits),
@@ -460,9 +518,7 @@ impl<'a> BmcEngine<'a> {
         }
         let any_lit = self.tseitin.lit(&self.aig, &mut self.cnf, any);
         self.flush_cnf();
-        let mut assumptions = self.constraint_assumptions(frame);
-        assumptions.push(any_lit);
-        match self.solve_query(&assumptions, limits) {
+        match self.solve_with_constraints(frame, any_lit, limits) {
             SolveOutcome::Unsat => Ok(None),
             SolveOutcome::Sat => {
                 // Identify which property fired in the model.
@@ -471,7 +527,7 @@ impl<'a> BmcEngine<'a> {
                     .position(|&b| self.bits_value(&[b]) == 1)
                     .expect("disjunction satisfied but no disjunct true");
                 let trace = self.extract_trace(bad_index, frame);
-                replay(self.ctx, self.ts, &trace).unwrap_or_else(|e| {
+                replay(mctx(&self.model), mts(&self.model), &trace).unwrap_or_else(|e| {
                     panic!("BMC produced a non-replayable counterexample: {e}")
                 });
                 Ok(Some(trace))
@@ -480,10 +536,23 @@ impl<'a> BmcEngine<'a> {
         }
     }
 
-    fn constraint_assumptions(&self, frame: u32) -> Vec<i32> {
-        (0..=frame)
-            .filter_map(|f| self.frames[f as usize].constraint_act)
-            .collect()
+    /// Runs one solver query assuming the constraint activation literals
+    /// of frames `0..=frame` plus the query literal `extra`, reusing the
+    /// engine's assumption buffer instead of building a fresh `Vec` per
+    /// query.
+    fn solve_with_constraints(
+        &mut self,
+        frame: u32,
+        extra: i32,
+        limits: &BmcLimits,
+    ) -> SolveOutcome {
+        let mut assumptions = std::mem::take(&mut self.assumption_buf);
+        assumptions.clear();
+        assumptions.extend((0..=frame).filter_map(|f| self.frames[f as usize].constraint_act));
+        assumptions.push(extra);
+        let out = self.solve_query(&assumptions, limits);
+        self.assumption_buf = assumptions;
+        out
     }
 
     /// Checks all `bad` properties at frames `0..=bound`, depth-first by
@@ -508,13 +577,16 @@ impl<'a> BmcEngine<'a> {
     }
 
     fn try_check_up_to_inner(&mut self, bound: u32, limits: &BmcLimits) -> BmcStatus {
-        for frame in 0..=bound {
+        // Frames below `verified_clean` were proven clean by earlier calls
+        // on this engine; start where the last run stopped (warm start).
+        for frame in self.verified_clean..=bound {
             if let Some(reason) = limits.poll() {
                 return BmcStatus::Stopped { frame, reason };
             }
+            self.frame_queries += 1;
             match self.check_any_bad_at_inner(frame, limits) {
                 Ok(Some(t)) => return BmcStatus::Violated(t),
-                Ok(None) => {}
+                Ok(None) => self.verified_clean = frame + 1,
                 Err(reason) => return BmcStatus::Stopped { frame, reason },
             }
         }
@@ -546,7 +618,7 @@ impl<'a> BmcEngine<'a> {
         for f in 0..=frame {
             let fr = &self.frames[f as usize];
             let mut m = HashMap::new();
-            for &inp in &self.ts.inputs {
+            for &inp in &mts(&self.model).inputs {
                 let v = match fr.input_bits.get(&inp) {
                     Some(bits) => self.bits_value(bits),
                     None => 0, // input not referenced in this frame's cones
@@ -564,8 +636,18 @@ impl<'a> BmcEngine<'a> {
             frames,
             initial_states,
             bad_index,
-            bad_name: self.ts.bads[bad_index].name.clone(),
+            bad_name: mts(&self.model).bads[bad_index].name.clone(),
         }
+    }
+}
+
+impl BmcEngine<'static> {
+    /// Creates an engine that shares ownership of a prebuilt [`Model`].
+    /// The engine has no borrowed lifetime, so it can live inside a
+    /// long-lived resumable session (e.g. across campaign retries) while
+    /// other sessions of the same design share the same model.
+    pub fn for_model(model: Arc<Model>) -> Self {
+        Self::with_model(ModelRef::Shared(model))
     }
 }
 
@@ -768,6 +850,47 @@ mod tests {
             BmcStatus::Violated(t) => assert_eq!(t.len(), 4),
             other => panic!("expected violation, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn warm_start_resumes_at_stopped_frame() {
+        let (ctx, ts) = counter_reaches(200, 8);
+        let mut engine = BmcEngine::new(&ctx, &ts);
+        assert_eq!(engine.verified_clean(), 0);
+        assert!(!engine.check_up_to(4).is_violated());
+        assert_eq!(engine.verified_clean(), 5);
+        // An expired deadline stops the next run before frame 5 is
+        // examined — at the resume point, not at frame 0.
+        let limits = BmcLimits {
+            deadline: Some(Instant::now()),
+            ..BmcLimits::default()
+        };
+        match engine.try_check_up_to(10, &limits) {
+            BmcStatus::Stopped {
+                frame: 5,
+                reason: StopReason::DeadlineExpired,
+            } => {}
+            other => panic!("expected stop at frame 5, got {other:?}"),
+        }
+        // A retry picks up at frame 5; nothing below is re-solved.
+        assert!(!engine.check_up_to(10).is_violated());
+        assert_eq!(engine.verified_clean(), 11);
+        // A bound entirely below the clean prefix is answered instantly.
+        assert!(matches!(engine.check_up_to(3), BmcResult::NoneUpTo(3)));
+    }
+
+    #[test]
+    fn shared_model_engine_matches_borrowed() {
+        let (ctx, ts) = counter_reaches(3, 8);
+        let model = Arc::new(Model { ctx, ts });
+        let mut engine = BmcEngine::for_model(Arc::clone(&model));
+        match engine.check_up_to(10) {
+            BmcResult::Violated(t) => assert_eq!(t.len(), 4),
+            BmcResult::NoneUpTo(_) => panic!("expected violation"),
+        }
+        // The model is still shared and usable for another engine.
+        let mut second = BmcEngine::for_model(model);
+        assert!(second.check_up_to(10).is_violated());
     }
 
     #[test]

@@ -1,0 +1,271 @@
+//! `gqed bench` — the cold-vs-warm pipeline benchmark.
+//!
+//! Runs a fixed obligation suite twice under a deliberately tiny,
+//! Luby-escalated conflict budget (so every non-trivial obligation is
+//! stopped and retried at least once): once *cold* (`warm_start: false`,
+//! every attempt re-synthesizes, re-bitblasts and re-solves from frame 0)
+//! and once *warm* (model cache + resumable sessions). The report —
+//! rendered to `BENCH_pipeline.json` by the CLI — compares wall-clock,
+//! conflicts, propagations, peak clause-arena bytes and frames/second.
+//!
+//! Wall-clock is noisy on shared CI hardware, so the regression gate
+//! compares `frames_solved` instead: the exact number of per-frame BMC
+//! queries each pipeline issued. A warm pipeline never re-solves an
+//! already-verified frame, so `warm ≤ cold` must hold structurally; a
+//! violation of that inequality means the resume path re-did work.
+
+use crate::json::JsonValue;
+use crate::obligation::{enumerate_obligations, FlowFilter, Obligation};
+use crate::runner::{run_campaign, CampaignConfig, CampaignSummary};
+use crate::telemetry::Telemetry;
+use std::time::Duration;
+
+/// Designs in the bench suite. `--quick` keeps one cheap design so the
+/// CI smoke step finishes in seconds; the full suite adds an interfering
+/// design (deeper unrollings, more escalation rounds).
+fn bench_designs(quick: bool) -> Vec<String> {
+    let names: &[&str] = if quick {
+        &["relu"]
+    } else {
+        &["relu", "vecadd", "accum"]
+    };
+    names.iter().map(|s| s.to_string()).collect()
+}
+
+/// The fixed obligation suite the bench solves in both modes: every
+/// bounded check of the bench designs. Clean-design proof obligations are
+/// excluded — their deepest queries need orders of magnitude more
+/// conflicts than the bench budget (the cold pipeline would spend the
+/// whole run re-solving one obligation), and they exercise the same
+/// session/cache machinery the bounded checks already cover.
+pub fn bench_obligations(quick: bool) -> Vec<Obligation> {
+    enumerate_obligations(FlowFilter::all(), &bench_designs(quick))
+        .into_iter()
+        .filter(|o| !matches!(o.kind, crate::obligation::ObligationKind::ProveClean { .. }))
+        .collect()
+}
+
+/// The bench campaign configuration for one mode. One worker and no race
+/// keep both runs fully deterministic; the small base budget forces the
+/// escalation path the bench exists to measure.
+pub fn bench_config(warm_start: bool) -> CampaignConfig {
+    CampaignConfig {
+        jobs: 1,
+        deadline_ms: None,
+        base_budget: Some(600),
+        max_attempts: 16,
+        race_clean: false,
+        warm_start,
+    }
+}
+
+/// Aggregated metrics of one bench mode (one full campaign run).
+#[derive(Clone, Debug)]
+pub struct BenchRun {
+    /// `cold` or `warm`.
+    pub mode: &'static str,
+    /// Wall-clock of the whole campaign.
+    pub wall: Duration,
+    /// Total per-frame BMC queries issued (the regression-gate metric).
+    pub frames_solved: u64,
+    /// SAT conflicts of the deciding runs, summed over obligations.
+    pub conflicts: u64,
+    /// SAT propagations of the deciding runs, summed over obligations.
+    pub propagations: u64,
+    /// Largest clause-arena high-water mark across obligations, bytes.
+    pub peak_arena_bytes: usize,
+    /// Total attempts across obligations (retries included).
+    pub attempts: u64,
+    /// Model-cache hits (0 in cold mode).
+    pub encoding_cache_hits: u64,
+    /// Model-cache misses / fresh builds.
+    pub encoding_cache_misses: u64,
+    /// Attempts that resumed a kept session (0 in cold mode).
+    pub session_resumes: u64,
+    /// Obligations that exhausted every escalation attempt.
+    pub timeouts: usize,
+    /// Conclusive verdicts contradicting the catalogue.
+    pub mismatches: usize,
+}
+
+impl BenchRun {
+    fn from_summary(mode: &'static str, s: &CampaignSummary) -> BenchRun {
+        let mut conflicts = 0u64;
+        let mut propagations = 0u64;
+        let mut peak = 0usize;
+        for r in &s.records {
+            if let Some(st) = &r.stats {
+                conflicts += st.solver.conflicts;
+                propagations += st.solver.propagations;
+                peak = peak.max(st.solver.peak_arena_bytes);
+            }
+        }
+        BenchRun {
+            mode,
+            wall: s.wall,
+            frames_solved: s.frames_solved,
+            conflicts,
+            propagations,
+            peak_arena_bytes: peak,
+            attempts: s.records.iter().map(|r| u64::from(r.attempts)).sum(),
+            encoding_cache_hits: s.encoding_cache_hits,
+            encoding_cache_misses: s.encoding_cache_misses,
+            session_resumes: s.session_resumes,
+            timeouts: s.timeouts,
+            mismatches: s.mismatches,
+        }
+    }
+
+    /// Frames solved per wall-clock second (0 when the run was too fast
+    /// to time).
+    pub fn frames_per_sec(&self) -> f64 {
+        let secs = self.wall.as_secs_f64();
+        if secs > 0.0 {
+            self.frames_solved as f64 / secs
+        } else {
+            0.0
+        }
+    }
+
+    fn to_json(&self) -> JsonValue {
+        JsonValue::obj()
+            .field("mode", self.mode)
+            .field("wall_ms", self.wall.as_millis() as u64)
+            .field("frames_solved", self.frames_solved)
+            .field("frames_per_sec", self.frames_per_sec())
+            .field("conflicts", self.conflicts)
+            .field("propagations", self.propagations)
+            .field("peak_arena_bytes", self.peak_arena_bytes)
+            .field("attempts", self.attempts)
+            .field("encoding_cache_hits", self.encoding_cache_hits)
+            .field("encoding_cache_misses", self.encoding_cache_misses)
+            .field("session_resumes", self.session_resumes)
+            .field("timeouts", self.timeouts)
+            .field("mismatches", self.mismatches)
+    }
+}
+
+/// The full cold-vs-warm comparison (`BENCH_pipeline.json`).
+#[derive(Clone, Debug)]
+pub struct BenchReport {
+    /// Whether the `--quick` suite was used.
+    pub quick: bool,
+    /// Obligations in the suite.
+    pub obligations: usize,
+    /// Base conflict budget (Luby-escalated on retries).
+    pub base_budget: u64,
+    /// Escalation attempts allowed per obligation.
+    pub max_attempts: u32,
+    /// The cold-pipeline run.
+    pub cold: BenchRun,
+    /// The warm-pipeline run.
+    pub warm: BenchRun,
+}
+
+impl BenchReport {
+    /// The `BENCH_pipeline.json` document.
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::obj()
+            .field("bench", "pipeline")
+            .field("quick", self.quick)
+            .field("obligations", self.obligations)
+            .field("base_budget", self.base_budget)
+            .field("max_attempts", self.max_attempts)
+            .field("cold", self.cold.to_json())
+            .field("warm", self.warm.to_json())
+            .field(
+                "frames_saved",
+                self.cold
+                    .frames_solved
+                    .saturating_sub(self.warm.frames_solved),
+            )
+            .field("regression", self.regression().is_some())
+    }
+
+    /// The regression gate: `Some(reason)` when the warm pipeline did
+    /// *more* frame-solving work than the cold one — which the resume
+    /// design makes structurally impossible unless a resume restarted
+    /// from frame 0 — when a warm obligation timed out that cold could
+    /// finish (resumes lost work), or when either run produced a wrong
+    /// verdict.
+    pub fn regression(&self) -> Option<String> {
+        if self.warm.frames_solved > self.cold.frames_solved {
+            return Some(format!(
+                "warm pipeline solved more frames from zero than cold ({} > {})",
+                self.warm.frames_solved, self.cold.frames_solved
+            ));
+        }
+        if self.warm.timeouts > self.cold.timeouts {
+            return Some(format!(
+                "warm pipeline timed out on more obligations than cold ({} > {})",
+                self.warm.timeouts, self.cold.timeouts
+            ));
+        }
+        for run in [&self.cold, &self.warm] {
+            if run.mismatches > 0 {
+                return Some(format!(
+                    "{} run produced {} verdict(s) contradicting the catalogue",
+                    run.mode, run.mismatches
+                ));
+            }
+        }
+        None
+    }
+}
+
+/// Runs the bench suite cold then warm and returns the comparison.
+/// Attempt-level progress goes to `telemetry` (pass
+/// [`Telemetry::null`] to discard it).
+pub fn run_bench(quick: bool, telemetry: &Telemetry) -> BenchReport {
+    let obligations = bench_obligations(quick);
+    let cold_cfg = bench_config(false);
+    let warm_cfg = bench_config(true);
+    let cold = run_campaign(&obligations, &cold_cfg, telemetry);
+    let warm = run_campaign(&obligations, &warm_cfg, telemetry);
+    BenchReport {
+        quick,
+        obligations: obligations.len(),
+        base_budget: cold_cfg.base_budget.expect("bench always sets a budget"),
+        max_attempts: cold_cfg.max_attempts,
+        cold: BenchRun::from_summary("cold", &cold),
+        warm: BenchRun::from_summary("warm", &warm),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::is_valid_json;
+
+    #[test]
+    fn quick_bench_warm_never_exceeds_cold_and_reuses_encodings() {
+        let report = run_bench(true, &Telemetry::null());
+        assert!(
+            report.regression().is_none(),
+            "quick bench regressed: {report:?}"
+        );
+        // The tiny budget must actually force escalation, and escalated
+        // warm attempts must resume sessions / reuse cached models — the
+        // acceptance criterion that retries never re-run synthesis or
+        // bitblasting.
+        assert!(
+            report.warm.attempts > report.obligations as u64,
+            "budget never forced a retry: {report:?}"
+        );
+        assert!(report.warm.session_resumes > 0, "no session was resumed");
+        assert!(
+            report.warm.encoding_cache_misses < report.warm.attempts,
+            "every attempt rebuilt its model"
+        );
+        // Cold mode must not silently warm up.
+        assert_eq!(report.cold.encoding_cache_hits, 0);
+        assert_eq!(report.cold.session_resumes, 0);
+        // The warm pipeline must reach a verdict everywhere the cold one
+        // does (it accumulates conflicts across attempts instead of
+        // discarding them) — a timeout asymmetry the other way is a
+        // regression(); zero warm timeouts keeps the report conclusive.
+        assert_eq!(report.warm.timeouts, 0, "warm run timed out: {report:?}");
+        let json = report.to_json().render();
+        assert!(is_valid_json(&json), "bad bench JSON: {json}");
+    }
+}

@@ -11,11 +11,13 @@
 //! everything as JSONL telemetry.
 
 #![warn(missing_docs)]
+pub mod bench;
 pub mod json;
 pub mod obligation;
 pub mod runner;
 pub mod telemetry;
 
+pub use bench::{run_bench, BenchReport, BenchRun};
 pub use json::{is_valid_json, JsonValue};
 pub use obligation::{enumerate_obligations, FlowFilter, Obligation, ObligationKind};
 pub use runner::{run_campaign, CampaignConfig, CampaignSummary, JobRecord, JobVerdict};

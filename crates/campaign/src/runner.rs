@@ -19,12 +19,13 @@ use crate::json::JsonValue;
 use crate::obligation::{Obligation, ObligationKind};
 use crate::telemetry::Telemetry;
 use gqed_bmc::{BmcLimits, BmcStats, StopReason};
-use gqed_core::{check_design_limited, CheckKind, CheckStatus, Verdict};
+use gqed_core::{build_model, CheckKind, CheckSession, CheckStatus, ModelCache, ModelKey, Verdict};
 use gqed_ha::{all_designs, Design};
+use gqed_ir::Model;
 use gqed_sat::{luby, SolveOutcome, Solver};
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
@@ -45,6 +46,14 @@ pub struct CampaignConfig {
     /// Off = BMC only (fully deterministic certificates, used by the
     /// table generators).
     pub race_clean: bool,
+    /// Warm-start pipeline: share synthesized models across a design's
+    /// obligations through a [`ModelCache`], and keep the live
+    /// [`CheckSession`] of a budget/deadline-stopped obligation so its
+    /// retry resumes at the stopped frame instead of re-synthesizing,
+    /// re-bitblasting and re-solving from frame 0. Off = every attempt
+    /// pays the full encoding cost (the cold baseline the bench
+    /// compares against).
+    pub warm_start: bool,
 }
 
 impl Default for CampaignConfig {
@@ -55,6 +64,7 @@ impl Default for CampaignConfig {
             base_budget: None,
             max_attempts: 4,
             race_clean: true,
+            warm_start: true,
         }
     }
 }
@@ -160,6 +170,11 @@ pub struct JobRecord {
     /// sizes are cumulative over the incremental unrolling, so
     /// `cnf_clauses`/`cnf_vars` are the peak encoding size.
     pub stats: Option<BmcStats>,
+    /// Total per-frame BMC queries solved across *all* attempts of this
+    /// obligation. Cold restarts re-solve every frame from zero on each
+    /// retry; warm resumes do not — this is the deterministic metric the
+    /// bench regression gate compares.
+    pub frames_solved: u64,
     /// Whether a conclusive verdict contradicts the catalogue ground
     /// truth.
     pub mismatch: bool,
@@ -186,6 +201,15 @@ pub struct CampaignSummary {
     pub failures: usize,
     /// Conclusive verdicts contradicting the catalogue ground truth.
     pub mismatches: usize,
+    /// Model-cache lookups answered without re-synthesizing.
+    pub encoding_cache_hits: u64,
+    /// Model-cache lookups that built the model.
+    pub encoding_cache_misses: u64,
+    /// Attempts that resumed a kept session instead of starting cold.
+    pub session_resumes: u64,
+    /// Total per-frame BMC queries solved across all obligations and
+    /// attempts (see [`JobRecord::frames_solved`]).
+    pub frames_solved: u64,
 }
 
 impl CampaignSummary {
@@ -220,6 +244,15 @@ struct Shared<'a> {
     cv: Condvar,
     results: Mutex<Vec<Option<JobRecord>>>,
     wall_acc: Mutex<Vec<Duration>>,
+    /// Per-obligation frames-solved accumulator across attempts.
+    frames_acc: Mutex<Vec<u64>>,
+    /// Synthesized models shared across obligations (warm-start mode).
+    cache: ModelCache,
+    /// Live sessions of stopped obligations, keyed by obligation index,
+    /// kept across retries so an escalated attempt resumes mid-unrolling.
+    sessions: Mutex<HashMap<usize, CheckSession>>,
+    /// Attempts that resumed a kept session.
+    session_resumes: AtomicU64,
 }
 
 /// Runs every obligation to a final verdict and returns the aggregate.
@@ -244,6 +277,10 @@ pub fn run_campaign(
         cv: Condvar::new(),
         results: Mutex::new(vec![None; n]),
         wall_acc: Mutex::new(vec![Duration::ZERO; n]),
+        frames_acc: Mutex::new(vec![0; n]),
+        cache: ModelCache::new(),
+        sessions: Mutex::new(HashMap::new()),
+        session_resumes: AtomicU64::new(0),
     };
     let workers = config.jobs.max(1).min(n.max(1));
     std::thread::scope(|s| {
@@ -268,6 +305,10 @@ pub fn run_campaign(
         timeouts: 0,
         failures: 0,
         mismatches: 0,
+        encoding_cache_hits: shared.cache.hits(),
+        encoding_cache_misses: shared.cache.misses(),
+        session_resumes: shared.session_resumes.load(Ordering::Relaxed),
+        frames_solved: records.iter().map(|r| r.frames_solved).sum(),
         records: Vec::new(),
     };
     for r in &records {
@@ -294,7 +335,11 @@ pub fn run_campaign(
             .field("failures", summary.failures)
             .field("mismatches", summary.mismatches)
             .field("jobs", summary.jobs)
-            .field("wall_ms", summary.wall.as_millis() as u64),
+            .field("wall_ms", summary.wall.as_millis() as u64)
+            .field("encoding_cache_hits", summary.encoding_cache_hits)
+            .field("encoding_cache_misses", summary.encoding_cache_misses)
+            .field("session_resumes", summary.session_resumes)
+            .field("frames_solved", summary.frames_solved),
     );
     telemetry.flush();
     summary
@@ -332,6 +377,27 @@ fn worker(shared: &Shared) {
             deadline: deadline_ms.map(|ms| Instant::now() + Duration::from_millis(ms)),
             interrupt: None,
         };
+
+        // Warm start: pull the kept session of a previously stopped
+        // attempt (resumes mid-unrolling), and record what this attempt
+        // reuses before it runs.
+        let warm = shared.config.warm_start;
+        let mut session_slot: Option<CheckSession> = if warm {
+            shared
+                .sessions
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .remove(&index)
+        } else {
+            None
+        };
+        let resumed_from_frame = session_slot.as_ref().map(|s| s.resume_frame());
+        if resumed_from_frame.is_some() {
+            shared.session_resumes.fetch_add(1, Ordering::Relaxed);
+        }
+        let encoding_reused = session_slot.is_some()
+            || (warm && model_key(obl).is_some_and(|k| shared.cache.contains(&k)));
+
         shared.telemetry.emit(
             &JsonValue::obj()
                 .field("type", "job_start")
@@ -341,12 +407,20 @@ fn worker(shared: &Shared) {
                 .field("flow", obl.flow_tag())
                 .field("attempt", attempt)
                 .field("budget", budget)
-                .field("deadline_ms", deadline_ms),
+                .field("deadline_ms", deadline_ms)
+                .field("resumed_from_frame", resumed_from_frame)
+                .field("encoding_reused", encoding_reused),
         );
 
         let t0 = Instant::now();
         let outcome = catch_unwind(AssertUnwindSafe(|| {
-            run_attempt(obl, &limits, shared.config)
+            run_attempt(
+                obl,
+                &limits,
+                shared.config,
+                &shared.cache,
+                &mut session_slot,
+            )
         }));
         let attempt_wall = t0.elapsed();
         let total_wall = {
@@ -354,13 +428,29 @@ fn worker(shared: &Shared) {
             acc[index] += attempt_wall;
             acc[index]
         };
+        let add_frames = |frames: u64| {
+            let mut acc = shared.frames_acc.lock().unwrap_or_else(|e| e.into_inner());
+            acc[index] += frames;
+            acc[index]
+        };
 
         let mut requeue = false;
         match outcome {
-            Ok(AttemptResult::Verdict(verdict, stats, engine)) => {
-                finish(shared, index, verdict, attempt, total_wall, engine, stats);
+            Ok((AttemptResult::Verdict(verdict, stats, engine), frames)) => {
+                let total_frames = add_frames(frames);
+                finish(
+                    shared,
+                    index,
+                    verdict,
+                    attempt,
+                    total_wall,
+                    engine,
+                    stats,
+                    total_frames,
+                );
             }
-            Ok(AttemptResult::Stopped(reason)) => {
+            Ok((AttemptResult::Stopped(reason), frames)) => {
+                let total_frames = add_frames(frames);
                 if attempt < shared.config.max_attempts {
                     let next_factor = luby(u64::from(attempt + 1));
                     shared.telemetry.emit(
@@ -384,6 +474,17 @@ fn worker(shared: &Shared) {
                                     .map(|ms| ms.saturating_mul(next_factor)),
                             ),
                     );
+                    // Keep the live session: the retry resumes at the
+                    // stopped frame with all learnt clauses intact.
+                    if warm {
+                        if let Some(s) = session_slot.take() {
+                            shared
+                                .sessions
+                                .lock()
+                                .unwrap_or_else(|e| e.into_inner())
+                                .insert(index, s);
+                        }
+                    }
                     requeue = true;
                 } else {
                     finish(
@@ -394,11 +495,13 @@ fn worker(shared: &Shared) {
                         total_wall,
                         "-",
                         None,
+                        total_frames,
                     );
                 }
             }
             Err(payload) => {
                 let message = panic_message(payload.as_ref());
+                let total_frames = add_frames(0);
                 finish(
                     shared,
                     index,
@@ -407,6 +510,7 @@ fn worker(shared: &Shared) {
                     total_wall,
                     "-",
                     None,
+                    total_frames,
                 );
             }
         }
@@ -447,6 +551,7 @@ fn finish(
     wall: Duration,
     engine: &'static str,
     stats: Option<BmcStats>,
+    frames_solved: u64,
 ) {
     let obl = &shared.obligations[index];
     let mismatch = match (obl.expect_violation, verdict.is_conclusive()) {
@@ -460,7 +565,8 @@ fn finish(
         .field("attempts", attempts)
         .field("wall_ms", wall.as_millis() as u64)
         .field("engine", engine)
-        .field("mismatch", mismatch);
+        .field("mismatch", mismatch)
+        .field("frames_solved", frames_solved);
     ev = match &verdict {
         JobVerdict::Violation { property, cycles } => ev
             .field("property", property.as_str())
@@ -491,6 +597,7 @@ fn finish(
         wall,
         engine,
         stats,
+        frames_solved,
         mismatch,
     };
     shared.results.lock().unwrap_or_else(|e| e.into_inner())[index] = Some(record);
@@ -504,48 +611,114 @@ fn build_design(obl: &Obligation) -> Design {
     (entry.build)(obl.bug)
 }
 
-fn run_attempt(obl: &Obligation, limits: &BmcLimits, config: &CampaignConfig) -> AttemptResult {
+/// The model-cache key of an obligation's deciding BMC model, when the
+/// obligation has one (debug obligations do not).
+fn model_key(obl: &Obligation) -> Option<ModelKey> {
+    match &obl.kind {
+        ObligationKind::Check { kind, .. } => Some(ModelKey::new(obl.design, obl.bug, *kind)),
+        ObligationKind::ProveClean { .. } => {
+            Some(ModelKey::new(obl.design, obl.bug, CheckKind::GQed))
+        }
+        ObligationKind::DebugPanic | ObligationKind::DebugExhaust => None,
+    }
+}
+
+/// The synthesized model for this obligation's flow: from the shared
+/// cache in warm-start mode (built at most once per `(design, flow)`),
+/// or built fresh on every attempt in cold mode.
+fn resolve_model(
+    obl: &Obligation,
+    kind: CheckKind,
+    config: &CampaignConfig,
+    cache: &ModelCache,
+) -> Arc<Model> {
+    if config.warm_start {
+        let key = ModelKey::new(obl.design, obl.bug, kind);
+        cache.get_or_build(key, || build_model(&build_design(obl), kind))
+    } else {
+        Arc::new(build_model(&build_design(obl), kind))
+    }
+}
+
+/// Runs one attempt. Returns the result plus the number of per-frame BMC
+/// queries this attempt solved (the warm-vs-cold work metric). The
+/// session in `session_slot` — resumed by the worker or created here —
+/// is left in the slot; the worker keeps it for the retry only when the
+/// attempt stopped without a verdict.
+fn run_attempt(
+    obl: &Obligation,
+    limits: &BmcLimits,
+    config: &CampaignConfig,
+    cache: &ModelCache,
+    session_slot: &mut Option<CheckSession>,
+) -> (AttemptResult, u64) {
     match &obl.kind {
         ObligationKind::Check { kind, bound } => {
-            let design = build_design(obl);
-            match check_design_limited(&design, *kind, *bound, limits) {
-                CheckStatus::Done(o) => {
-                    let verdict = match o.verdict {
-                        Verdict::Violation { property, cycles } => {
-                            JobVerdict::Violation { property, cycles }
-                        }
-                        Verdict::CleanUpTo(b) => JobVerdict::Clean { bound: b },
-                    };
-                    AttemptResult::Verdict(verdict, Some(o.stats), "bmc")
-                }
-                CheckStatus::Stopped { reason, .. } => AttemptResult::Stopped(reason),
-            }
+            run_session_check(obl, *kind, *bound, limits, config, cache, session_slot)
         }
         ObligationKind::ProveClean { bound, max_k } => {
-            let design = build_design(obl);
             if config.race_clean {
-                race_prove_clean(&design, *bound, *max_k, limits)
+                let model = resolve_model(obl, CheckKind::GQed, config, cache);
+                let session = session_slot.take().unwrap_or_else(|| {
+                    CheckSession::new(CheckKind::GQed, *bound, Arc::clone(&model))
+                });
+                let before = session.frame_queries();
+                let (result, session) = race_prove_clean(&model, session, *max_k, limits);
+                let frames = session.frame_queries() - before;
+                *session_slot = Some(session);
+                (result, frames)
             } else {
                 // Deterministic single-engine path: bounded BMC only.
-                match check_design_limited(&design, CheckKind::GQed, *bound, limits) {
-                    CheckStatus::Done(o) => {
-                        let verdict = match o.verdict {
-                            Verdict::Violation { property, cycles } => {
-                                JobVerdict::Violation { property, cycles }
-                            }
-                            Verdict::CleanUpTo(b) => JobVerdict::Clean { bound: b },
-                        };
-                        AttemptResult::Verdict(verdict, Some(o.stats), "bmc")
-                    }
-                    CheckStatus::Stopped { reason, .. } => AttemptResult::Stopped(reason),
-                }
+                run_session_check(
+                    obl,
+                    CheckKind::GQed,
+                    *bound,
+                    limits,
+                    config,
+                    cache,
+                    session_slot,
+                )
             }
         }
         ObligationKind::DebugPanic => {
             panic!("injected campaign panic (obligation {})", obl.id)
         }
-        ObligationKind::DebugExhaust => run_debug_exhaust(limits),
+        ObligationKind::DebugExhaust => (run_debug_exhaust(limits), 0),
     }
+}
+
+/// Runs (or resumes) the session-backed bounded check for one flow.
+#[allow(clippy::too_many_arguments)]
+fn run_session_check(
+    obl: &Obligation,
+    kind: CheckKind,
+    bound: u32,
+    limits: &BmcLimits,
+    config: &CampaignConfig,
+    cache: &ModelCache,
+    session_slot: &mut Option<CheckSession>,
+) -> (AttemptResult, u64) {
+    if session_slot.is_none() {
+        let model = resolve_model(obl, kind, config, cache);
+        *session_slot = Some(CheckSession::new(kind, bound, model));
+    }
+    let session = session_slot.as_mut().expect("slot just filled");
+    let before = session.frame_queries();
+    let status = session.run(limits);
+    let frames = session.frame_queries() - before;
+    let result = match status {
+        CheckStatus::Done(o) => {
+            let verdict = match o.verdict {
+                Verdict::Violation { property, cycles } => {
+                    JobVerdict::Violation { property, cycles }
+                }
+                Verdict::CleanUpTo(b) => JobVerdict::Clean { bound: b },
+            };
+            AttemptResult::Verdict(verdict, Some(o.stats), "bmc")
+        }
+        CheckStatus::Stopped { reason, .. } => AttemptResult::Stopped(reason),
+    };
+    (result, frames)
 }
 
 /// What the k-induction side of a clean-design race concluded.
@@ -562,7 +735,18 @@ enum KindSide {
 /// reach a conclusive verdict raises it and the loser unwinds at its next
 /// poll. A `KindSide::Unknown` outcome is inconclusive and does NOT
 /// cancel the BMC side.
-fn race_prove_clean(design: &Design, bound: u32, max_k: u32, limits: &BmcLimits) -> AttemptResult {
+///
+/// Both sides work off the same prebuilt [`Model`]: the BMC side runs the
+/// caller's (possibly resumed) [`CheckSession`], the k-induction side
+/// proves directly on the shared transition system — neither re-runs
+/// wrapper synthesis. The session is always handed back so a stopped
+/// attempt's retry resumes mid-unrolling.
+fn race_prove_clean(
+    model: &Arc<Model>,
+    mut session: CheckSession,
+    max_k: u32,
+    limits: &BmcLimits,
+) -> (AttemptResult, CheckSession) {
     let cancel = Arc::new(AtomicBool::new(false));
     let side_limits = BmcLimits {
         budget: limits.budget,
@@ -574,16 +758,16 @@ fn race_prove_clean(design: &Design, bound: u32, max_k: u32, limits: &BmcLimits)
         let bmc_limits = side_limits.clone();
         let bmc_cancel = Arc::clone(&cancel);
         let bmc = s.spawn(move || {
-            let r = check_design_limited(design, CheckKind::GQed, bound, &bmc_limits);
+            let r = session.run(&bmc_limits);
             if matches!(r, CheckStatus::Done(_)) {
                 bmc_cancel.store(true, Ordering::Relaxed);
             }
-            r
+            (r, session)
         });
         let kind_limits = side_limits.clone();
         let kind_cancel = Arc::clone(&cancel);
         let kind = s.spawn(move || {
-            let r = run_kind_side(design, max_k, &kind_limits);
+            let r = run_kind_side(model, max_k, &kind_limits);
             if matches!(r, KindSide::Violation { .. } | KindSide::Proven { .. }) {
                 kind_cancel.store(true, Ordering::Relaxed);
             }
@@ -599,11 +783,12 @@ fn race_prove_clean(design: &Design, bound: u32, max_k: u32, limits: &BmcLimits)
         };
         (bmc_out, kind_out)
     });
+    let (bmc_status, session) = bmc_out;
 
     // Merge: violations first (both engines search shallow-first, so a
     // violation from either is the shallowest one), then the strongest
     // pass certificate, then inconclusive outcomes.
-    match (bmc_out, kind_out) {
+    let result = match (bmc_status, kind_out) {
         (CheckStatus::Done(o), kind_out) => {
             match o.verdict {
                 Verdict::Violation { property, cycles } => AttemptResult::Verdict(
@@ -656,18 +841,16 @@ fn race_prove_clean(design: &Design, bound: u32, max_k: u32, limits: &BmcLimits)
                 r => r,
             }),
         },
-    }
+    };
+    (result, session)
 }
 
 /// The k-induction side of a clean-design race: proves every G-QED
-/// property of the wrapped model, shallow depths first per property.
-fn run_kind_side(design: &Design, max_k: u32, limits: &BmcLimits) -> KindSide {
-    let mut d = design.clone();
-    let model = gqed_core::synthesize(&mut d, &gqed_core::QedConfig::gqed());
-    let ts = model.ts.cone_of_influence(&d.ctx);
+/// property of the prebuilt model, shallow depths first per property.
+fn run_kind_side(model: &Model, max_k: u32, limits: &BmcLimits) -> KindSide {
     let mut deepest = 0u32;
-    for i in 0..ts.bads.len() {
-        match gqed_bmc::prove_k_induction_limited(&d.ctx, &ts, i, max_k, limits) {
+    for i in 0..model.ts.bads.len() {
+        match gqed_bmc::prove_k_induction_limited(&model.ctx, &model.ts, i, max_k, limits) {
             gqed_bmc::ProofResult::Proven { k } => deepest = deepest.max(k),
             gqed_bmc::ProofResult::Falsified(t) => {
                 return KindSide::Violation {

@@ -13,13 +13,12 @@
 //! [`CheckOutcome`] with the verdict, the (replay-confirmed) trace and the
 //! engine statistics used by the evaluation tables.
 
-use crate::wrapper::{synthesize, QedConfig};
-use gqed_bmc::{BmcEngine, BmcLimits, BmcStats, BmcStatus, StopReason, Trace};
+use gqed_bmc::{BmcLimits, BmcStats, StopReason, Trace};
 use gqed_ha::Design;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Which verification flow to run.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum CheckKind {
     /// Full G-QED (TLD + FC-G + RB + flow, architectural-state-aware).
     GQed,
@@ -119,55 +118,10 @@ pub fn check_design_limited(
     bound: u32,
     limits: &BmcLimits,
 ) -> CheckStatus {
-    let start = Instant::now();
-    let mut d = design.clone();
-    let (ctx, ts) = match kind {
-        CheckKind::GQed => {
-            let model = synthesize(&mut d, &QedConfig::gqed());
-            (d.ctx, model.ts)
-        }
-        CheckKind::AQed => {
-            let model = synthesize(&mut d, &QedConfig::aqed());
-            (d.ctx, model.ts)
-        }
-        CheckKind::Conventional => {
-            let mut ts = d.ts.clone();
-            ts.bads = d.conventional.clone();
-            (d.ctx, ts)
-        }
-    };
-    // Classic preprocessing: drop state that cannot reach any property.
-    let ts = ts.cone_of_influence(&ctx);
-    let mut engine = BmcEngine::new(&ctx, &ts);
-    let result = engine.try_check_up_to(bound, limits);
-    let stats = engine.stats();
-    let elapsed = start.elapsed();
-    match result {
-        BmcStatus::Violated(trace) => CheckStatus::Done(CheckOutcome {
-            kind,
-            verdict: Verdict::Violation {
-                property: trace.bad_name.clone(),
-                cycles: trace.len(),
-            },
-            trace: Some(trace),
-            stats,
-            elapsed,
-        }),
-        BmcStatus::NoneUpTo(b) => CheckStatus::Done(CheckOutcome {
-            kind,
-            verdict: Verdict::CleanUpTo(b),
-            trace: None,
-            stats,
-            elapsed,
-        }),
-        BmcStatus::Stopped { frame, reason } => CheckStatus::Stopped {
-            kind,
-            frame,
-            reason,
-            stats,
-            elapsed,
-        },
-    }
+    // One-shot path: build the model and run a throwaway session. Callers
+    // that retry should keep a [`crate::CheckSession`] instead, which
+    // resumes at the stopped frame rather than re-paying this whole call.
+    crate::session::CheckSession::for_design(design, kind, bound).run(limits)
 }
 
 #[cfg(test)]

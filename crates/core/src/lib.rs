@@ -29,10 +29,12 @@
 #![warn(missing_docs)]
 pub mod check;
 pub mod productivity;
+pub mod session;
 pub mod theory;
 pub mod wrapper;
 
 pub use check::{
     check_design, check_design_limited, CheckKind, CheckOutcome, CheckStatus, Verdict,
 };
+pub use session::{build_model, CheckSession, ModelCache, ModelKey};
 pub use wrapper::{synthesize, QedChecks, QedConfig, WrappedModel};

@@ -35,6 +35,20 @@ pub struct Bad {
     pub term: TermId,
 }
 
+/// A fully-built verification model: a term context together with the
+/// transition system whose terms live in it. Bundling the two lets a
+/// synthesized model (e.g. a QED wrapper over a design) be owned as one
+/// unit and shared — typically behind an `Arc` — across the verification
+/// sessions of a design's obligations, so wrapper synthesis and
+/// preprocessing happen once per design rather than once per attempt.
+#[derive(Clone, Debug)]
+pub struct Model {
+    /// The term context every term of `ts` lives in.
+    pub ctx: Context,
+    /// The transition system to check.
+    pub ts: TransitionSystem,
+}
+
 /// A sequential design: the word-level analogue of an RTL module.
 #[derive(Clone, Debug, Default)]
 pub struct TransitionSystem {

@@ -3,9 +3,12 @@
 //! Clauses live in a single arena ([`ClauseDb`]) and are referenced by
 //! stable [`ClauseRef`] indices. Deletion is by tombstone: learnt clauses
 //! removed during database reduction are marked deleted and detached from
-//! the watch lists, but their slots are never reused, so `ClauseRef`s held
-//! as propagation reasons stay valid (reason clauses are additionally
-//! *locked* and never deleted while locked).
+//! the watch lists, so `ClauseRef`s held as propagation reasons stay valid
+//! (reason clauses are additionally *locked* and never deleted while
+//! locked). Tombstoned slots accumulate across long incremental runs;
+//! [`ClauseDb::compact`] reclaims them, returning a relocation map the
+//! solver uses to rewrite every live `ClauseRef` (watch lists and reason
+//! slots).
 
 use crate::lit::Lit;
 
@@ -36,6 +39,13 @@ pub struct ClauseDb {
     clauses: Vec<Clause>,
     pub(crate) num_learnt: usize,
     pub(crate) clause_inc: f64,
+    /// Tombstoned slots awaiting compaction.
+    pub(crate) num_deleted: usize,
+    /// Bytes of literal storage across all slots (incrementally tracked so
+    /// the peak statistic costs O(1) per allocation).
+    lit_bytes: usize,
+    /// High-water mark of [`ClauseDb::arena_bytes`], sampled on alloc.
+    pub(crate) peak_bytes: usize,
 }
 
 impl ClauseDb {
@@ -44,6 +54,9 @@ impl ClauseDb {
             clauses: Vec::new(),
             num_learnt: 0,
             clause_inc: 1.0,
+            num_deleted: 0,
+            lit_bytes: 0,
+            peak_bytes: 0,
         }
     }
 
@@ -53,6 +66,7 @@ impl ClauseDb {
         if learnt {
             self.num_learnt += 1;
         }
+        self.lit_bytes += lits.capacity() * std::mem::size_of::<Lit>();
         self.clauses.push(Clause {
             lits,
             learnt,
@@ -60,7 +74,15 @@ impl ClauseDb {
             lbd,
             activity: 0.0,
         });
+        self.peak_bytes = self.peak_bytes.max(self.arena_bytes());
         r
+    }
+
+    /// Bytes currently held by the arena: the slot vector's capacity plus
+    /// every clause's literal storage (tombstones included — their slots
+    /// still occupy memory until [`ClauseDb::compact`] reclaims them).
+    pub(crate) fn arena_bytes(&self) -> usize {
+        self.clauses.capacity() * std::mem::size_of::<Clause>() + self.lit_bytes
     }
 
     pub(crate) fn get(&self, r: ClauseRef) -> &Clause {
@@ -78,18 +100,42 @@ impl ClauseDb {
             self.num_learnt -= 1;
         }
         c.deleted = true;
+        self.lit_bytes -= c.lits.capacity() * std::mem::size_of::<Lit>();
         c.lits = Vec::new(); // release memory
+        self.num_deleted += 1;
     }
 
-    /// All live learnt clause refs.
-    pub(crate) fn learnt_refs(&self) -> Vec<ClauseRef> {
-        (0..self.clauses.len() as u32)
-            .map(ClauseRef)
-            .filter(|&r| {
-                let c = self.get(r);
-                c.learnt && !c.deleted
-            })
-            .collect()
+    /// All live learnt clause refs, collected into the caller's scratch
+    /// buffer (cleared first) so repeated database reductions reuse one
+    /// allocation.
+    pub(crate) fn learnt_refs_into(&self, out: &mut Vec<ClauseRef>) {
+        out.clear();
+        out.extend((0..self.clauses.len() as u32).map(ClauseRef).filter(|&r| {
+            let c = self.get(r);
+            c.learnt && !c.deleted
+        }));
+    }
+
+    /// Reclaims every tombstoned slot by sliding live clauses down,
+    /// returning a relocation map `old slot index → new slot index`
+    /// (`u32::MAX` for reclaimed tombstones). The caller must rewrite
+    /// every `ClauseRef` it holds — watch lists and reason slots — through
+    /// the map; stale refs are invalidated, not dangling.
+    pub(crate) fn compact(&mut self) -> Vec<u32> {
+        let mut map = vec![u32::MAX; self.clauses.len()];
+        let mut next = 0u32;
+        for (old, slot) in map.iter_mut().enumerate() {
+            if !self.clauses[old].deleted {
+                *slot = next;
+                if next as usize != old {
+                    self.clauses.swap(next as usize, old);
+                }
+                next += 1;
+            }
+        }
+        self.clauses.truncate(next as usize);
+        self.num_deleted = 0;
+        map
     }
 
     pub(crate) fn bump_activity(&mut self, r: ClauseRef) {
@@ -141,8 +187,45 @@ mod tests {
         db.delete(a);
         assert_eq!(db.num_learnt, 1);
         assert!(db.get(a).deleted);
-        assert_eq!(db.learnt_refs(), vec![b]);
+        let mut refs = Vec::new();
+        db.learnt_refs_into(&mut refs);
+        assert_eq!(refs, vec![b]);
         assert_eq!(db.num_live(), 1);
+        assert_eq!(db.num_deleted, 1);
+    }
+
+    #[test]
+    fn compact_reclaims_tombstones_and_maps_survivors() {
+        let mut db = ClauseDb::new();
+        let a = db.alloc(lits(&[1, 2]), false, 0);
+        let b = db.alloc(lits(&[1, 3]), true, 2);
+        let c = db.alloc(lits(&[2, 3, 4]), true, 3);
+        db.delete(b);
+        let map = db.compact();
+        assert_eq!(map[a.0 as usize], 0);
+        assert_eq!(map[b.0 as usize], u32::MAX);
+        assert_eq!(map[c.0 as usize], 1);
+        assert_eq!(db.num_live(), 2);
+        assert_eq!(db.num_deleted, 0);
+        // Surviving clauses keep their contents at the remapped slots.
+        assert_eq!(db.get(ClauseRef(map[c.0 as usize])).len(), 3);
+        assert!(db.get(ClauseRef(1)).learnt);
+    }
+
+    #[test]
+    fn peak_bytes_grows_with_allocation() {
+        let mut db = ClauseDb::new();
+        assert_eq!(db.peak_bytes, 0);
+        let _ = db.alloc(lits(&[1, 2, 3]), false, 0);
+        let after_one = db.peak_bytes;
+        assert!(after_one > 0);
+        let r = db.alloc(lits(&[1, 2, 3, 4]), true, 2);
+        assert!(db.peak_bytes > after_one);
+        // Deletion releases current bytes but never lowers the peak.
+        let peak = db.peak_bytes;
+        db.delete(r);
+        assert!(db.arena_bytes() < peak);
+        assert_eq!(db.peak_bytes, peak);
     }
 
     #[test]

@@ -66,6 +66,11 @@ pub struct SolverStats {
     pub learnt_clauses: usize,
     /// Number of clauses deleted by database reduction.
     pub deleted_clauses: u64,
+    /// Number of clause-arena compactions performed.
+    pub compactions: u64,
+    /// High-water mark of clause-arena bytes (slot vector + literal
+    /// storage, tombstones included until compaction reclaims them).
+    pub peak_arena_bytes: usize,
 }
 
 #[derive(Clone, Copy, Debug)]
@@ -73,7 +78,12 @@ struct Watcher {
     cref: ClauseRef,
     /// A literal of the clause other than the watched one; if it is already
     /// true the clause is satisfied and the watcher need not be inspected.
+    /// For binary clauses this is *the* other literal, so propagation
+    /// resolves entirely from the watcher without touching the clause
+    /// arena (the hottest path in the solver).
     blocker: Lit,
+    /// Whether the clause has exactly two literals (inlined fast path).
+    binary: bool,
 }
 
 /// Incremental CDCL SAT solver. See the crate docs for an overview.
@@ -103,6 +113,8 @@ pub struct Solver {
     /// Conflicts at which the next database reduction triggers.
     next_reduce: u64,
     reduce_inc: u64,
+    /// Scratch buffer reused across database reductions.
+    reduce_scratch: Vec<ClauseRef>,
     /// DRAT proof log, when enabled.
     proof: Option<Vec<ProofStep>>,
     /// Subset of the last `solve` call's assumptions responsible for an
@@ -142,6 +154,7 @@ impl Solver {
             stats: SolverStats::default(),
             next_reduce: 2000,
             reduce_inc: 500,
+            reduce_scratch: Vec::new(),
             proof: None,
             conflict_core: Vec::new(),
             interrupt: None,
@@ -287,6 +300,7 @@ impl Solver {
     pub fn stats(&self) -> SolverStats {
         let mut s = self.stats;
         s.learnt_clauses = self.db.num_learnt;
+        s.peak_arena_bytes = self.db.peak_bytes.max(self.db.arena_bytes());
         s
     }
 
@@ -387,17 +401,19 @@ impl Solver {
     }
 
     fn attach(&mut self, r: ClauseRef) {
-        let (l0, l1) = {
+        let (l0, l1, binary) = {
             let c = self.db.get(r);
-            (c.lits[0], c.lits[1])
+            (c.lits[0], c.lits[1], c.len() == 2)
         };
         self.watches[l0.code()].push(Watcher {
             cref: r,
             blocker: l1,
+            binary,
         });
         self.watches[l1.code()].push(Watcher {
             cref: r,
             blocker: l0,
+            binary,
         });
     }
 
@@ -440,6 +456,34 @@ impl Solver {
                     kept += 1;
                     continue;
                 }
+                // Binary clauses resolve entirely from the watcher: the
+                // blocker is the only other literal, so the clause arena is
+                // never touched unless we actually propagate or conflict.
+                if w.binary {
+                    ws[kept] = w;
+                    kept += 1;
+                    if self.value_lit(w.blocker) == -1 {
+                        // Conflict: keep remaining watchers and stop.
+                        while i < ws.len() {
+                            ws[kept] = ws[i];
+                            kept += 1;
+                            i += 1;
+                        }
+                        self.qhead = self.trail.len();
+                        conflict = Some(w.cref);
+                        continue;
+                    }
+                    // Normalize lits[0] to the implied literal so conflict
+                    // analysis and locked-clause checks see the invariant.
+                    {
+                        let c = self.db.get_mut(w.cref);
+                        if c.lits[0] != w.blocker {
+                            c.lits.swap(0, 1);
+                        }
+                    }
+                    self.enqueue(w.blocker, Some(w.cref));
+                    continue;
+                }
                 // Normalize: put the false literal at position 1.
                 let (first, lits_len) = {
                     let c = self.db.get_mut(w.cref);
@@ -453,6 +497,7 @@ impl Solver {
                     ws[kept] = Watcher {
                         cref: w.cref,
                         blocker: first,
+                        binary: false,
                     };
                     kept += 1;
                     continue;
@@ -465,6 +510,7 @@ impl Solver {
                         self.watches[lk.code()].push(Watcher {
                             cref: w.cref,
                             blocker: first,
+                            binary: false,
                         });
                         continue 'watchers; // watcher moved; not kept here
                     }
@@ -473,6 +519,7 @@ impl Solver {
                 ws[kept] = Watcher {
                     cref: w.cref,
                     blocker: first,
+                    binary: false,
                 };
                 kept += 1;
                 if self.value_lit(first) == -1 {
@@ -670,8 +717,16 @@ impl Solver {
         None
     }
 
+    /// Minimum live learnt clauses before a database reduction is worth
+    /// the collect/sort pass at all.
+    const REDUCE_MIN_LEARNT: usize = 50;
+
     fn reduce_db(&mut self) {
-        let mut learnts = self.db.learnt_refs();
+        if self.db.num_learnt < Self::REDUCE_MIN_LEARNT {
+            return;
+        }
+        let mut learnts = std::mem::take(&mut self.reduce_scratch);
+        self.db.learnt_refs_into(&mut learnts);
         // Locked clauses (reasons of current assignments) must stay.
         let locked = |s: &Self, r: ClauseRef| {
             let l0 = s.db.get(r).lits[0];
@@ -697,6 +752,37 @@ impl Solver {
             self.db.delete(r);
             self.stats.deleted_clauses += 1;
         }
+        learnts.clear();
+        self.reduce_scratch = learnts;
+        // Long incremental runs accumulate tombstones; once dead slots
+        // outnumber live clauses, compact the arena.
+        if self.db.num_deleted > self.db.num_live() {
+            self.compact();
+        }
+    }
+
+    /// Reclaims tombstoned clause slots, rewriting every live `ClauseRef`
+    /// (watch lists and propagation reasons) through the arena's
+    /// relocation map. Backtracks to the root level first so no stale
+    /// reason survives above it. Safe to call between `solve` calls;
+    /// also triggered automatically from database reduction.
+    pub fn compact(&mut self) {
+        self.cancel_until(0);
+        let map = self.db.compact();
+        let remap = |r: ClauseRef| {
+            let n = map[r.0 as usize];
+            debug_assert_ne!(n, u32::MAX, "live ref points at reclaimed slot");
+            ClauseRef(n)
+        };
+        for ws in &mut self.watches {
+            for w in ws.iter_mut() {
+                w.cref = remap(w.cref);
+            }
+        }
+        for r in self.reason.iter_mut().flatten() {
+            *r = remap(*r);
+        }
+        self.stats.compactions += 1;
     }
 
     /// Solves the formula under the given DIMACS assumption literals.
@@ -1210,6 +1296,48 @@ mod tests {
         hard_pigeonhole(&mut s, 8);
         assert_eq!(s.solve_bounded(&[], 1), SolveOutcome::BudgetExhausted);
         assert_eq!(s.solve_bounded(&[], u64::MAX), SolveOutcome::Unsat);
+    }
+
+    #[test]
+    fn compaction_preserves_verdicts_and_cores() {
+        // Mixed incremental workload: a hard UNSAT core plus satisfiable
+        // side constraints, queried under assumptions, with learnt-clause
+        // deletion and arena compaction in between. Verdicts and failed-
+        // assumption sets must be identical before and after compaction.
+        let mut s = Solver::new();
+        hard_pigeonhole(&mut s, 8);
+        let sel = s.new_var(); // selector guarding an extra constraint
+        let x = s.new_var();
+        let y = s.new_var();
+        s.add_clause(&[-sel, x, y]);
+        s.add_clause(&[-sel, -x, y]);
+        let queries: Vec<Vec<i32>> = vec![vec![sel], vec![sel, -y], vec![-sel], vec![sel, x]];
+        let run = |s: &mut Solver| {
+            queries
+                .iter()
+                .map(|q| {
+                    let r = s.solve(q);
+                    let mut core = s.failed_assumptions().to_vec();
+                    core.sort_unstable();
+                    (r, core)
+                })
+                .collect::<Vec<_>>()
+        };
+        // Exercise the solver (learns + deletes clauses), then snapshot.
+        let _ = s.solve(&[]);
+        let before = run(&mut s);
+        let deleted_before = s.stats().deleted_clauses;
+        s.compact();
+        assert!(s.stats().compactions >= 1);
+        let after = run(&mut s);
+        assert_eq!(before, after, "compaction changed verdicts or cores");
+        // The workload is hard enough that reduction actually tombstoned
+        // clauses at some point, so compaction had something to reclaim.
+        assert!(deleted_before > 0, "workload never deleted a clause");
+        // Another compaction round on the already-compacted DB is a no-op
+        // for correctness too.
+        s.compact();
+        assert_eq!(run(&mut s), after);
     }
 
     #[test]

@@ -36,6 +36,10 @@ run fig1
 run fig2
 run ablation
 
+echo "== pipeline bench (cold vs warm) =="
+cargo run --release -q --bin gqed -- bench \
+  --out "$out/BENCH_pipeline.json" | tee "$out/bench.txt"
+
 echo "== criterion micro-benchmarks (gated; no-op without --cfg gqed_criterion) =="
 cargo bench -p gqed-bench 2>&1 | tee "$out/criterion.txt"
 

@@ -28,6 +28,12 @@
 //!      --flow gqed[,aqed,conv]      restrict to the listed flows
 //!      --no-race                    disable the BMC vs k-induction race
 //!                                   on clean designs
+//!      --cold                       disable the warm-start pipeline
+//!                                   (model cache + resumable sessions)
+//! gqed bench [opts]                 cold-vs-warm pipeline benchmark
+//!      --quick                      small suite for the CI smoke step
+//!      --out <file>                 report path (default BENCH_pipeline.json)
+//!      --telemetry <file>           write attempt-level JSONL telemetry
 //! gqed productivity [--features n --properties n]
 //!                                   evaluate the person-day cost model
 //! ```
@@ -52,9 +58,12 @@ fn main() {
         Some("bmc") => cmd_bmc(&args[1..]),
         Some("prove") => cmd_prove(&args[1..]),
         Some("campaign") => cmd_campaign(&args[1..]),
+        Some("bench") => cmd_bench(&args[1..]),
         Some("productivity") => cmd_productivity(&args[1..]),
         _ => {
-            eprintln!("usage: gqed <list|check|hunt|export|bmc|prove|campaign|productivity> …");
+            eprintln!(
+                "usage: gqed <list|check|hunt|export|bmc|prove|campaign|bench|productivity> …"
+            );
             eprintln!("       (see the crate docs or src/bin/gqed.rs for options)");
             exit(2);
         }
@@ -428,6 +437,7 @@ fn cmd_campaign(args: &[String]) {
         base_budget: parse_flag(args, "--budget"),
         max_attempts: parse_flag(args, "--max-attempts").unwrap_or(4),
         race_clean: !has_flag(args, "--no-race"),
+        warm_start: !has_flag(args, "--cold"),
     };
     let telemetry = match flag_value(args, "--telemetry") {
         Some(path) => Telemetry::file(std::path::Path::new(path)).unwrap_or_else(|e| {
@@ -474,6 +484,53 @@ fn cmd_campaign(args: &[String]) {
         summary.mismatches
     );
     exit(summary.exit_code());
+}
+
+fn cmd_bench(args: &[String]) {
+    use gqed::campaign::{run_bench, Telemetry};
+
+    let quick = has_flag(args, "--quick");
+    let out = flag_value(args, "--out").unwrap_or("BENCH_pipeline.json");
+    let telemetry = match flag_value(args, "--telemetry") {
+        Some(path) => Telemetry::file(std::path::Path::new(path)).unwrap_or_else(|e| {
+            eprintln!("cannot open telemetry file {path}: {e}");
+            exit(1);
+        }),
+        None => Telemetry::null(),
+    };
+    eprintln!(
+        "bench: {} suite, cold then warm…",
+        if quick { "quick" } else { "full" }
+    );
+    let report = run_bench(quick, &telemetry);
+    std::fs::write(out, report.to_json().render() + "\n").unwrap_or_else(|e| {
+        eprintln!("cannot write {out}: {e}");
+        exit(1);
+    });
+    for run in [&report.cold, &report.warm] {
+        println!(
+            "{:4}  {:>8.2?}  {:>6} frames  {:>8.1} frames/s  {:>8} conflicts  {:>9} peak arena B  {} resumes",
+            run.mode,
+            run.wall,
+            run.frames_solved,
+            run.frames_per_sec(),
+            run.conflicts,
+            run.peak_arena_bytes,
+            run.session_resumes
+        );
+    }
+    println!(
+        "frames saved warm vs cold: {} ({} obligations); report: {out}",
+        report
+            .cold
+            .frames_solved
+            .saturating_sub(report.warm.frames_solved),
+        report.obligations
+    );
+    if let Some(reason) = report.regression() {
+        eprintln!("REGRESSION: {reason}");
+        exit(1);
+    }
 }
 
 fn cmd_productivity(args: &[String]) {
