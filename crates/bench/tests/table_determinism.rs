@@ -36,6 +36,7 @@ fn table2_bytes_identical_under_forced_escalation() {
         max_attempts: 16,
         race_clean: false,
         warm_start: true,
+        ..CampaignConfig::default()
     };
     let escalated = render_table2_with(Some("relu"), &escalated_config, &Telemetry::null());
     assert_eq!(escalated.mismatches, 0);

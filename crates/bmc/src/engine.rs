@@ -52,6 +52,9 @@ pub enum StopReason {
     Interrupted,
     /// The wall-clock deadline passed.
     DeadlineExpired,
+    /// The solver's clause arena exceeded the configured byte budget and
+    /// emergency reclamation could not bring it back under.
+    MemoryLimit,
 }
 
 impl StopReason {
@@ -62,6 +65,7 @@ impl StopReason {
             SolveOutcome::BudgetExhausted => Some(StopReason::BudgetExhausted),
             SolveOutcome::Interrupted => Some(StopReason::Interrupted),
             SolveOutcome::DeadlineExpired => Some(StopReason::DeadlineExpired),
+            SolveOutcome::MemoryLimit => Some(StopReason::MemoryLimit),
             SolveOutcome::Sat | SolveOutcome::Unsat => None,
         }
     }
@@ -102,6 +106,10 @@ pub struct BmcLimits {
     /// Cooperative cancellation flag, shared with whoever may want to stop
     /// this check (e.g. a faster racing engine).
     pub interrupt: Option<Arc<AtomicBool>>,
+    /// Clause-arena byte budget for the solver; exceeding it (after the
+    /// solver's emergency reclamation) stops the check with
+    /// [`StopReason::MemoryLimit`].
+    pub mem_limit: Option<usize>,
 }
 
 impl BmcLimits {
@@ -384,6 +392,10 @@ impl<'a> BmcEngine<'a> {
         match limits.deadline {
             Some(d) => self.solver.set_deadline(d),
             None => self.solver.clear_deadline(),
+        }
+        match limits.mem_limit {
+            Some(m) => self.solver.set_memory_limit(m),
+            None => self.solver.clear_memory_limit(),
         }
         self.solver
             .solve_bounded(assumptions, limits.budget.unwrap_or(u64::MAX))

@@ -159,6 +159,9 @@ fn inductive_step_holds(
     if let Some(d) = limits.deadline {
         solver.set_deadline(d);
     }
+    if let Some(m) = limits.mem_limit {
+        solver.set_memory_limit(m);
+    }
     match solver.solve_bounded(&[], limits.budget.unwrap_or(u64::MAX)) {
         SolveOutcome::Unsat => Ok(true),
         SolveOutcome::Sat => Ok(false),

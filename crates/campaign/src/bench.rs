@@ -56,6 +56,7 @@ pub fn bench_config(warm_start: bool) -> CampaignConfig {
         max_attempts: 16,
         race_clean: false,
         warm_start,
+        ..CampaignConfig::default()
     }
 }
 

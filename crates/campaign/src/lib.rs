@@ -9,16 +9,30 @@
 //! panicking jobs with `catch_unwind`, races BMC against k-induction on
 //! clean designs under a cooperative cancellation flag, and records
 //! everything as JSONL telemetry.
+//!
+//! Campaigns are additionally *crash-safe*: the [`journal`] module keeps
+//! an append-only write-ahead journal of verdicts and escalation attempts
+//! (CRC32-framed, fsync'd on verdict), and
+//! [`runner::run_campaign_journaled`] resumes an interrupted campaign
+//! from it, truncating torn records, skipping settled obligations and
+//! producing a merged summary identical to an uninterrupted run's.
 
 #![warn(missing_docs)]
 pub mod bench;
+pub mod journal;
 pub mod json;
 pub mod obligation;
 pub mod runner;
 pub mod telemetry;
 
 pub use bench::{run_bench, BenchReport, BenchRun};
-pub use json::{is_valid_json, JsonValue};
+pub use journal::{
+    crc32, manifest_crc, read_journal, FaultPlan, Journal, JournalReplay, ReplayedRecord,
+    ResumeState, WriteFault,
+};
+pub use json::{is_valid_json, parse_json, JsonValue};
 pub use obligation::{enumerate_obligations, FlowFilter, Obligation, ObligationKind};
-pub use runner::{run_campaign, CampaignConfig, CampaignSummary, JobRecord, JobVerdict};
+pub use runner::{
+    run_campaign, run_campaign_journaled, CampaignConfig, CampaignSummary, JobRecord, JobVerdict,
+};
 pub use telemetry::{SharedBuffer, Telemetry};

@@ -14,7 +14,24 @@
 //! flag, interrupting the other mid-search. An inconclusive k-induction
 //! outcome (`Unknown`) does not cancel the BMC side — a bounded-clean
 //! certificate is still worth waiting for.
+//!
+//! Three robustness mechanisms wrap the queue (all optional):
+//!
+//! * **journaling** — [`run_campaign_journaled`] appends every verdict
+//!   (fsync'd) and escalation attempt to a crash-safe
+//!   [`Journal`](crate::journal::Journal), and replays a prior run's
+//!   journal so completed obligations are skipped on `--resume`;
+//! * **memory degradation** — when the solver's clause arena exceeds
+//!   [`CampaignConfig::mem_limit`] the attempt stops with
+//!   [`StopReason::MemoryLimit`]; the worker sheds the obligation's kept
+//!   session and retries cold at the *base* budget (no Luby escalation —
+//!   a bigger budget would just hit the wall again);
+//! * **cancellation** — raising [`CampaignConfig::interrupt`] (the CLI
+//!   wires SIGINT/SIGTERM to it) interrupts in-flight solvers; affected
+//!   obligations finish as `cancelled` with a journal checkpoint so a
+//!   resumed campaign re-runs exactly them.
 
+use crate::journal::{Journal, ResumeState};
 use crate::json::JsonValue;
 use crate::obligation::{Obligation, ObligationKind};
 use crate::telemetry::Telemetry;
@@ -54,6 +71,16 @@ pub struct CampaignConfig {
     /// pays the full encoding cost (the cold baseline the bench
     /// compares against).
     pub warm_start: bool,
+    /// Clause-arena byte budget per solver. When the learnt-clause arena
+    /// exceeds it the solver first sheds learnt clauses; if still over,
+    /// the attempt stops with [`StopReason::MemoryLimit`] and retries
+    /// cold at the base budget. `None` = unlimited.
+    pub mem_limit: Option<usize>,
+    /// Cooperative shutdown flag. When raised, in-flight solvers stop at
+    /// their next poll, affected obligations finish as `cancelled`, and
+    /// queued obligations drain without running. The CLI raises it from
+    /// SIGINT/SIGTERM.
+    pub interrupt: Option<Arc<AtomicBool>>,
 }
 
 impl Default for CampaignConfig {
@@ -65,6 +92,8 @@ impl Default for CampaignConfig {
             max_attempts: 4,
             race_clean: true,
             warm_start: true,
+            mem_limit: None,
+            interrupt: None,
         }
     }
 }
@@ -106,6 +135,10 @@ pub enum JobVerdict {
         /// The panic payload, if it was a string.
         message: String,
     },
+    /// The campaign was interrupted (SIGINT/SIGTERM or an explicit
+    /// [`CampaignConfig::interrupt`]) before this obligation settled. A
+    /// resumed campaign re-runs it.
+    Cancelled,
 }
 
 impl JobVerdict {
@@ -132,6 +165,7 @@ impl JobVerdict {
             JobVerdict::Unknown { .. } => "unknown",
             JobVerdict::TimeoutEscalated { .. } => "timeout-escalated",
             JobVerdict::Failed { .. } => "failed",
+            JobVerdict::Cancelled => "cancelled",
         }
     }
 
@@ -149,6 +183,7 @@ impl JobVerdict {
             JobVerdict::Unknown { .. } => "unknown".to_string(),
             JobVerdict::TimeoutEscalated { .. } => "timeout".to_string(),
             JobVerdict::Failed { .. } => "failed".to_string(),
+            JobVerdict::Cancelled => "cancelled".to_string(),
         }
     }
 }
@@ -199,6 +234,11 @@ pub struct CampaignSummary {
     pub timeouts: usize,
     /// Panicked obligations.
     pub failures: usize,
+    /// Obligations cancelled by an interrupt before settling.
+    pub cancelled: usize,
+    /// Obligations whose verdict was replayed from a resume journal
+    /// instead of being re-run.
+    pub replayed: usize,
     /// Conclusive verdicts contradicting the catalogue ground truth.
     pub mismatches: usize,
     /// Model-cache lookups answered without re-synthesizing.
@@ -216,12 +256,39 @@ impl CampaignSummary {
     /// Whether every obligation reached a conclusive verdict agreeing
     /// with the catalogue.
     pub fn is_success(&self) -> bool {
-        self.failures == 0 && self.timeouts == 0 && self.mismatches == 0
+        self.failures == 0 && self.timeouts == 0 && self.mismatches == 0 && self.cancelled == 0
     }
 
-    /// Process exit code for the CLI: 0 on success, 1 otherwise.
+    /// Process exit code for the CLI: 0 on success, 130 when the
+    /// campaign was interrupted (the conventional SIGINT code), 1
+    /// otherwise.
     pub fn exit_code(&self) -> i32 {
-        i32::from(!self.is_success())
+        if self.cancelled > 0 {
+            130
+        } else {
+            i32::from(!self.is_success())
+        }
+    }
+
+    /// A scheduling-independent rendering of the campaign outcome: one
+    /// line per obligation (in obligation order) with its normalized
+    /// verdict. A resumed campaign's merged summary renders
+    /// byte-identically to an uninterrupted run's — the crash-recovery
+    /// test and the CI kill-and-resume smoke job diff exactly this.
+    pub fn normalized_render(&self) -> String {
+        let mut out = String::new();
+        for r in &self.records {
+            out.push_str(&r.obligation.id);
+            out.push(' ');
+            out.push_str(r.obligation.flow_tag());
+            out.push(' ');
+            out.push_str(&r.verdict.normalized());
+            if r.mismatch {
+                out.push_str(" MISMATCH");
+            }
+            out.push('\n');
+        }
+        out
     }
 }
 
@@ -253,6 +320,30 @@ struct Shared<'a> {
     sessions: Mutex<HashMap<usize, CheckSession>>,
     /// Attempts that resumed a kept session.
     session_resumes: AtomicU64,
+    /// Write-ahead journal, when the campaign is journaled.
+    journal: Option<&'a Journal>,
+    /// Journal appends that reported an error (faults are tolerated —
+    /// they cost a re-run on resume, never a verdict).
+    journal_faults: AtomicU64,
+    /// Cooperative shutdown flag (always present; shared with
+    /// [`CampaignConfig::interrupt`] when the caller supplied one).
+    cancel: Arc<AtomicBool>,
+    /// Obligations degraded to cold base-budget retries after a
+    /// [`StopReason::MemoryLimit`] stop.
+    mem_degraded: Mutex<Vec<bool>>,
+}
+
+impl Shared<'_> {
+    /// Appends a journal record; errors are counted and reported but
+    /// never abort the campaign.
+    fn journal_append(&self, record: &JsonValue, sync: bool) {
+        if let Some(j) = self.journal {
+            if let Err(e) = j.append(record, sync) {
+                self.journal_faults.fetch_add(1, Ordering::Relaxed);
+                eprintln!("journal write failed: {e}");
+            }
+        }
+    }
 }
 
 /// Runs every obligation to a final verdict and returns the aggregate.
@@ -264,24 +355,98 @@ pub fn run_campaign(
     config: &CampaignConfig,
     telemetry: &Telemetry,
 ) -> CampaignSummary {
+    run_campaign_journaled(obligations, config, telemetry, None, None)
+}
+
+/// [`run_campaign`] with crash-safe journaling and resumption.
+///
+/// With a `journal`, every escalation attempt and verdict is appended as
+/// a framed record (verdicts fsync'd). With a `resume` state (replayed
+/// from a previous run's journal by [`Journal::resume`]), obligations
+/// that already reached a settled verdict are *replayed* — their records
+/// enter the summary directly (a `job_replayed` telemetry event each)
+/// and only the rest re-run. The merged summary's
+/// [`CampaignSummary::normalized_render`] is byte-identical to an
+/// uninterrupted run's.
+pub fn run_campaign_journaled(
+    obligations: &[Obligation],
+    config: &CampaignConfig,
+    telemetry: &Telemetry,
+    journal: Option<&Journal>,
+    resume: Option<&ResumeState>,
+) -> CampaignSummary {
     let t0 = Instant::now();
     let n = obligations.len();
+
+    // Replay settled verdicts from the resume state; queue the rest.
+    let mut results: Vec<Option<JobRecord>> = vec![None; n];
+    let mut pending: VecDeque<(usize, u32)> = VecDeque::new();
+    let mut replayed = 0usize;
+    for (i, obl) in obligations.iter().enumerate() {
+        let prior = resume.and_then(|s| s.completed.get(&obl.id));
+        match prior {
+            Some(rr) => {
+                let mismatch = match (obl.expect_violation, rr.verdict.is_conclusive()) {
+                    (Some(expected), true) => rr.verdict.is_violation() != expected,
+                    _ => false,
+                };
+                telemetry.emit(
+                    &JsonValue::obj()
+                        .field("type", "job_replayed")
+                        .field("job", obl.id.as_str())
+                        .field("verdict", rr.verdict.tag())
+                        .field("attempts", rr.attempts)
+                        .field("source", "journal"),
+                );
+                results[i] = Some(JobRecord {
+                    obligation: obl.clone(),
+                    verdict: rr.verdict.clone(),
+                    attempts: rr.attempts,
+                    wall: Duration::from_millis(rr.wall_ms),
+                    engine: rr.engine,
+                    stats: None,
+                    frames_solved: rr.frames_solved,
+                    mismatch,
+                });
+                replayed += 1;
+            }
+            None => pending.push_back((i, 1)),
+        }
+    }
+
     let shared = Shared {
         obligations,
         config,
         telemetry,
-        queue: Mutex::new(QueueState {
-            pending: (0..n).map(|i| (i, 1)).collect(),
-            active: 0,
-        }),
+        queue: Mutex::new(QueueState { pending, active: 0 }),
         cv: Condvar::new(),
-        results: Mutex::new(vec![None; n]),
+        results: Mutex::new(results),
         wall_acc: Mutex::new(vec![Duration::ZERO; n]),
         frames_acc: Mutex::new(vec![0; n]),
         cache: ModelCache::new(),
         sessions: Mutex::new(HashMap::new()),
         session_resumes: AtomicU64::new(0),
+        journal,
+        journal_faults: AtomicU64::new(0),
+        cancel: config
+            .interrupt
+            .clone()
+            .unwrap_or_else(|| Arc::new(AtomicBool::new(false))),
+        mem_degraded: Mutex::new(vec![false; n]),
     };
+    if journal.is_some() {
+        let record = match resume {
+            None => JsonValue::obj()
+                .field("type", "campaign_start")
+                .field("version", 1u32)
+                .field("obligations", n)
+                .field("manifest_crc", crate::journal::manifest_crc(obligations)),
+            Some(_) => JsonValue::obj()
+                .field("type", "campaign_resume")
+                .field("skipped", replayed),
+        };
+        shared.journal_append(&record, true);
+    }
     let workers = config.jobs.max(1).min(n.max(1));
     std::thread::scope(|s| {
         for _ in 0..workers {
@@ -304,6 +469,8 @@ pub fn run_campaign(
         unknowns: 0,
         timeouts: 0,
         failures: 0,
+        cancelled: 0,
+        replayed,
         mismatches: 0,
         encoding_cache_hits: shared.cache.hits(),
         encoding_cache_misses: shared.cache.misses(),
@@ -318,6 +485,7 @@ pub fn run_campaign(
             JobVerdict::Unknown { .. } => summary.unknowns += 1,
             JobVerdict::TimeoutEscalated { .. } => summary.timeouts += 1,
             JobVerdict::Failed { .. } => summary.failures += 1,
+            JobVerdict::Cancelled => summary.cancelled += 1,
         }
         if r.mismatch {
             summary.mismatches += 1;
@@ -333,15 +501,22 @@ pub fn run_campaign(
             .field("unknowns", summary.unknowns)
             .field("timeouts", summary.timeouts)
             .field("failures", summary.failures)
+            .field("cancelled", summary.cancelled)
+            .field("replayed", summary.replayed)
             .field("mismatches", summary.mismatches)
             .field("jobs", summary.jobs)
             .field("wall_ms", summary.wall.as_millis() as u64)
             .field("encoding_cache_hits", summary.encoding_cache_hits)
             .field("encoding_cache_misses", summary.encoding_cache_misses)
             .field("session_resumes", summary.session_resumes)
-            .field("frames_solved", summary.frames_solved),
+            .field("frames_solved", summary.frames_solved)
+            .field(
+                "journal_faults",
+                shared.journal_faults.load(Ordering::Relaxed),
+            ),
     );
     telemetry.flush();
+    telemetry.sync();
     summary
 }
 
@@ -366,7 +541,32 @@ fn worker(shared: &Shared) {
         };
 
         let obl = &shared.obligations[index];
-        let factor = luby(u64::from(attempt));
+
+        // Shutdown drain: once the interrupt is raised, queued obligations
+        // are recorded as cancelled (with a journal checkpoint so a
+        // resumed campaign re-runs them) instead of starting new solves.
+        if shared.cancel.load(Ordering::Relaxed) {
+            let total_wall = shared.wall_acc.lock().unwrap_or_else(|e| e.into_inner())[index];
+            let total_frames = shared.frames_acc.lock().unwrap_or_else(|e| e.into_inner())[index];
+            cancel_job(shared, index, attempt - 1, total_wall, total_frames, None);
+            let mut q = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+            q.active -= 1;
+            shared.cv.notify_all();
+            continue;
+        }
+
+        // Memory-degraded obligations retry cold at the base budget: the
+        // Luby schedule would grow the clause arena straight back into
+        // the wall it just hit.
+        let degraded = shared
+            .mem_degraded
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())[index];
+        let factor = if degraded {
+            1
+        } else {
+            luby(u64::from(attempt))
+        };
         let budget = shared.config.base_budget.map(|b| b.saturating_mul(factor));
         let deadline_ms = shared
             .config
@@ -375,7 +575,8 @@ fn worker(shared: &Shared) {
         let limits = BmcLimits {
             budget,
             deadline: deadline_ms.map(|ms| Instant::now() + Duration::from_millis(ms)),
-            interrupt: None,
+            interrupt: Some(Arc::clone(&shared.cancel)),
+            mem_limit: shared.config.mem_limit,
         };
 
         // Warm start: pull the kept session of a previously stopped
@@ -438,21 +639,59 @@ fn worker(shared: &Shared) {
         match outcome {
             Ok((AttemptResult::Verdict(verdict, stats, engine), frames)) => {
                 let total_frames = add_frames(frames);
-                finish(
-                    shared,
-                    index,
-                    verdict,
-                    attempt,
-                    total_wall,
-                    engine,
-                    stats,
-                    total_frames,
-                );
+                if shared.cancel.load(Ordering::Relaxed)
+                    && matches!(verdict, JobVerdict::Unknown { .. })
+                {
+                    // An Unknown reached during shutdown is an artifact of
+                    // the interrupt (the BMC side was cut short), not a
+                    // genuine exhaustion — record it as cancelled so the
+                    // resumed campaign re-runs it to the same verdict an
+                    // uninterrupted run would reach.
+                    let frame = session_slot.as_ref().map(|s| s.resume_frame());
+                    cancel_job(shared, index, attempt, total_wall, total_frames, frame);
+                } else {
+                    finish(
+                        shared,
+                        index,
+                        verdict,
+                        attempt,
+                        total_wall,
+                        engine,
+                        stats,
+                        total_frames,
+                    );
+                }
             }
             Ok((AttemptResult::Stopped(reason), frames)) => {
                 let total_frames = add_frames(frames);
-                if attempt < shared.config.max_attempts {
-                    let next_factor = luby(u64::from(attempt + 1));
+                if shared.cancel.load(Ordering::Relaxed) {
+                    let frame = session_slot.as_ref().map(|s| s.resume_frame());
+                    cancel_job(shared, index, attempt, total_wall, total_frames, frame);
+                } else if attempt < shared.config.max_attempts {
+                    let memory_stopped = reason == StopReason::MemoryLimit;
+                    if memory_stopped {
+                        // Shed the session (its learnt clauses are the
+                        // memory) and pin future attempts to the base
+                        // budget.
+                        session_slot = None;
+                        shared
+                            .mem_degraded
+                            .lock()
+                            .unwrap_or_else(|e| e.into_inner())[index] = true;
+                    }
+                    let next_factor = if memory_stopped || degraded {
+                        1
+                    } else {
+                        luby(u64::from(attempt + 1))
+                    };
+                    shared.journal_append(
+                        &JsonValue::obj()
+                            .field("type", "attempt")
+                            .field("job", obl.id.as_str())
+                            .field("attempt", attempt)
+                            .field("reason", stop_tag(reason)),
+                        false,
+                    );
                     shared.telemetry.emit(
                         &JsonValue::obj()
                             .field("type", "job_retry")
@@ -524,11 +763,49 @@ fn worker(shared: &Shared) {
     }
 }
 
+/// Finishes an obligation as [`JobVerdict::Cancelled`] and writes a
+/// journal *checkpoint* record (not a verdict — a resumed campaign must
+/// re-run cancelled obligations, and [`ResumeState`] only skips settled
+/// verdicts).
+fn cancel_job(
+    shared: &Shared,
+    index: usize,
+    attempts: u32,
+    wall: Duration,
+    frames: u64,
+    frame: Option<u32>,
+) {
+    let obl = &shared.obligations[index];
+    shared.journal_append(
+        &JsonValue::obj()
+            .field("type", "checkpoint")
+            .field("job", obl.id.as_str())
+            .field("frame", frame),
+        false,
+    );
+    finish(
+        shared,
+        index,
+        JobVerdict::Cancelled,
+        attempts,
+        wall,
+        "-",
+        None,
+        frames,
+    );
+}
+
 fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
     } else if let Some(s) = payload.downcast_ref::<String>() {
         s.clone()
+    } else if let Some(s) = payload.downcast_ref::<Box<String>>() {
+        // `panic_any(Box::new(String))` and friends: the payload is the
+        // box itself, so the plain `String` downcast above misses it.
+        s.as_str().to_string()
+    } else if let Some(s) = payload.downcast_ref::<Box<&str>>() {
+        (**s).to_string()
     } else {
         "non-string panic payload".to_string()
     }
@@ -539,6 +816,7 @@ fn stop_tag(reason: StopReason) -> &'static str {
         StopReason::BudgetExhausted => "budget-exhausted",
         StopReason::Interrupted => "interrupted",
         StopReason::DeadlineExpired => "deadline-expired",
+        StopReason::MemoryLimit => "memory-limit",
     }
 }
 
@@ -576,6 +854,7 @@ fn finish(
         JobVerdict::Unknown { max_k } => ev.field("max_k", *max_k),
         JobVerdict::TimeoutEscalated { attempts } => ev.field("attempts_made", *attempts),
         JobVerdict::Failed { message } => ev.field("message", message.as_str()),
+        JobVerdict::Cancelled => ev,
     };
     if let Some(s) = &stats {
         ev = ev
@@ -590,6 +869,31 @@ fn finish(
             .field("bmc_wall_ms", s.wall.as_millis() as u64);
     }
     shared.telemetry.emit(&ev);
+
+    // The journal's verdict record carries exactly the fields
+    // `ResumeState` needs to rebuild the verdict on `--resume`; it is
+    // fsync'd so an immediately following crash cannot lose it.
+    let mut jrec = JsonValue::obj()
+        .field("type", "verdict")
+        .field("job", obl.id.as_str())
+        .field("verdict", verdict.tag())
+        .field("attempts", attempts)
+        .field("engine", engine)
+        .field("frames_solved", frames_solved)
+        .field("wall_ms", wall.as_millis() as u64)
+        .field("mismatch", mismatch);
+    jrec = match &verdict {
+        JobVerdict::Violation { property, cycles } => jrec
+            .field("property", property.as_str())
+            .field("cycles", *cycles),
+        JobVerdict::Clean { bound } => jrec.field("bound", *bound),
+        JobVerdict::Proven { k } => jrec.field("k", *k),
+        JobVerdict::Unknown { max_k } => jrec.field("max_k", *max_k),
+        JobVerdict::TimeoutEscalated { attempts } => jrec.field("attempts_made", *attempts),
+        JobVerdict::Failed { message } => jrec.field("message", message.as_str()),
+        JobVerdict::Cancelled => jrec,
+    };
+    shared.journal_append(&jrec, true);
     let record = JobRecord {
         obligation: obl.clone(),
         verdict,
@@ -752,6 +1056,7 @@ fn race_prove_clean(
         budget: limits.budget,
         deadline: limits.deadline,
         interrupt: Some(Arc::clone(&cancel)),
+        mem_limit: limits.mem_limit,
     };
 
     let (bmc_out, kind_out) = std::thread::scope(|s| {
@@ -773,6 +1078,23 @@ fn race_prove_clean(
             }
             r
         });
+        // The race replaces the caller's interrupt with its own flag, so
+        // a campaign-wide shutdown must be forwarded into the race or
+        // both sides would run to their budgets oblivious of it.
+        let done = Arc::new(AtomicBool::new(false));
+        if let Some(outer) = limits.interrupt.clone() {
+            let fwd_cancel = Arc::clone(&cancel);
+            let fwd_done = Arc::clone(&done);
+            s.spawn(move || {
+                while !fwd_done.load(Ordering::Relaxed) {
+                    if outer.load(Ordering::Relaxed) {
+                        fwd_cancel.store(true, Ordering::Relaxed);
+                        break;
+                    }
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+            });
+        }
         let bmc_out = match bmc.join() {
             Ok(r) => r,
             Err(p) => std::panic::resume_unwind(p),
@@ -781,6 +1103,7 @@ fn race_prove_clean(
             Ok(r) => r,
             Err(p) => std::panic::resume_unwind(p),
         };
+        done.store(true, Ordering::Relaxed);
         (bmc_out, kind_out)
     });
     let (bmc_status, session) = bmc_out;
@@ -890,6 +1213,9 @@ fn run_debug_exhaust(limits: &BmcLimits) -> AttemptResult {
     if let Some(d) = limits.deadline {
         s.set_deadline(d);
     }
+    if let Some(m) = limits.mem_limit {
+        s.set_memory_limit(m);
+    }
     match s.solve_bounded(&[], limits.budget.unwrap_or(u64::MAX)) {
         SolveOutcome::Sat | SolveOutcome::Unsat => {
             // Only reachable with an effectively unlimited budget.
@@ -951,5 +1277,49 @@ mod tests {
         let summary = run_campaign(&[], &CampaignConfig::default(), &Telemetry::null());
         assert!(summary.records.is_empty());
         assert!(summary.is_success());
+    }
+
+    #[test]
+    fn panic_message_extracts_every_payload_shape() {
+        use std::panic::panic_any;
+        let msg = |p: Box<dyn std::any::Any + Send>| panic_message(p.as_ref());
+        let p = catch_unwind(|| panic!("formatted {}", 7)).unwrap_err();
+        assert_eq!(msg(p), "formatted 7");
+        let p = catch_unwind(|| panic!("literal")).unwrap_err();
+        assert_eq!(msg(p), "literal");
+        let p = catch_unwind(|| panic_any(Box::new("boxed string".to_string()))).unwrap_err();
+        assert_eq!(msg(p), "boxed string");
+        let p = catch_unwind(|| panic_any(Box::new("boxed str"))).unwrap_err();
+        assert_eq!(msg(p), "boxed str");
+        let p = catch_unwind(|| panic_any(42i32)).unwrap_err();
+        assert_eq!(msg(p), "non-string panic payload");
+    }
+
+    #[test]
+    fn pre_raised_interrupt_cancels_the_whole_campaign() {
+        let obls = relu_obligations();
+        let config = CampaignConfig {
+            interrupt: Some(Arc::new(AtomicBool::new(true))),
+            ..CampaignConfig::default()
+        };
+        let summary = run_campaign(&obls, &config, &Telemetry::null());
+        assert_eq!(summary.cancelled, obls.len());
+        assert!(!summary.is_success());
+        assert_eq!(summary.exit_code(), 130);
+        for r in &summary.records {
+            assert_eq!(r.verdict, JobVerdict::Cancelled);
+        }
+    }
+
+    #[test]
+    fn normalized_render_is_one_line_per_obligation() {
+        let obls = relu_obligations();
+        let summary = run_campaign(&obls, &CampaignConfig::default(), &Telemetry::null());
+        let render = summary.normalized_render();
+        assert_eq!(render.lines().count(), obls.len());
+        for (line, obl) in render.lines().zip(&obls) {
+            assert!(line.starts_with(&obl.id), "line {line:?} vs {}", obl.id);
+            assert!(!line.contains("MISMATCH"));
+        }
     }
 }

@@ -10,23 +10,69 @@ use std::io::{self, BufWriter, Write};
 use std::path::Path;
 use std::sync::{Arc, Mutex};
 
+/// A telemetry sink: a writer that may additionally know how to make its
+/// contents durable. The plain wrapper's `sync` is just a flush; the file
+/// sink adds an fsync so the last events survive an abrupt exit.
+trait Sink: Write + Send {
+    fn sync(&mut self) -> io::Result<()> {
+        self.flush()
+    }
+}
+
+struct PlainSink(Box<dyn Write + Send>);
+
+impl Write for PlainSink {
+    fn write(&mut self, data: &[u8]) -> io::Result<usize> {
+        self.0.write(data)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.0.flush()
+    }
+}
+
+impl Sink for PlainSink {}
+
+struct FileSink(BufWriter<std::fs::File>);
+
+impl Write for FileSink {
+    fn write(&mut self, data: &[u8]) -> io::Result<usize> {
+        self.0.write(data)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.0.flush()
+    }
+}
+
+impl Sink for FileSink {
+    fn sync(&mut self) -> io::Result<()> {
+        self.0.flush()?;
+        self.0.get_ref().sync_all()
+    }
+}
+
 /// Line-oriented telemetry writer.
 pub struct Telemetry {
-    sink: Mutex<Box<dyn Write + Send>>,
+    sink: Mutex<Box<dyn Sink>>,
 }
 
 impl Telemetry {
     /// Telemetry into any writer (a file, a buffer, a pipe).
     pub fn new(sink: Box<dyn Write + Send>) -> Self {
         Telemetry {
-            sink: Mutex::new(sink),
+            sink: Mutex::new(Box::new(PlainSink(sink))),
         }
     }
 
-    /// Telemetry appended to a file at `path` (created/truncated).
+    /// Telemetry appended to a file at `path` (created/truncated). Unlike
+    /// [`Telemetry::new`], the file sink supports [`Telemetry::sync`]
+    /// durability: the campaign fsyncs it after the final summary event.
     pub fn file(path: &Path) -> io::Result<Self> {
         let f = std::fs::File::create(path)?;
-        Ok(Self::new(Box::new(BufWriter::new(f))))
+        Ok(Telemetry {
+            sink: Mutex::new(Box::new(FileSink(BufWriter::new(f)))),
+        })
     }
 
     /// Telemetry that discards everything.
@@ -58,6 +104,17 @@ impl Telemetry {
         let mut sink = self.sink.lock().unwrap_or_else(|e| e.into_inner());
         if let Err(e) = sink.flush() {
             eprintln!("telemetry flush failed: {e}");
+        }
+    }
+
+    /// Flushes and, for file-backed telemetry, fsyncs — called after the
+    /// `campaign_summary` event so the stream's tail survives an abrupt
+    /// exit right after the campaign finishes. Errors are reported to
+    /// stderr but never abort the campaign.
+    pub fn sync(&self) {
+        let mut sink = self.sink.lock().unwrap_or_else(|e| e.into_inner());
+        if let Err(e) = sink.sync() {
+            eprintln!("telemetry sync failed: {e}");
         }
     }
 }

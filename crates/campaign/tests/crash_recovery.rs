@@ -1,0 +1,302 @@
+//! Tentpole acceptance: crash-safe journaling and resumption.
+//!
+//! The contract under test: a campaign that dies at *any* point — between
+//! records, mid-record, or under injected journal-write faults — and is
+//! then resumed produces a merged summary whose normalized rendering is
+//! byte-identical to an uninterrupted run's. Faults and crashes may delay
+//! verdicts (obligations re-run), but can never flip or lose one.
+
+use gqed_campaign::{
+    enumerate_obligations, read_journal, run_campaign_journaled, CampaignConfig, FaultPlan,
+    FlowFilter, JobVerdict, Journal, Obligation, ObligationKind, Telemetry, WriteFault,
+};
+use gqed_core::CheckKind;
+use std::path::PathBuf;
+
+fn tmp(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("gqed-crash-{}-{name}", std::process::id()))
+}
+
+/// A small deterministic obligation set: every conventional-flow check of
+/// the relu catalogue (fast bounded checks, a mix of expected violations
+/// and expected passes, no engine race — fully deterministic verdicts).
+fn conv_obligations() -> Vec<Obligation> {
+    enumerate_obligations(
+        FlowFilter {
+            gqed: false,
+            aqed: false,
+            conventional: true,
+        },
+        &["relu".to_string()],
+    )
+}
+
+fn deterministic_config() -> CampaignConfig {
+    CampaignConfig {
+        jobs: 1,
+        race_clean: false,
+        ..CampaignConfig::default()
+    }
+}
+
+/// Runs the reference (uninterrupted) journaled campaign; returns its
+/// normalized render and the journal file's framed lines.
+fn reference_run(obls: &[Obligation], path: &PathBuf) -> (String, Vec<String>) {
+    let journal = Journal::create(path).unwrap();
+    let summary = run_campaign_journaled(
+        obls,
+        &deterministic_config(),
+        &Telemetry::null(),
+        Some(&journal),
+        None,
+    );
+    assert!(summary.is_success(), "reference run failed: {summary:?}");
+    drop(journal);
+    let text = std::fs::read_to_string(path).unwrap();
+    let lines: Vec<String> = text.lines().map(|l| format!("{l}\n")).collect();
+    (summary.normalized_render(), lines)
+}
+
+#[test]
+fn resume_at_every_record_boundary_is_byte_identical() {
+    let obls = conv_obligations();
+    assert!(obls.len() >= 2, "need a multi-obligation campaign");
+    let ref_path = tmp("boundary-ref.j1");
+    let (reference, lines) = reference_run(&obls, &ref_path);
+    // campaign_start + one fsync'd verdict per obligation.
+    assert_eq!(lines.len(), 1 + obls.len());
+
+    let cut_path = tmp("boundary-cut.j1");
+    for boundary in 0..=lines.len() {
+        let prefix: String = lines[..boundary].concat();
+        std::fs::write(&cut_path, prefix).unwrap();
+        let (journal, state) = Journal::resume(&cut_path).unwrap();
+        let settled = state.completed.len();
+        assert_eq!(settled, boundary.saturating_sub(1), "boundary {boundary}");
+        let summary = run_campaign_journaled(
+            &obls,
+            &deterministic_config(),
+            &Telemetry::null(),
+            Some(&journal),
+            Some(&state),
+        );
+        assert_eq!(summary.replayed, settled, "boundary {boundary}");
+        assert_eq!(
+            summary.normalized_render(),
+            reference,
+            "merged summary diverged at boundary {boundary}"
+        );
+    }
+    std::fs::remove_file(&ref_path).ok();
+    std::fs::remove_file(&cut_path).ok();
+}
+
+#[test]
+fn resume_after_torn_write_mid_record_is_byte_identical() {
+    let obls = conv_obligations();
+    let ref_path = tmp("torn-ref.j1");
+    let (reference, _) = reference_run(&obls, &ref_path);
+
+    // Re-run with the *last* verdict record torn in half mid-write — the
+    // exact on-disk shape a crash inside `write(2)` leaves behind.
+    let torn_path = tmp("torn.j1");
+    let plan = FaultPlan::new().inject(obls.len() as u64, WriteFault::ShortWrite);
+    let journal = Journal::create_with_faults(&torn_path, plan).unwrap();
+    let summary = run_campaign_journaled(
+        &obls,
+        &deterministic_config(),
+        &Telemetry::null(),
+        Some(&journal),
+        None,
+    );
+    // The fault never touches the verdicts themselves.
+    assert_eq!(summary.normalized_render(), reference);
+    drop(journal);
+
+    let replay = read_journal(&torn_path).unwrap();
+    assert!(replay.truncated, "the torn record must be detected");
+    assert_eq!(replay.records.len(), obls.len()); // start + all but last verdict
+
+    let (journal, state) = Journal::resume(&torn_path).unwrap();
+    assert_eq!(state.completed.len(), obls.len() - 1);
+    let resumed = run_campaign_journaled(
+        &obls,
+        &deterministic_config(),
+        &Telemetry::null(),
+        Some(&journal),
+        Some(&state),
+    );
+    assert_eq!(resumed.replayed, obls.len() - 1);
+    assert_eq!(resumed.normalized_render(), reference);
+    std::fs::remove_file(&ref_path).ok();
+    std::fs::remove_file(&torn_path).ok();
+}
+
+#[test]
+fn journal_faults_delay_but_never_flip_verdicts() {
+    let obls = conv_obligations();
+    let ref_path = tmp("faults-ref.j1");
+    let (reference, _) = reference_run(&obls, &ref_path);
+
+    // Hit the first verdict with an fsync failure and the second with CRC
+    // corruption. The campaign must shrug both off.
+    let fault_path = tmp("faults.j1");
+    let plan = FaultPlan::new()
+        .inject(1, WriteFault::FsyncError)
+        .inject(2, WriteFault::CorruptCrc);
+    let journal = Journal::create_with_faults(&fault_path, plan).unwrap();
+    let summary = run_campaign_journaled(
+        &obls,
+        &deterministic_config(),
+        &Telemetry::null(),
+        Some(&journal),
+        None,
+    );
+    assert_eq!(summary.normalized_render(), reference);
+    drop(journal);
+
+    // Resuming from the damaged journal: everything after the corrupt
+    // record is unreadable, so those obligations re-run — and the merged
+    // summary still matches the reference byte for byte.
+    let (journal, state) = Journal::resume(&fault_path).unwrap();
+    assert!(
+        state.completed.len() < obls.len(),
+        "corruption must force re-runs"
+    );
+    let resumed = run_campaign_journaled(
+        &obls,
+        &deterministic_config(),
+        &Telemetry::null(),
+        Some(&journal),
+        Some(&state),
+    );
+    assert_eq!(resumed.normalized_render(), reference);
+    std::fs::remove_file(&ref_path).ok();
+    std::fs::remove_file(&fault_path).ok();
+}
+
+#[test]
+fn debug_obligations_rerun_on_resume_instead_of_being_skipped() {
+    // failed / timeout-escalated verdicts are unsettled: a resumed
+    // campaign must re-run them, not replay them.
+    let obls = vec![
+        Obligation {
+            id: "debug/panic".to_string(),
+            design: "relu",
+            bug: None,
+            kind: ObligationKind::DebugPanic,
+            expect_violation: None,
+        },
+        Obligation {
+            id: "debug/exhaust".to_string(),
+            design: "relu",
+            bug: None,
+            kind: ObligationKind::DebugExhaust,
+            expect_violation: None,
+        },
+        Obligation {
+            id: "relu/clean/conv".to_string(),
+            design: "relu",
+            bug: None,
+            kind: ObligationKind::Check {
+                kind: CheckKind::Conventional,
+                bound: 6,
+            },
+            expect_violation: Some(false),
+        },
+    ];
+    let config = CampaignConfig {
+        jobs: 1,
+        base_budget: Some(50),
+        max_attempts: 2,
+        ..CampaignConfig::default()
+    };
+    let path = tmp("debug-rerun.j1");
+    let journal = Journal::create(&path).unwrap();
+    let first = run_campaign_journaled(&obls, &config, &Telemetry::null(), Some(&journal), None);
+    assert_eq!(first.failures, 1);
+    assert_eq!(first.timeouts, 1);
+    assert_eq!(first.passes, 1);
+    drop(journal);
+
+    let (journal, state) = Journal::resume(&path).unwrap();
+    assert_eq!(
+        state.completed.len(),
+        1,
+        "only the genuine check is settled"
+    );
+    assert!(state.completed.contains_key("relu/clean/conv"));
+
+    let (telemetry, buf) = Telemetry::buffer();
+    let second = run_campaign_journaled(&obls, &config, &telemetry, Some(&journal), Some(&state));
+    assert_eq!(second.replayed, 1);
+    assert_eq!(second.failures, 1, "the panic obligation re-ran");
+    assert_eq!(second.timeouts, 1, "the exhaust obligation re-ran");
+    let lines = buf.lines();
+    let count = |needle: &str| lines.iter().filter(|l| l.contains(needle)).count();
+    assert_eq!(count(r#""type":"job_replayed""#), 1);
+    assert!(
+        count(r#""job":"debug/panic","#) > 0,
+        "panic obligation must start"
+    );
+    assert!(
+        lines
+            .iter()
+            .any(|l| l.contains(r#""type":"job_start""#) && l.contains("debug/exhaust")),
+        "exhaust obligation must re-run, not replay"
+    );
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn memory_limited_solver_degrades_without_flipping_verdicts() {
+    // An impossible arena budget: every attempt stops with MemoryLimit,
+    // the runner sheds the session and retries cold at the base budget,
+    // and the obligation ends timeout-escalated — never a panic, never a
+    // wrong verdict.
+    let obls = vec![Obligation {
+        id: "debug/exhaust".to_string(),
+        design: "relu",
+        bug: None,
+        kind: ObligationKind::DebugExhaust,
+        expect_violation: None,
+    }];
+    let config = CampaignConfig {
+        jobs: 1,
+        base_budget: Some(50),
+        max_attempts: 2,
+        mem_limit: Some(1),
+        ..CampaignConfig::default()
+    };
+    let (telemetry, buf) = Telemetry::buffer();
+    let summary = run_campaign_journaled(&obls, &config, &telemetry, None, None);
+    assert_eq!(summary.timeouts, 1);
+    assert!(matches!(
+        summary.records[0].verdict,
+        JobVerdict::TimeoutEscalated { .. }
+    ));
+    let lines = buf.lines();
+    assert!(
+        lines.iter().any(
+            |l| l.contains(r#""type":"job_retry""#) && l.contains(r#""reason":"memory-limit""#)
+        ),
+        "expected a memory-limit retry, got: {lines:?}"
+    );
+
+    // With a sane budget the same campaign machinery still reaches real
+    // verdicts: memory limiting is plumbing, not policy.
+    let sane = CampaignConfig {
+        mem_limit: Some(64 << 20),
+        ..deterministic_config()
+    };
+    let obls = conv_obligations();
+    let unlimited = run_campaign_journaled(
+        &obls,
+        &deterministic_config(),
+        &Telemetry::null(),
+        None,
+        None,
+    );
+    let limited = run_campaign_journaled(&obls, &sane, &Telemetry::null(), None, None);
+    assert_eq!(limited.normalized_render(), unlimited.normalized_render());
+}

@@ -138,6 +138,14 @@ impl ClauseDb {
         map
     }
 
+    /// Releases the slot vector's spare capacity back to the allocator.
+    /// [`ClauseDb::compact`] truncates but deliberately keeps capacity for
+    /// steady-state reuse; emergency memory reclamation wants it gone,
+    /// since [`ClauseDb::arena_bytes`] counts capacity, not length.
+    pub(crate) fn shrink(&mut self) {
+        self.clauses.shrink_to_fit();
+    }
+
     pub(crate) fn bump_activity(&mut self, r: ClauseRef) {
         let inc = self.clause_inc;
         let c = self.get_mut(r);

@@ -33,6 +33,10 @@ pub enum SolveOutcome {
     Interrupted,
     /// The wall-clock deadline from [`Solver::set_deadline`] passed.
     DeadlineExpired,
+    /// The clause arena exceeded the byte budget from
+    /// [`Solver::set_memory_limit`] and emergency reclamation could not
+    /// bring it back under.
+    MemoryLimit,
 }
 
 impl SolveOutcome {
@@ -71,6 +75,9 @@ pub struct SolverStats {
     /// High-water mark of clause-arena bytes (slot vector + literal
     /// storage, tombstones included until compaction reclaims them).
     pub peak_arena_bytes: usize,
+    /// Number of emergency learnt-clause purges forced by the memory
+    /// limit ([`Solver::set_memory_limit`]).
+    pub emergency_reductions: u64,
 }
 
 #[derive(Clone, Copy, Debug)]
@@ -124,6 +131,8 @@ pub struct Solver {
     interrupt: Option<Arc<AtomicBool>>,
     /// Wall-clock deadline, polled during search when set.
     deadline: Option<Instant>,
+    /// Clause-arena byte budget, checked during search when set.
+    mem_limit: Option<usize>,
 }
 
 impl Default for Solver {
@@ -159,6 +168,7 @@ impl Solver {
             conflict_core: Vec::new(),
             interrupt: None,
             deadline: None,
+            mem_limit: None,
         }
     }
 
@@ -188,6 +198,60 @@ impl Solver {
     /// Removes the deadline installed with [`Solver::set_deadline`].
     pub fn clear_deadline(&mut self) {
         self.deadline = None;
+    }
+
+    /// Installs a clause-arena byte budget. When the arena grows past it
+    /// the search first performs an emergency reduction — purge every
+    /// unlocked non-binary learnt clause and compact the arena — and only
+    /// if that is not enough does [`Solver::solve_bounded`] stop with
+    /// [`SolveOutcome::MemoryLimit`]. Learnt clauses are redundant, so
+    /// the purge can slow the search down but never change a verdict.
+    pub fn set_memory_limit(&mut self, bytes: usize) {
+        self.mem_limit = Some(bytes);
+    }
+
+    /// Removes the budget installed with [`Solver::set_memory_limit`].
+    pub fn clear_memory_limit(&mut self) {
+        self.mem_limit = None;
+    }
+
+    /// Bytes currently held by the clause arena (slot vector plus literal
+    /// storage) — the quantity [`Solver::set_memory_limit`] bounds.
+    pub fn arena_bytes(&self) -> usize {
+        self.db.arena_bytes()
+    }
+
+    fn over_memory(&self) -> bool {
+        self.mem_limit
+            .is_some_and(|limit| self.db.arena_bytes() > limit)
+    }
+
+    /// Last-resort reclamation when the clause arena exceeds the memory
+    /// limit: backtrack to the root, drop every unlocked non-binary
+    /// learnt clause, compact the arena and release its spare capacity.
+    /// Far more aggressive than [`Solver::reduce_db`]; only search
+    /// strength is lost, never soundness.
+    fn emergency_reduce(&mut self) {
+        self.cancel_until(0);
+        let mut learnts = std::mem::take(&mut self.reduce_scratch);
+        self.db.learnt_refs_into(&mut learnts);
+        let locked = |s: &Self, r: ClauseRef| {
+            let l0 = s.db.get(r).lits[0];
+            s.value_lit(l0) == 1 && s.reason[l0.var().index()] == Some(r)
+        };
+        learnts.retain(|&r| !(self.db.get(r).len() == 2 || locked(self, r)));
+        for &r in &learnts {
+            let lits = self.db.get(r).lits.clone();
+            self.log_delete(&lits);
+            self.detach(r);
+            self.db.delete(r);
+            self.stats.deleted_clauses += 1;
+        }
+        learnts.clear();
+        self.reduce_scratch = learnts;
+        self.compact();
+        self.db.shrink();
+        self.stats.emergency_reductions += 1;
     }
 
     /// Polls the cooperative stop signals.
@@ -825,6 +889,12 @@ impl Solver {
         if let Some(stop) = self.poll_stop() {
             return stop;
         }
+        if self.over_memory() {
+            self.emergency_reduce();
+            if self.over_memory() {
+                return SolveOutcome::MemoryLimit;
+            }
+        }
         self.cancel_until(0);
         self.ensure_vars(assumptions);
         let assumps: Vec<Lit> = assumptions.iter().map(|&l| Lit::from_dimacs(l)).collect();
@@ -868,6 +938,16 @@ impl Solver {
                     if let Some(stop) = self.poll_stop() {
                         self.cancel_until(0);
                         return stop;
+                    }
+                    if self.over_memory() {
+                        // Reclamation backtracks to the root and relocates
+                        // the arena, invalidating the pending conflict —
+                        // restart the loop instead of analyzing it.
+                        self.emergency_reduce();
+                        if self.over_memory() {
+                            return SolveOutcome::MemoryLimit;
+                        }
+                        continue;
                     }
                 }
                 let (clause, bt, lbd) = self.analyze(confl);
@@ -949,9 +1029,23 @@ impl Solver {
                         steps_until_poll = steps_until_poll.saturating_sub(1);
                         if steps_until_poll == 0 {
                             steps_until_poll = 64;
+                            // Return the picked variable to the heap before
+                            // any early exit: backtracking only re-heaps
+                            // variables that were actually assigned, and a
+                            // var silently dropped here would never be
+                            // decided again.
                             if let Some(stop) = self.poll_stop() {
+                                self.heap.push(d.var().0, &self.activity);
                                 self.cancel_until(0);
                                 return stop;
+                            }
+                            if self.over_memory() {
+                                self.heap.push(d.var().0, &self.activity);
+                                self.emergency_reduce();
+                                if self.over_memory() {
+                                    return SolveOutcome::MemoryLimit;
+                                }
+                                continue;
                             }
                         }
                         self.new_decision_level();
@@ -1338,6 +1432,53 @@ mod tests {
         // for correctness too.
         s.compact();
         assert_eq!(run(&mut s), after);
+    }
+
+    #[test]
+    fn impossible_memory_limit_stops_without_flipping() {
+        // A limit below even the original clauses: emergency reduction has
+        // nothing to purge, so the search must stop with MemoryLimit — and
+        // once the limit is lifted the verdict is unchanged.
+        let mut s = Solver::new();
+        hard_pigeonhole(&mut s, 10);
+        assert!(s.arena_bytes() > 1);
+        s.set_memory_limit(1);
+        assert_eq!(s.solve_bounded(&[], u64::MAX), SolveOutcome::MemoryLimit);
+        assert!(s.stats().emergency_reductions >= 1);
+        s.clear_memory_limit();
+        assert_eq!(s.solve_bounded(&[], u64::MAX), SolveOutcome::Unsat);
+    }
+
+    #[test]
+    fn tight_memory_limit_delays_but_never_flips() {
+        // A limit with just a little headroom over the original clauses:
+        // the search repeatedly hits it mid-flight and purges its learnt
+        // clauses, but whatever it reports must never be Sat, and a later
+        // unlimited run still refutes the instance.
+        let mut s = Solver::new();
+        hard_pigeonhole(&mut s, 8);
+        s.set_memory_limit(s.arena_bytes() + 16 * 1024);
+        let out = s.solve_bounded(&[], 200_000);
+        assert_ne!(out, SolveOutcome::Sat, "memory pressure flipped a verdict");
+        assert!(
+            s.stats().emergency_reductions >= 1,
+            "the limit was never hit — headroom too generous for the test"
+        );
+        s.clear_memory_limit();
+        assert_eq!(s.solve_bounded(&[], u64::MAX), SolveOutcome::Unsat);
+    }
+
+    #[test]
+    fn memory_limit_with_headroom_still_solves() {
+        // A generous limit must not disturb an easy instance at all.
+        let mut s = Solver::new();
+        let (a, b) = (s.new_var(), s.new_var());
+        s.add_clause(&[a, b]);
+        s.add_clause(&[-a, b]);
+        s.set_memory_limit(64 * 1024 * 1024);
+        assert_eq!(s.solve_bounded(&[], u64::MAX), SolveOutcome::Sat);
+        assert!(s.value(b));
+        assert_eq!(s.stats().emergency_reductions, 0);
     }
 
     #[test]

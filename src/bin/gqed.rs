@@ -30,6 +30,20 @@
 //!                                   on clean designs
 //!      --cold                       disable the warm-start pipeline
 //!                                   (model cache + resumable sessions)
+//!      --journal <file>             crash-safe write-ahead journal of verdicts
+//!                                   (schema: EXPERIMENTS.md)
+//!      --resume <file>              resume from a journal: skip obligations
+//!                                   with settled verdicts, re-run the rest,
+//!                                   merge into one summary
+//!      --mem-limit <bytes[K|M|G]>   clause-arena byte budget per solver;
+//!                                   memory-stopped jobs retry cold
+//!      --summary-out <file>         write the normalized per-obligation
+//!                                   summary (stable across runs/resumes)
+//!
+//!      SIGINT/SIGTERM cancel the campaign gracefully: in-flight solvers
+//!      stop at the next poll, pending obligations drain as `cancelled`
+//!      with journal checkpoints, and the exit code is 130. A second
+//!      signal exits immediately.
 //! gqed bench [opts]                 cold-vs-warm pipeline benchmark
 //!      --quick                      small suite for the CI smoke step
 //!      --out <file>                 report path (default BENCH_pipeline.json)
@@ -366,9 +380,56 @@ fn cmd_prove(args: &[String]) {
     }
 }
 
+/// Parses a byte size with an optional `K`/`M`/`G` suffix (powers of
+/// 1024), e.g. `512M`.
+fn parse_size(v: &str) -> Option<usize> {
+    let (digits, shift) = match v.as_bytes().last()? {
+        b'K' | b'k' => (&v[..v.len() - 1], 10),
+        b'M' | b'm' => (&v[..v.len() - 1], 20),
+        b'G' | b'g' => (&v[..v.len() - 1], 30),
+        _ => (v, 0),
+    };
+    digits
+        .parse::<usize>()
+        .ok()
+        .and_then(|n| n.checked_shl(shift))
+}
+
+/// Raw SIGINT/SIGTERM handling (no libc dependency): the first signal
+/// sets a flag the campaign monitor polls; a second one exits
+/// immediately with the conventional interrupt code.
+#[cfg(unix)]
+mod signals {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    pub static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+        fn _exit(code: i32) -> !;
+    }
+
+    extern "C" fn on_signal(_sig: i32) {
+        if SHUTDOWN.swap(true, Ordering::Relaxed) {
+            // Second signal: the user really means it.
+            unsafe { _exit(130) }
+        }
+    }
+
+    /// Installs the graceful handler for SIGINT (2) and SIGTERM (15).
+    pub fn install() {
+        let handler = on_signal as extern "C" fn(i32) as usize;
+        unsafe {
+            signal(2, handler);
+            signal(15, handler);
+        }
+    }
+}
+
 fn cmd_campaign(args: &[String]) {
     use gqed::campaign::{
-        enumerate_obligations, run_campaign, CampaignConfig, FlowFilter, Telemetry,
+        enumerate_obligations, manifest_crc, run_campaign_journaled, CampaignConfig, FlowFilter,
+        Journal, Telemetry,
     };
 
     let designs: Vec<String> = args
@@ -385,6 +446,10 @@ fn cmd_campaign(args: &[String]) {
                             | "--max-attempts"
                             | "--telemetry"
                             | "--flow"
+                            | "--journal"
+                            | "--resume"
+                            | "--mem-limit"
+                            | "--summary-out"
                     )
                 )
         })
@@ -395,6 +460,7 @@ fn cmd_campaign(args: &[String]) {
             "usage: gqed campaign [<design>…|--all] [--jobs n] [--deadline-ms m] [--budget c]"
         );
         eprintln!("                     [--max-attempts n] [--telemetry file] [--flow gqed,aqed,conv] [--no-race]");
+        eprintln!("                     [--journal file] [--resume file] [--mem-limit bytes[K|M|G]] [--summary-out file]");
         exit(2);
     }
     for name in &designs {
@@ -431,6 +497,13 @@ fn cmd_campaign(args: &[String]) {
             })
         })
     }
+    let mem_limit = flag_value(args, "--mem-limit").map(|v| {
+        parse_size(v).unwrap_or_else(|| {
+            eprintln!("bad --mem-limit '{v}' (expected bytes with optional K/M/G suffix)");
+            exit(2);
+        })
+    });
+    let interrupt = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
     let config = CampaignConfig {
         jobs: parse_flag(args, "--jobs").unwrap_or(1),
         deadline_ms: parse_flag(args, "--deadline-ms"),
@@ -438,6 +511,8 @@ fn cmd_campaign(args: &[String]) {
         max_attempts: parse_flag(args, "--max-attempts").unwrap_or(4),
         race_clean: !has_flag(args, "--no-race"),
         warm_start: !has_flag(args, "--cold"),
+        mem_limit,
+        interrupt: Some(std::sync::Arc::clone(&interrupt)),
     };
     let telemetry = match flag_value(args, "--telemetry") {
         Some(path) => Telemetry::file(std::path::Path::new(path)).unwrap_or_else(|e| {
@@ -448,12 +523,83 @@ fn cmd_campaign(args: &[String]) {
     };
 
     let obligations = enumerate_obligations(flows, &designs);
+
+    // Crash-safe journaling: --resume replays (and truncates) an existing
+    // journal and keeps appending to it; --journal starts a fresh one.
+    if flag_value(args, "--journal").is_some() && flag_value(args, "--resume").is_some() {
+        eprintln!("--journal and --resume are mutually exclusive (resume appends to its journal)");
+        exit(2);
+    }
+    let (journal, resume) = if let Some(path) = flag_value(args, "--resume") {
+        let (journal, state) = Journal::resume(std::path::Path::new(path)).unwrap_or_else(|e| {
+            eprintln!("cannot resume journal {path}: {e}");
+            exit(1);
+        });
+        match state.manifest_crc {
+            Some(crc) if crc == manifest_crc(&obligations) => {}
+            Some(_) => {
+                eprintln!(
+                    "journal {path} belongs to a different obligation set (manifest mismatch); \
+                     re-run with the original designs/flows"
+                );
+                exit(2);
+            }
+            None => {
+                eprintln!("journal {path} has no campaign_start record; cannot verify manifest");
+                exit(2);
+            }
+        }
+        eprintln!(
+            "resuming: {} of {} obligations already settled",
+            state.completed.len(),
+            obligations.len()
+        );
+        (Some(journal), Some(state))
+    } else if let Some(path) = flag_value(args, "--journal") {
+        let journal = Journal::create(std::path::Path::new(path)).unwrap_or_else(|e| {
+            eprintln!("cannot create journal {path}: {e}");
+            exit(1);
+        });
+        (Some(journal), None)
+    } else {
+        (None, None)
+    };
+
+    // Graceful shutdown: forward SIGINT/SIGTERM into the campaign's
+    // cooperative interrupt flag.
+    #[cfg(unix)]
+    {
+        signals::install();
+        let flag = std::sync::Arc::clone(&interrupt);
+        std::thread::spawn(move || loop {
+            if signals::SHUTDOWN.load(std::sync::atomic::Ordering::Relaxed) {
+                eprintln!("interrupt received; checkpointing and shutting down…");
+                flag.store(true, std::sync::atomic::Ordering::Relaxed);
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(25));
+        });
+    }
+
     eprintln!(
         "campaign: {} obligations, {} worker(s)…",
         obligations.len(),
         config.jobs.max(1)
     );
-    let summary = run_campaign(&obligations, &config, &telemetry);
+    let summary = run_campaign_journaled(
+        &obligations,
+        &config,
+        &telemetry,
+        journal.as_ref(),
+        resume.as_ref(),
+    );
+
+    if let Some(path) = flag_value(args, "--summary-out") {
+        std::fs::write(path, summary.normalized_render()).unwrap_or_else(|e| {
+            eprintln!("cannot write summary file {path}: {e}");
+            exit(1);
+        });
+    }
 
     println!(
         "{:34} {:8} {:44} {:>3} {:>10}  engine",
@@ -472,7 +618,7 @@ fn cmd_campaign(args: &[String]) {
         );
     }
     println!(
-        "\n{} obligations in {:.2?} on {} worker(s): {} violations, {} passes, {} unknown, {} timeouts, {} failures, {} mismatches",
+        "\n{} obligations in {:.2?} on {} worker(s): {} violations, {} passes, {} unknown, {} timeouts, {} failures, {} cancelled, {} replayed, {} mismatches",
         summary.records.len(),
         summary.wall,
         summary.jobs,
@@ -481,6 +627,8 @@ fn cmd_campaign(args: &[String]) {
         summary.unknowns,
         summary.timeouts,
         summary.failures,
+        summary.cancelled,
+        summary.replayed,
         summary.mismatches
     );
     exit(summary.exit_code());
