@@ -7,7 +7,7 @@
 //! sweep is the table binary's job).
 
 use gqed_bench::tables::{render_table2, render_table2_with};
-use gqed_campaign::{CampaignConfig, Telemetry};
+use gqed_campaign::{CampaignConfig, EngineId, Telemetry};
 
 #[test]
 fn table2_bytes_identical_across_worker_counts() {
@@ -34,7 +34,7 @@ fn table2_bytes_identical_under_forced_escalation() {
         deadline_ms: None,
         base_budget: Some(600),
         max_attempts: 16,
-        race_clean: false,
+        engines: vec![EngineId::Bmc],
         warm_start: true,
         ..CampaignConfig::default()
     };

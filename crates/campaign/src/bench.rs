@@ -13,11 +13,21 @@
 //! queries each pipeline issued. A warm pipeline never re-solves an
 //! already-verified frame, so `warm ≤ cold` must hold structurally; a
 //! violation of that inequality means the resume path re-did work.
+//!
+//! The report also carries a [`PdrProbe`]: deterministic IC3/PDR effort
+//! counters (blocked cubes, CTIs, frames, queries) from a fixed
+//! non-inductive fixture, gated so the engine can neither lose the proof
+//! nor drift past the portfolio's query cap without failing CI.
 
 use crate::json::JsonValue;
 use crate::obligation::{enumerate_obligations, FlowFilter, Obligation};
+use crate::portfolio::{EngineId, PDR_QUERY_CAP};
 use crate::runner::{run_campaign, CampaignConfig, CampaignSummary};
 use crate::telemetry::Telemetry;
+use gqed_bmc::BmcLimits;
+use gqed_core::{build_model, CheckKind};
+use gqed_ha::all_designs;
+use gqed_pdr::{prove_pdr_limited, PdrOptions, PdrVerdict};
 use std::time::Duration;
 
 /// Designs in the bench suite. `--quick` keeps one cheap design so the
@@ -54,7 +64,7 @@ pub fn bench_config(warm_start: bool) -> CampaignConfig {
         deadline_ms: None,
         base_budget: Some(600),
         max_attempts: 16,
-        race_clean: false,
+        engines: vec![EngineId::Bmc],
         warm_start,
         ..CampaignConfig::default()
     }
@@ -146,6 +156,126 @@ impl BenchRun {
     }
 }
 
+/// Fixture design of the deterministic PDR probe.
+const PDR_PROBE_DESIGN: &str = "bitflip";
+/// Fixture property of the deterministic PDR probe (looked up by name,
+/// so catalogue reordering cannot silently change what is measured).
+const PDR_PROBE_PROPERTY: &str = "flow.orphan.c1";
+
+/// Deterministic IC3/PDR effort metrics on a fixed fixture, for the
+/// regression gate.
+///
+/// The probe runs [`prove_pdr_limited`] on one G-QED property of the
+/// seeded PDR-win design — the property is cheap (≲0.3 s) but genuinely
+/// non-inductive, so the engine exercises its full CTI/blocking/
+/// generalization/propagation loop. Every counter here is an exact
+/// function of the model (single thread, no randomness, no wall-clock
+/// cutoffs), so any change between runs is a real change in the encoding
+/// or the engine's heuristics, never CI noise — unlike the wall-clock
+/// columns of the pipeline comparison.
+#[derive(Clone, Debug)]
+pub struct PdrProbe {
+    /// Fixture design name ([`PDR_PROBE_DESIGN`]).
+    pub fixture: &'static str,
+    /// Fixture property name ([`PDR_PROBE_PROPERTY`]).
+    pub property: &'static str,
+    /// Whether PDR proved the property (the gate requires it).
+    pub proven: bool,
+    /// Frame at which the inductive invariant closed.
+    pub frames: u32,
+    /// Counterexamples-to-induction extracted.
+    pub ctis: u64,
+    /// Cubes blocked into frames.
+    pub blocked_cubes: u64,
+    /// Literals dropped by failed-assumptions generalization.
+    pub generalize_drops: u64,
+    /// Clauses pushed forward during propagation.
+    pub propagated: u64,
+    /// Total SAT queries (gated against [`PDR_QUERY_CAP`]).
+    pub queries: u64,
+    /// Final-invariant re-check failures (must be 0).
+    pub recheck_failures: u64,
+}
+
+/// Runs the deterministic PDR probe on the fixed fixture.
+pub fn run_pdr_probe() -> PdrProbe {
+    let entry = all_designs()
+        .into_iter()
+        .find(|e| e.name == PDR_PROBE_DESIGN)
+        .expect("PDR probe fixture design exists in the catalogue");
+    let model = build_model(&entry.build_clean(), CheckKind::GQed);
+    let bad = model
+        .ts
+        .bads
+        .iter()
+        .position(|b| b.name == PDR_PROBE_PROPERTY)
+        .expect("PDR probe fixture property exists in the G-QED model");
+    let opts = PdrOptions {
+        max_queries: Some(PDR_QUERY_CAP),
+        ..PdrOptions::default()
+    };
+    let out = prove_pdr_limited(&model.ctx, &model.ts, bad, &opts, &BmcLimits::default());
+    let (proven, frames) = match out.verdict {
+        PdrVerdict::Proven { frames, .. } => (true, frames),
+        _ => (false, out.stats.frames),
+    };
+    PdrProbe {
+        fixture: PDR_PROBE_DESIGN,
+        property: PDR_PROBE_PROPERTY,
+        proven,
+        frames,
+        ctis: out.stats.ctis,
+        blocked_cubes: out.stats.blocked_cubes,
+        generalize_drops: out.stats.generalize_drops,
+        propagated: out.stats.propagated,
+        queries: out.stats.queries,
+        recheck_failures: out.stats.recheck_failures,
+    }
+}
+
+impl PdrProbe {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::obj()
+            .field("fixture", self.fixture)
+            .field("property", self.property)
+            .field("proven", self.proven)
+            .field("frames", self.frames)
+            .field("ctis", self.ctis)
+            .field("blocked_cubes", self.blocked_cubes)
+            .field("generalize_drops", self.generalize_drops)
+            .field("propagated", self.propagated)
+            .field("queries", self.queries)
+            .field("query_cap", PDR_QUERY_CAP)
+            .field("recheck_failures", self.recheck_failures)
+    }
+
+    /// `Some(reason)` when the probe shows the engine regressed: the
+    /// fixture stopped proving, the final invariant failed its
+    /// independent re-check, or the query count crossed the portfolio
+    /// cap (the fixture would start burning the cap in every campaign).
+    fn regression(&self) -> Option<String> {
+        if !self.proven {
+            return Some(format!(
+                "PDR probe no longer proves {}/{} (frames reached: {})",
+                self.fixture, self.property, self.frames
+            ));
+        }
+        if self.recheck_failures > 0 {
+            return Some(format!(
+                "PDR probe invariant failed independent re-check {} time(s)",
+                self.recheck_failures
+            ));
+        }
+        if self.queries > PDR_QUERY_CAP {
+            return Some(format!(
+                "PDR probe exceeded the portfolio query cap ({} > {})",
+                self.queries, PDR_QUERY_CAP
+            ));
+        }
+        None
+    }
+}
+
 /// The full cold-vs-warm comparison (`BENCH_pipeline.json`).
 #[derive(Clone, Debug)]
 pub struct BenchReport {
@@ -161,6 +291,8 @@ pub struct BenchReport {
     pub cold: BenchRun,
     /// The warm-pipeline run.
     pub warm: BenchRun,
+    /// The deterministic PDR effort probe.
+    pub pdr: PdrProbe,
 }
 
 impl BenchReport {
@@ -174,6 +306,7 @@ impl BenchReport {
             .field("max_attempts", self.max_attempts)
             .field("cold", self.cold.to_json())
             .field("warm", self.warm.to_json())
+            .field("pdr", self.pdr.to_json())
             .field(
                 "frames_saved",
                 self.cold
@@ -210,7 +343,7 @@ impl BenchReport {
                 ));
             }
         }
-        None
+        self.pdr.regression()
     }
 }
 
@@ -230,6 +363,7 @@ pub fn run_bench(quick: bool, telemetry: &Telemetry) -> BenchReport {
         max_attempts: cold_cfg.max_attempts,
         cold: BenchRun::from_summary("cold", &cold),
         warm: BenchRun::from_summary("warm", &warm),
+        pdr: run_pdr_probe(),
     }
 }
 
@@ -268,5 +402,20 @@ mod tests {
         assert_eq!(report.warm.timeouts, 0, "warm run timed out: {report:?}");
         let json = report.to_json().render();
         assert!(is_valid_json(&json), "bad bench JSON: {json}");
+    }
+
+    #[test]
+    fn pdr_probe_proves_deterministically_within_cap() {
+        let a = run_pdr_probe();
+        assert!(a.regression().is_none(), "probe regressed: {a:?}");
+        // The fixture must be genuinely non-inductive work, not a
+        // degenerate instant proof — otherwise the counters gate nothing.
+        assert!(a.frames > 1, "fixture proved without a frame ladder: {a:?}");
+        assert!(a.ctis > 0 && a.blocked_cubes > 0, "no blocking work: {a:?}");
+        // Exact reproducibility: the probe is the one bench metric CI may
+        // compare as a number, so two in-process runs must agree bit for
+        // bit.
+        let b = run_pdr_probe();
+        assert_eq!(format!("{a:?}"), format!("{b:?}"));
     }
 }

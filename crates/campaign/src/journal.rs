@@ -310,7 +310,7 @@ pub struct ReplayedRecord {
     pub verdict: JobVerdict,
     /// Attempts the original run made.
     pub attempts: u32,
-    /// Which engine produced the verdict: `bmc`, `kind`, or `-`.
+    /// Which engine produced the verdict: `bmc`, `kind`, `pdr`, or `-`.
     pub engine: &'static str,
     /// Per-frame BMC queries the original run solved for this obligation.
     pub frames_solved: u64,
@@ -394,6 +394,7 @@ fn replay_verdict(r: &JsonValue) -> Option<ReplayedRecord> {
     let engine = match r.get("engine").and_then(JsonValue::as_str) {
         Some("bmc") => "bmc",
         Some("kind") => "kind",
+        Some("pdr") => "pdr",
         _ => "-",
     };
     Some(ReplayedRecord {

@@ -6,9 +6,10 @@
 //! This crate enumerates those obligations into a shared work queue, runs
 //! them on a `std::thread` worker pool with per-job wall-clock deadlines and
 //! conflict budgets, escalates budgets Luby-style on timeout, isolates
-//! panicking jobs with `catch_unwind`, races BMC against k-induction on
-//! clean designs under a cooperative cancellation flag, and records
-//! everything as JSONL telemetry.
+//! panicking jobs with `catch_unwind`, races an engine [`portfolio`]
+//! (bounded BMC, k-induction, IC3/PDR) on clean designs under a
+//! cooperative cancellation flag, and records everything as JSONL
+//! telemetry.
 //!
 //! Campaigns are additionally *crash-safe*: the [`journal`] module keeps
 //! an append-only write-ahead journal of verdicts and escalation attempts
@@ -22,16 +23,18 @@ pub mod bench;
 pub mod journal;
 pub mod json;
 pub mod obligation;
+pub mod portfolio;
 pub mod runner;
 pub mod telemetry;
 
-pub use bench::{run_bench, BenchReport, BenchRun};
+pub use bench::{run_bench, run_pdr_probe, BenchReport, BenchRun, PdrProbe};
 pub use journal::{
     crc32, manifest_crc, read_journal, FaultPlan, Journal, JournalReplay, ReplayedRecord,
     ResumeState, WriteFault,
 };
 pub use json::{is_valid_json, parse_json, JsonValue};
 pub use obligation::{enumerate_obligations, FlowFilter, Obligation, ObligationKind};
+pub use portfolio::{default_portfolio, EngineId, PDR_QUERY_CAP};
 pub use runner::{
     run_campaign, run_campaign_journaled, CampaignConfig, CampaignSummary, JobRecord, JobVerdict,
 };

@@ -8,12 +8,16 @@
 //! `timeout-escalated`. Panicking jobs are isolated with `catch_unwind`
 //! and recorded as `failed`; neither ever takes the campaign down.
 //!
-//! Clean-design proof obligations race a bounded BMC engine against a
-//! k-induction prover: both run concurrently sharing one cancellation
+//! Clean-design proof obligations run an N-way engine *portfolio*
+//! ([`CampaignConfig::engines`]): bounded BMC, k-induction and IC3/PDR
+//! run concurrently sharing one prebuilt model and one cancellation
 //! flag, and the first engine to reach a *conclusive* result raises the
-//! flag, interrupting the other mid-search. An inconclusive k-induction
-//! outcome (`Unknown`) does not cancel the BMC side — a bounded-clean
-//! certificate is still worth waiting for.
+//! flag, interrupting the others mid-search. An inconclusive outcome
+//! (`Unknown`) drops that engine out without cancelling the race — a
+//! bounded-clean certificate from the BMC side is still worth waiting
+//! for. When the portfolio is exactly `[bmc]` the obligation runs on the
+//! plain session path instead (fully deterministic certificates, used by
+//! the table generators and the bench).
 //!
 //! Three robustness mechanisms wrap the queue (all optional):
 //!
@@ -34,11 +38,13 @@
 use crate::journal::{Journal, ResumeState};
 use crate::json::JsonValue;
 use crate::obligation::{Obligation, ObligationKind};
+use crate::portfolio::{default_portfolio, EngineId, PDR_QUERY_CAP};
 use crate::telemetry::Telemetry;
-use gqed_bmc::{BmcLimits, BmcStats, StopReason};
+use gqed_bmc::{BmcEngine, BmcLimits, BmcStats, StopReason};
 use gqed_core::{build_model, CheckKind, CheckSession, CheckStatus, ModelCache, ModelKey, Verdict};
 use gqed_ha::{all_designs, Design};
 use gqed_ir::Model;
+use gqed_pdr::{prove_pdr_limited, PdrOptions, PdrStats, PdrVerdict};
 use gqed_sat::{luby, SolveOutcome, Solver};
 use std::collections::{HashMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -59,10 +65,12 @@ pub struct CampaignConfig {
     pub base_budget: Option<u64>,
     /// Attempts before an obligation is recorded as timeout-escalated.
     pub max_attempts: u32,
-    /// Race BMC against k-induction on clean-design proof obligations.
-    /// Off = BMC only (fully deterministic certificates, used by the
-    /// table generators).
-    pub race_clean: bool,
+    /// Proof engines raced on clean-design proof obligations (see
+    /// [`crate::portfolio`]). `[EngineId::Bmc]` alone selects the plain
+    /// deterministic session path with no racing (fully deterministic
+    /// certificates, used by the table generators); an empty list is
+    /// treated the same way.
+    pub engines: Vec<EngineId>,
     /// Warm-start pipeline: share synthesized models across a design's
     /// obligations through a [`ModelCache`], and keep the live
     /// [`CheckSession`] of a budget/deadline-stopped obligation so its
@@ -90,7 +98,7 @@ impl Default for CampaignConfig {
             deadline_ms: None,
             base_budget: None,
             max_attempts: 4,
-            race_clean: true,
+            engines: default_portfolio(),
             warm_start: true,
             mem_limit: None,
             interrupt: None,
@@ -199,12 +207,15 @@ pub struct JobRecord {
     pub attempts: u32,
     /// Total wall-clock across all attempts.
     pub wall: Duration,
-    /// Which engine produced the verdict: `bmc`, `kind`, or `-`.
+    /// Which engine produced the verdict: `bmc`, `kind`, `pdr`, or `-`.
     pub engine: &'static str,
     /// BMC engine statistics of the deciding run, when available. CNF
     /// sizes are cumulative over the incremental unrolling, so
     /// `cnf_clauses`/`cnf_vars` are the peak encoding size.
     pub stats: Option<BmcStats>,
+    /// Aggregate PDR statistics across the obligation's properties, when
+    /// the portfolio fielded the PDR engine on this obligation.
+    pub pdr_stats: Option<PdrStats>,
     /// Total per-frame BMC queries solved across *all* attempts of this
     /// obligation. Cold restarts re-solve every frame from zero on each
     /// retry; warm resumes do not — this is the deterministic metric the
@@ -250,6 +261,12 @@ pub struct CampaignSummary {
     /// Total per-frame BMC queries solved across all obligations and
     /// attempts (see [`JobRecord::frames_solved`]).
     pub frames_solved: u64,
+    /// Verdicts won by the bounded BMC engine.
+    pub wins_bmc: usize,
+    /// Verdicts won by the k-induction engine.
+    pub wins_kind: usize,
+    /// Verdicts won by the IC3/PDR engine.
+    pub wins_pdr: usize,
 }
 
 impl CampaignSummary {
@@ -275,6 +292,12 @@ impl CampaignSummary {
     /// verdict. A resumed campaign's merged summary renders
     /// byte-identically to an uninterrupted run's — the crash-recovery
     /// test and the CI kill-and-resume smoke job diff exactly this.
+    ///
+    /// The winning engine is deliberately absent: which portfolio member
+    /// certifies a pass is a latency race (an interrupted-and-resumed run
+    /// may crown a different winner than an uninterrupted one), so engine
+    /// attribution lives in the summary's `wins_*` counters, the CLI
+    /// footer and telemetry — never in the byte-compared render.
     pub fn normalized_render(&self) -> String {
         let mut out = String::new();
         for r in &self.records {
@@ -292,9 +315,17 @@ impl CampaignSummary {
     }
 }
 
-/// Result of one attempt at one obligation.
+/// Result of one attempt at one obligation: the verdict, the BMC side's
+/// solver statistics (when a BMC session ran), the winning engine's name
+/// ("bmc", "kind", "pdr", or "-"), and the PDR side's statistics (when a
+/// PDR side ran, regardless of which engine won).
 enum AttemptResult {
-    Verdict(JobVerdict, Option<BmcStats>, &'static str),
+    Verdict(
+        JobVerdict,
+        Option<BmcStats>,
+        &'static str,
+        Option<Box<PdrStats>>,
+    ),
     Stopped(StopReason),
 }
 
@@ -405,6 +436,7 @@ pub fn run_campaign_journaled(
                     wall: Duration::from_millis(rr.wall_ms),
                     engine: rr.engine,
                     stats: None,
+                    pdr_stats: None,
                     frames_solved: rr.frames_solved,
                     mismatch,
                 });
@@ -476,9 +508,18 @@ pub fn run_campaign_journaled(
         encoding_cache_misses: shared.cache.misses(),
         session_resumes: shared.session_resumes.load(Ordering::Relaxed),
         frames_solved: records.iter().map(|r| r.frames_solved).sum(),
+        wins_bmc: 0,
+        wins_kind: 0,
+        wins_pdr: 0,
         records: Vec::new(),
     };
     for r in &records {
+        match r.engine {
+            "bmc" => summary.wins_bmc += 1,
+            "kind" => summary.wins_kind += 1,
+            "pdr" => summary.wins_pdr += 1,
+            _ => {}
+        }
         match &r.verdict {
             JobVerdict::Violation { .. } => summary.violations += 1,
             JobVerdict::Clean { .. } | JobVerdict::Proven { .. } => summary.passes += 1,
@@ -510,6 +551,9 @@ pub fn run_campaign_journaled(
             .field("encoding_cache_misses", summary.encoding_cache_misses)
             .field("session_resumes", summary.session_resumes)
             .field("frames_solved", summary.frames_solved)
+            .field("wins_bmc", summary.wins_bmc)
+            .field("wins_kind", summary.wins_kind)
+            .field("wins_pdr", summary.wins_pdr)
             .field(
                 "journal_faults",
                 shared.journal_faults.load(Ordering::Relaxed),
@@ -637,7 +681,8 @@ fn worker(shared: &Shared) {
 
         let mut requeue = false;
         match outcome {
-            Ok((AttemptResult::Verdict(verdict, stats, engine), frames)) => {
+            Ok((AttemptResult::Verdict(verdict, stats, engine, pdr_stats), frames)) => {
+                let pdr_stats = pdr_stats.map(|b| *b);
                 let total_frames = add_frames(frames);
                 if shared.cancel.load(Ordering::Relaxed)
                     && matches!(verdict, JobVerdict::Unknown { .. })
@@ -658,6 +703,7 @@ fn worker(shared: &Shared) {
                         total_wall,
                         engine,
                         stats,
+                        pdr_stats,
                         total_frames,
                     );
                 }
@@ -734,6 +780,7 @@ fn worker(shared: &Shared) {
                         total_wall,
                         "-",
                         None,
+                        None,
                         total_frames,
                     );
                 }
@@ -748,6 +795,7 @@ fn worker(shared: &Shared) {
                     attempt,
                     total_wall,
                     "-",
+                    None,
                     None,
                     total_frames,
                 );
@@ -791,6 +839,7 @@ fn cancel_job(
         wall,
         "-",
         None,
+        None,
         frames,
     );
 }
@@ -829,6 +878,7 @@ fn finish(
     wall: Duration,
     engine: &'static str,
     stats: Option<BmcStats>,
+    pdr_stats: Option<PdrStats>,
     frames_solved: u64,
 ) {
     let obl = &shared.obligations[index];
@@ -843,6 +893,7 @@ fn finish(
         .field("attempts", attempts)
         .field("wall_ms", wall.as_millis() as u64)
         .field("engine", engine)
+        .field("proof_engine", engine)
         .field("mismatch", mismatch)
         .field("frames_solved", frames_solved);
     ev = match &verdict {
@@ -868,6 +919,16 @@ fn finish(
             .field("restarts", s.solver.restarts)
             .field("bmc_wall_ms", s.wall.as_millis() as u64);
     }
+    if let Some(p) = &pdr_stats {
+        ev = ev
+            .field("pdr_frames", p.frames)
+            .field("pdr_ctis", p.ctis)
+            .field("pdr_blocked_cubes", p.blocked_cubes)
+            .field("pdr_generalize_drops", p.generalize_drops)
+            .field("pdr_propagated", p.propagated)
+            .field("pdr_queries", p.queries)
+            .field("pdr_conflicts", p.solver.conflicts);
+    }
     shared.telemetry.emit(&ev);
 
     // The journal's verdict record carries exactly the fields
@@ -879,6 +940,7 @@ fn finish(
         .field("verdict", verdict.tag())
         .field("attempts", attempts)
         .field("engine", engine)
+        .field("proof_engine", engine)
         .field("frames_solved", frames_solved)
         .field("wall_ms", wall.as_millis() as u64)
         .field("mismatch", mismatch);
@@ -901,6 +963,7 @@ fn finish(
         wall,
         engine,
         stats,
+        pdr_stats,
         frames_solved,
         mismatch,
     };
@@ -961,18 +1024,20 @@ fn run_attempt(
             run_session_check(obl, *kind, *bound, limits, config, cache, session_slot)
         }
         ObligationKind::ProveClean { bound, max_k } => {
-            if config.race_clean {
+            if config.engines.iter().any(|e| *e != EngineId::Bmc) {
                 let model = resolve_model(obl, CheckKind::GQed, config, cache);
                 let session = session_slot.take().unwrap_or_else(|| {
                     CheckSession::new(CheckKind::GQed, *bound, Arc::clone(&model))
                 });
                 let before = session.frame_queries();
-                let (result, session) = race_prove_clean(&model, session, *max_k, limits);
+                let (result, session) =
+                    portfolio_prove_clean(&model, session, *max_k, limits, &config.engines);
                 let frames = session.frame_queries() - before;
                 *session_slot = Some(session);
                 (result, frames)
             } else {
-                // Deterministic single-engine path: bounded BMC only.
+                // `--engines bmc` (or an empty list): the deterministic
+                // single-engine path, bounded BMC only.
                 run_session_check(
                     obl,
                     CheckKind::GQed,
@@ -1018,38 +1083,55 @@ fn run_session_check(
                 }
                 Verdict::CleanUpTo(b) => JobVerdict::Clean { bound: b },
             };
-            AttemptResult::Verdict(verdict, Some(o.stats), "bmc")
+            AttemptResult::Verdict(verdict, Some(o.stats), "bmc", None)
         }
         CheckStatus::Stopped { reason, .. } => AttemptResult::Stopped(reason),
     };
     (result, frames)
 }
 
-/// What the k-induction side of a clean-design race concluded.
-enum KindSide {
+/// Unwraps a joined side thread, propagating its panic to the caller
+/// (the worker's `catch_unwind` turns it into a `Failed` verdict).
+fn join_side<T>(r: std::thread::Result<T>) -> T {
+    match r {
+        Ok(v) => v,
+        Err(p) => std::panic::resume_unwind(p),
+    }
+}
+
+/// What an auxiliary (non-BMC) portfolio side concluded.
+enum AuxSide {
     Violation { property: String, cycles: usize },
     Proven { k: u32 },
     Unknown { max_k: u32 },
     Stopped(StopReason),
 }
 
-/// First-verdict-wins race of bounded BMC against k-induction over the
-/// clean design's G-QED properties. Both engines share one cancellation
-/// flag through [`gqed_sat::Solver::set_interrupt`]; the first side to
-/// reach a conclusive verdict raises it and the loser unwinds at its next
-/// poll. A `KindSide::Unknown` outcome is inconclusive and does NOT
-/// cancel the BMC side.
+/// First-proof-wins portfolio of engine sides over the clean design's
+/// G-QED properties, selected by `engines`: bounded BMC (the caller's
+/// possibly-resumed [`CheckSession`]), k-induction, and IC3/PDR. All
+/// sides share one prebuilt [`Model`] — none re-runs wrapper synthesis —
+/// and one cancellation flag wired through
+/// [`gqed_sat::Solver::set_interrupt`].
 ///
-/// Both sides work off the same prebuilt [`Model`]: the BMC side runs the
-/// caller's (possibly resumed) [`CheckSession`], the k-induction side
-/// proves directly on the shared transition system — neither re-runs
-/// wrapper synthesis. The session is always handed back so a stopped
-/// attempt's retry resumes mid-unrolling.
-fn race_prove_clean(
+/// Cancellation is asymmetric, per the portfolio contract: a side raises
+/// the flag only on a verdict that *settles* the obligation — a
+/// violation from any side, or a proof (`Proven`) from an auxiliary
+/// side. A bounded `Clean` from the BMC side does NOT cancel: it is a
+/// certificate only up to the bound, and a still-running prover may yet
+/// upgrade it to `Proven`. An `Unknown` side simply drops out.
+///
+/// The merge is deterministic given the sides' outcomes (which are
+/// themselves deterministic under the PDR query cap): violations first,
+/// then proofs in the fixed order [kind, pdr], then the bounded
+/// certificate, then stop reasons. The session is always handed back so
+/// a stopped attempt's retry resumes mid-unrolling.
+fn portfolio_prove_clean(
     model: &Arc<Model>,
-    mut session: CheckSession,
+    session: CheckSession,
     max_k: u32,
     limits: &BmcLimits,
+    engines: &[EngineId],
 ) -> (AttemptResult, CheckSession) {
     let cancel = Arc::new(AtomicBool::new(false));
     let side_limits = BmcLimits {
@@ -1058,29 +1140,52 @@ fn race_prove_clean(
         interrupt: Some(Arc::clone(&cancel)),
         mem_limit: limits.mem_limit,
     };
+    let has = |e: EngineId| engines.contains(&e);
 
-    let (bmc_out, kind_out) = std::thread::scope(|s| {
-        let bmc_limits = side_limits.clone();
-        let bmc_cancel = Arc::clone(&cancel);
-        let bmc = s.spawn(move || {
-            let r = session.run(&bmc_limits);
-            if matches!(r, CheckStatus::Done(_)) {
-                bmc_cancel.store(true, Ordering::Relaxed);
-            }
-            (r, session)
+    let ((bmc_status, session), kind_out, pdr_out) = std::thread::scope(|s| {
+        let bmc = if has(EngineId::Bmc) {
+            let bmc_limits = side_limits.clone();
+            let bmc_cancel = Arc::clone(&cancel);
+            let mut session = session;
+            Ok(s.spawn(move || {
+                let r = session.run(&bmc_limits);
+                // Only a violation settles the obligation; a bounded
+                // Clean must wait for the provers.
+                if matches!(&r, CheckStatus::Done(o)
+                    if matches!(o.verdict, Verdict::Violation { .. }))
+                {
+                    bmc_cancel.store(true, Ordering::Relaxed);
+                }
+                (r, session)
+            }))
+        } else {
+            Err(session)
+        };
+        let kind = has(EngineId::KInduction).then(|| {
+            let kind_limits = side_limits.clone();
+            let kind_cancel = Arc::clone(&cancel);
+            s.spawn(move || {
+                let r = run_kind_side(model, max_k, &kind_limits);
+                if matches!(r, AuxSide::Violation { .. } | AuxSide::Proven { .. }) {
+                    kind_cancel.store(true, Ordering::Relaxed);
+                }
+                r
+            })
         });
-        let kind_limits = side_limits.clone();
-        let kind_cancel = Arc::clone(&cancel);
-        let kind = s.spawn(move || {
-            let r = run_kind_side(model, max_k, &kind_limits);
-            if matches!(r, KindSide::Violation { .. } | KindSide::Proven { .. }) {
-                kind_cancel.store(true, Ordering::Relaxed);
-            }
-            r
+        let pdr = has(EngineId::Pdr).then(|| {
+            let pdr_limits = side_limits.clone();
+            let pdr_cancel = Arc::clone(&cancel);
+            s.spawn(move || {
+                let r = run_pdr_side(model, &pdr_limits);
+                if matches!(r.0, AuxSide::Violation { .. } | AuxSide::Proven { .. }) {
+                    pdr_cancel.store(true, Ordering::Relaxed);
+                }
+                r
+            })
         });
-        // The race replaces the caller's interrupt with its own flag, so
-        // a campaign-wide shutdown must be forwarded into the race or
-        // both sides would run to their budgets oblivious of it.
+        // The portfolio replaces the caller's interrupt with its own
+        // flag, so a campaign-wide shutdown must be forwarded in or the
+        // sides would run to their budgets oblivious of it.
         let done = Arc::new(AtomicBool::new(false));
         if let Some(outer) = limits.interrupt.clone() {
             let fwd_cancel = Arc::clone(&cancel);
@@ -1095,97 +1200,185 @@ fn race_prove_clean(
                 }
             });
         }
-        let bmc_out = match bmc.join() {
-            Ok(r) => r,
-            Err(p) => std::panic::resume_unwind(p),
+        let bmc_out = match bmc {
+            Ok(h) => {
+                let (r, session) = join_side(h.join());
+                (Some(r), session)
+            }
+            Err(session) => (None, session),
         };
-        let kind_out = match kind.join() {
-            Ok(r) => r,
-            Err(p) => std::panic::resume_unwind(p),
-        };
+        let kind_out = kind.map(|h| join_side(h.join()));
+        let pdr_out = pdr.map(|h| join_side(h.join()));
         done.store(true, Ordering::Relaxed);
-        (bmc_out, kind_out)
+        (bmc_out, kind_out, pdr_out)
     });
-    let (bmc_status, session) = bmc_out;
 
-    // Merge: violations first (both engines search shallow-first, so a
-    // violation from either is the shallowest one), then the strongest
-    // pass certificate, then inconclusive outcomes.
-    let result = match (bmc_status, kind_out) {
-        (CheckStatus::Done(o), kind_out) => {
-            match o.verdict {
-                Verdict::Violation { property, cycles } => AttemptResult::Verdict(
-                    JobVerdict::Violation { property, cycles },
-                    Some(o.stats),
-                    "bmc",
-                ),
-                Verdict::CleanUpTo(b) => match kind_out {
-                    // The kind side also concluded: its proof outranks the
-                    // bounded certificate.
-                    KindSide::Proven { k } => {
-                        AttemptResult::Verdict(JobVerdict::Proven { k }, Some(o.stats), "kind")
-                    }
-                    KindSide::Violation { property, cycles } => AttemptResult::Verdict(
-                        JobVerdict::Violation { property, cycles },
-                        Some(o.stats),
-                        "kind",
-                    ),
-                    _ => {
-                        AttemptResult::Verdict(JobVerdict::Clean { bound: b }, Some(o.stats), "bmc")
-                    }
-                },
-            }
-        }
-        (CheckStatus::Stopped { reason, stats, .. }, kind_out) => match kind_out {
-            KindSide::Violation { property, cycles } => AttemptResult::Verdict(
-                JobVerdict::Violation { property, cycles },
-                Some(stats),
-                "kind",
-            ),
-            KindSide::Proven { k } => {
-                AttemptResult::Verdict(JobVerdict::Proven { k }, Some(stats), "kind")
-            }
-            KindSide::Unknown { max_k } => {
-                // BMC was stopped by the *outer* limits (the kind side
-                // never raises the flag on Unknown), so this attempt is a
-                // timeout unless the stop was the race flag — which it
-                // cannot be here.
-                match reason {
-                    StopReason::Interrupted => {
-                        AttemptResult::Verdict(JobVerdict::Unknown { max_k }, Some(stats), "kind")
-                    }
-                    r => AttemptResult::Stopped(r),
-                }
-            }
-            KindSide::Stopped(kr) => AttemptResult::Stopped(match reason {
-                // Report the more actionable of the two stop reasons:
-                // prefer whichever is not the mutual-cancellation echo.
-                StopReason::Interrupted => kr,
-                r => r,
-            }),
-        },
+    // Decompose the sides once, then merge by fixed priority.
+    let (pdr_side, pdr_stats) = match pdr_out {
+        Some((side, stats)) => (Some(side), Some(Box::new(stats))),
+        None => (None, None),
     };
-    (result, session)
+    let (bmc_verdict, bmc_stats, bmc_stop) = match bmc_status {
+        Some(CheckStatus::Done(o)) => (Some(o.verdict), Some(o.stats), None),
+        Some(CheckStatus::Stopped { reason, stats, .. }) => (None, Some(stats), Some(reason)),
+        None => (None, None, None),
+    };
+    let aux: [(&'static str, Option<&AuxSide>); 2] =
+        [("kind", kind_out.as_ref()), ("pdr", pdr_side.as_ref())];
+
+    // 1. A BMC violation is the shallowest counterexample (BMC searches
+    //    frame by frame) — it outranks everything.
+    if let Some(Verdict::Violation { property, cycles }) = bmc_verdict {
+        let result = AttemptResult::Verdict(
+            JobVerdict::Violation { property, cycles },
+            bmc_stats,
+            "bmc",
+            pdr_stats,
+        );
+        return (result, session);
+    }
+    // 2. An auxiliary side's violation, in fixed side order.
+    for (name, side) in aux {
+        if let Some(AuxSide::Violation { property, cycles }) = side {
+            let result = AttemptResult::Verdict(
+                JobVerdict::Violation {
+                    property: property.clone(),
+                    cycles: *cycles,
+                },
+                bmc_stats,
+                name,
+                pdr_stats,
+            );
+            return (result, session);
+        }
+    }
+    // 3. An unbounded proof outranks the bounded certificate.
+    for (name, side) in aux {
+        if let Some(AuxSide::Proven { k }) = side {
+            let result =
+                AttemptResult::Verdict(JobVerdict::Proven { k: *k }, bmc_stats, name, pdr_stats);
+            return (result, session);
+        }
+    }
+    // 4. The bounded certificate.
+    if let Some(Verdict::CleanUpTo(b)) = bmc_verdict {
+        let result =
+            AttemptResult::Verdict(JobVerdict::Clean { bound: b }, bmc_stats, "bmc", pdr_stats);
+        return (result, session);
+    }
+    // 5. No side concluded. A genuine resource stop (not the
+    //    mutual-cancellation echo) means the attempt should escalate and
+    //    retry; otherwise the strongest inconclusive outcome is an
+    //    auxiliary Unknown — final only when the stop was the outer
+    //    interrupt, which the worker detects and converts to Cancelled.
+    let stops = bmc_stop
+        .into_iter()
+        .chain(aux.iter().filter_map(|(_, side)| match side {
+            Some(AuxSide::Stopped(r)) => Some(*r),
+            _ => None,
+        }));
+    for r in stops {
+        if r != StopReason::Interrupted {
+            return (AttemptResult::Stopped(r), session);
+        }
+    }
+    for (name, side) in aux {
+        if let Some(AuxSide::Unknown { max_k }) = side {
+            let result = AttemptResult::Verdict(
+                JobVerdict::Unknown { max_k: *max_k },
+                bmc_stats,
+                name,
+                pdr_stats,
+            );
+            return (result, session);
+        }
+    }
+    (AttemptResult::Stopped(StopReason::Interrupted), session)
 }
 
-/// The k-induction side of a clean-design race: proves every G-QED
+/// The k-induction side of a clean-design portfolio: proves every G-QED
 /// property of the prebuilt model, shallow depths first per property.
-fn run_kind_side(model: &Model, max_k: u32, limits: &BmcLimits) -> KindSide {
+fn run_kind_side(model: &Model, max_k: u32, limits: &BmcLimits) -> AuxSide {
     let mut deepest = 0u32;
     for i in 0..model.ts.bads.len() {
         match gqed_bmc::prove_k_induction_limited(&model.ctx, &model.ts, i, max_k, limits) {
             gqed_bmc::ProofResult::Proven { k } => deepest = deepest.max(k),
             gqed_bmc::ProofResult::Falsified(t) => {
-                return KindSide::Violation {
+                return AuxSide::Violation {
                     property: t.bad_name.clone(),
                     cycles: t.len(),
                 }
             }
-            gqed_bmc::ProofResult::Unknown { max_k } => return KindSide::Unknown { max_k },
-            gqed_bmc::ProofResult::Cancelled { reason, .. } => return KindSide::Stopped(reason),
+            gqed_bmc::ProofResult::Unknown { max_k } => return AuxSide::Unknown { max_k },
+            gqed_bmc::ProofResult::Cancelled { reason, .. } => return AuxSide::Stopped(reason),
         }
     }
-    KindSide::Proven { k: deepest }
+    AuxSide::Proven { k: deepest }
+}
+
+/// The IC3/PDR side of a clean-design portfolio: proves every G-QED
+/// property of the prebuilt model under the deterministic query cap,
+/// aggregating statistics across properties (counters sum, frame depth
+/// and live-clause gauges take the maximum).
+///
+/// A `Falsified` from PDR is confirmed through an independent bounded
+/// BMC query at the reported depth before it is allowed to settle the
+/// obligation — the confirming trace supplies the property name and
+/// cycle count. An unconfirmed falsification is downgraded to `Unknown`
+/// (it indicates an engine defect, never a verdict).
+fn run_pdr_side(model: &Model, limits: &BmcLimits) -> (AuxSide, PdrStats) {
+    let opts = PdrOptions {
+        max_queries: Some(PDR_QUERY_CAP),
+        ..PdrOptions::default()
+    };
+    let mut agg = PdrStats::default();
+    let mut deepest = 0u32;
+    for i in 0..model.ts.bads.len() {
+        let out = prove_pdr_limited(&model.ctx, &model.ts, i, &opts, limits);
+        add_pdr_stats(&mut agg, &out.stats);
+        match out.verdict {
+            PdrVerdict::Proven { frames, .. } => deepest = deepest.max(frames),
+            PdrVerdict::Falsified { depth } => {
+                let mut engine = BmcEngine::new(&model.ctx, &model.ts);
+                return match engine.check_bad_at_limited(i, depth, limits) {
+                    Ok(Some(t)) => (
+                        AuxSide::Violation {
+                            property: t.bad_name.clone(),
+                            cycles: t.len(),
+                        },
+                        agg,
+                    ),
+                    Ok(None) => (AuxSide::Unknown { max_k: depth }, agg),
+                    Err(reason) => (AuxSide::Stopped(reason), agg),
+                };
+            }
+            PdrVerdict::Unknown { frames } => return (AuxSide::Unknown { max_k: frames }, agg),
+            PdrVerdict::Cancelled { reason, .. } => return (AuxSide::Stopped(reason), agg),
+        }
+    }
+    (AuxSide::Proven { k: deepest }, agg)
+}
+
+/// Accumulates one property's PDR statistics into a per-obligation
+/// aggregate: counters sum; the frame depth and the live learnt-clause
+/// gauge take the maximum.
+fn add_pdr_stats(acc: &mut PdrStats, s: &PdrStats) {
+    acc.frames = acc.frames.max(s.frames);
+    acc.ctis += s.ctis;
+    acc.blocked_cubes += s.blocked_cubes;
+    acc.generalize_drops += s.generalize_drops;
+    acc.propagated += s.propagated;
+    acc.queries += s.queries;
+    acc.recheck_failures += s.recheck_failures;
+    acc.solver.decisions += s.solver.decisions;
+    acc.solver.propagations += s.solver.propagations;
+    acc.solver.conflicts += s.solver.conflicts;
+    acc.solver.restarts += s.solver.restarts;
+    acc.solver.learnt_clauses = acc.solver.learnt_clauses.max(s.solver.learnt_clauses);
+    acc.solver.deleted_clauses += s.solver.deleted_clauses;
+    acc.solver.compactions += s.solver.compactions;
+    acc.solver.peak_arena_bytes = acc.solver.peak_arena_bytes.max(s.solver.peak_arena_bytes);
+    acc.solver.emergency_reductions += s.solver.emergency_reductions;
 }
 
 /// Test-only obligation body: a pigeonhole refutation far larger than any
@@ -1219,7 +1412,7 @@ fn run_debug_exhaust(limits: &BmcLimits) -> AttemptResult {
     match s.solve_bounded(&[], limits.budget.unwrap_or(u64::MAX)) {
         SolveOutcome::Sat | SolveOutcome::Unsat => {
             // Only reachable with an effectively unlimited budget.
-            AttemptResult::Verdict(JobVerdict::Clean { bound: 0 }, None, "-")
+            AttemptResult::Verdict(JobVerdict::Clean { bound: 0 }, None, "-", None)
         }
         stop => {
             AttemptResult::Stopped(StopReason::from_outcome(stop).expect("verdicts handled above"))

@@ -7,8 +7,8 @@
 //! verdicts (obligations re-run), but can never flip or lose one.
 
 use gqed_campaign::{
-    enumerate_obligations, read_journal, run_campaign_journaled, CampaignConfig, FaultPlan,
-    FlowFilter, JobVerdict, Journal, Obligation, ObligationKind, Telemetry, WriteFault,
+    enumerate_obligations, read_journal, run_campaign_journaled, CampaignConfig, EngineId,
+    FaultPlan, FlowFilter, JobVerdict, Journal, Obligation, ObligationKind, Telemetry, WriteFault,
 };
 use gqed_core::CheckKind;
 use std::path::PathBuf;
@@ -34,7 +34,7 @@ fn conv_obligations() -> Vec<Obligation> {
 fn deterministic_config() -> CampaignConfig {
     CampaignConfig {
         jobs: 1,
-        race_clean: false,
+        engines: vec![EngineId::Bmc],
         ..CampaignConfig::default()
     }
 }

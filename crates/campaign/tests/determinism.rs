@@ -6,15 +6,16 @@
 //! cross-job state.
 
 use gqed_campaign::{
-    enumerate_obligations, run_campaign, CampaignConfig, CampaignSummary, FlowFilter, Telemetry,
+    enumerate_obligations, run_campaign, CampaignConfig, CampaignSummary, EngineId, FlowFilter,
+    Telemetry,
 };
 
-fn run(jobs: usize, race_clean: bool) -> CampaignSummary {
+fn run(jobs: usize, engines: Vec<EngineId>) -> CampaignSummary {
     let obls = enumerate_obligations(FlowFilter::all(), &["relu".to_string()]);
     assert!(!obls.is_empty());
     let config = CampaignConfig {
         jobs,
-        race_clean,
+        engines,
         ..CampaignConfig::default()
     };
     run_campaign(&obls, &config, &Telemetry::null())
@@ -28,10 +29,20 @@ fn normalized(s: &CampaignSummary) -> Vec<(String, String)> {
         .collect()
 }
 
+// The cross-worker tests race BMC against k-induction only: relu's
+// clean proof obligation is out of PDR's reach, so a PDR side would
+// spend its full query cap re-deriving `Unknown` in every run (~30 s
+// each) without changing any verdict. The full three-engine portfolio's
+// worker-count determinism is pinned on the PDR-winnable design by
+// `portfolio_win.rs` instead.
+fn race_engines() -> Vec<EngineId> {
+    vec![EngineId::Bmc, EngineId::KInduction]
+}
+
 #[test]
 fn jobs4_matches_jobs1() {
-    let seq = run(1, true);
-    let par = run(4, true);
+    let seq = run(1, race_engines());
+    let par = run(4, race_engines());
     assert!(seq.is_success(), "sequential campaign failed: {seq:?}");
     assert!(par.is_success(), "parallel campaign failed: {par:?}");
     assert_eq!(normalized(&seq), normalized(&par));
@@ -39,11 +50,11 @@ fn jobs4_matches_jobs1() {
 
 #[test]
 fn non_racing_campaign_is_fully_deterministic() {
-    // With the clean-design race disabled every verdict (not just its
-    // normalization) must match exactly, including which engine decided
-    // and the bounded-clean bound.
-    let a = run(1, false);
-    let b = run(4, false);
+    // With the portfolio reduced to bounded BMC every verdict (not just
+    // its normalization) must match exactly, including which engine
+    // decided and the bounded-clean bound.
+    let a = run(1, vec![EngineId::Bmc]);
+    let b = run(4, vec![EngineId::Bmc]);
     let exact = |s: &CampaignSummary| {
         s.records
             .iter()
@@ -61,8 +72,8 @@ fn non_racing_campaign_is_fully_deterministic() {
 
 #[test]
 fn counterexample_lengths_are_stable_across_worker_counts() {
-    let seq = run(1, true);
-    let par = run(4, true);
+    let seq = run(1, race_engines());
+    let par = run(4, race_engines());
     let cex = |s: &CampaignSummary| {
         s.records
             .iter()

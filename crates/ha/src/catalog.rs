@@ -64,6 +64,12 @@ pub fn all_designs() -> Vec<DesignEntry> {
             bugs: designs::matvec::bugs,
         },
         DesignEntry {
+            name: "bitflip",
+            interfering: false,
+            build: |b| designs::bitflip::build(&designs::bitflip::Params::default(), b),
+            bugs: designs::bitflip::bugs,
+        },
+        DesignEntry {
             name: "accum",
             interfering: true,
             build: |b| designs::accum::build(&designs::accum::Params::default(), b),
@@ -115,7 +121,7 @@ mod tests {
     #[test]
     fn catalogue_is_consistent() {
         let entries = all_designs();
-        assert_eq!(entries.len(), 12);
+        assert_eq!(entries.len(), 13);
         for e in &entries {
             let d = e.build_clean();
             assert_eq!(d.meta.name, e.name);

@@ -1,0 +1,251 @@
+//! `bitflip` — a single-bit stream complementer (non-interfering).
+//!
+//! Response: the bitwise complement `!x` of a `W`-bit sample. A pure
+//! function of the payload, and at the default width of 1 the smallest
+//! design in the catalogue. That makes it the seed for the unbounded
+//! proof engines: its G-QED self-consistency properties are *not*
+//! k-inductive at small depth (k-induction returns `Unknown`), but the
+//! wrapped model is small enough that IC3/PDR discovers the needed
+//! strengthening invariant in well under a second — the portfolio's
+//! canonical PDR win, exercised by the campaign smoke tests and CI.
+//!
+//! Payload: `x[W-1:0]`. Response: `y = !x`.
+
+use crate::iface::{resolve_bug, BugClass, BugInfo, Design, DesignMeta, Detectors, HaInterface};
+use crate::skeleton::{capture, TxnControl};
+use gqed_ir::{Context, TransitionSystem};
+
+/// Build parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct Params {
+    /// Sample width in bits.
+    pub width: u32,
+    /// Compute latency in cycles.
+    pub latency: u32,
+}
+
+impl Default for Params {
+    fn default() -> Self {
+        Params {
+            width: 1,
+            latency: 1,
+        }
+    }
+}
+
+/// The injectable-bug catalogue.
+pub fn bugs() -> Vec<BugInfo> {
+    vec![
+        BugInfo {
+            id: "stall-flip",
+            description: "the held response re-complements itself every stalled cycle",
+            class: BugClass::ContextDependent,
+            expected: Detectors {
+                gqed: true,
+                aqed: true,
+                conventional: true,
+            },
+            min_transactions: 1,
+        },
+        BugInfo {
+            id: "identity-passthrough",
+            description: "the input passes through uncomplemented \
+                          (deterministic functional error)",
+            class: BugClass::ConsistentFunctional,
+            expected: Detectors {
+                gqed: false,
+                aqed: false,
+                conventional: true,
+            },
+            min_transactions: 1,
+        },
+        BugInfo {
+            id: "double-deliver",
+            description: "every second response stays valid for one extra beat after \
+                          delivery (a duplicated response with no matching request)",
+            class: BugClass::HandshakeProtocol,
+            expected: Detectors {
+                gqed: true,
+                aqed: true,
+                conventional: false,
+            },
+            min_transactions: 1,
+        },
+    ]
+}
+
+/// Builds the design, optionally injecting the named bug.
+pub fn build(params: &Params, bug: Option<&str>) -> Design {
+    let bug = bug.map(|id| resolve_bug(&bugs(), id));
+    let w = params.width;
+    let mut ctx = Context::new();
+    let mut ts = TransitionSystem::new("bitflip");
+
+    let ctl = TxnControl::build(&mut ctx, &mut ts, params.latency);
+
+    let x = ctx.input("x", w);
+    ts.inputs.push(x);
+    let x_r = capture(&mut ctx, &mut ts, "x_r", ctl.accept, x);
+
+    // The complement is computed in the accept cycle and held alongside
+    // the payload register (`out_valid` only rises once the latency
+    // timer runs out, so the early capture is invisible at the
+    // interface). The single-cycle `res_r == !x_r` relation keeps the
+    // design's strengthening invariant shallow — this is the catalogue's
+    // canonical IC3/PDR win, and it must stay cheap to prove.
+    let flipped = ctx.not(x);
+    let res_val = if bug == Some("identity-passthrough") {
+        x
+    } else {
+        flipped
+    };
+
+    let res_r = if bug == Some("stall-flip") {
+        // Corrupted hold path: capture at accept, but while the response
+        // waits for `out_ready` it re-complements itself every cycle.
+        let reg = ctx.state("res_r", w);
+        let reflipped = ctx.not(reg);
+        let not_rdy = ctx.not(ctl.out_ready);
+        let stalled = ctx.and(ctl.pending, not_rdy);
+        let held = ctx.ite(stalled, reflipped, reg);
+        let next = ctx.ite(ctl.accept, res_val, held);
+        let zero = ctx.zero(w);
+        ts.add_state(reg, Some(zero), next);
+        reg
+    } else {
+        capture(&mut ctx, &mut ts, "res_r", ctl.accept, res_val)
+    };
+
+    // double-deliver: pending clears only every second completion.
+    if bug == Some("double-deliver") {
+        let toggle = ctx.state("dd_toggle", 1);
+        let toggled = ctx.not(toggle);
+        let tnext = ctx.ite(ctl.complete, toggled, toggle);
+        let fls = ctx.fls();
+        ts.add_state(toggle, Some(fls), tnext);
+        // pending: cleared at complete only when toggle is 1.
+        let clear = ctx.and(ctl.complete, toggle);
+        let tru = ctx.tru();
+        let p0 = ctx.ite(clear, fls, ctl.pending);
+        let pnext = ctx.ite(ctl.done, tru, p0);
+        crate::skeleton::override_next(&mut ts, ctl.pending, pnext);
+    }
+
+    ts.outputs = vec![
+        ("in_ready".into(), ctl.in_ready),
+        ("out_valid".into(), ctl.out_valid),
+        ("y".into(), res_r),
+    ];
+
+    // Conventional assertion: a presented response is never equal to the
+    // captured input — a complementer must always flip. The payload
+    // register is stable while the response waits (a new request is only
+    // accepted once the previous response is delivered), so the
+    // comparison is well-defined whenever `out_valid` holds.
+    let conventional = {
+        let same = ctx.eq(res_r, x_r);
+        let t = ctx.and(ctl.out_valid, same);
+        vec![gqed_ir::Bad {
+            name: "conv.output_complements_input".into(),
+            term: t,
+        }]
+    };
+
+    let iface = HaInterface {
+        in_valid: ctl.in_valid,
+        in_ready: ctl.in_ready,
+        in_payload: vec![x],
+        out_valid: ctl.out_valid,
+        out_ready: ctl.out_ready,
+        out_payload: vec![res_r],
+    };
+
+    Design {
+        ctx,
+        ts,
+        iface,
+        arch_state: vec![],
+        conventional,
+        meta: DesignMeta {
+            name: "bitflip",
+            interfering: false,
+            description: "single-bit stream complementer",
+            latency: params.latency,
+            recommended_bound: 12,
+        },
+        injected_bug: bug,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gqed_ir::Sim;
+    use std::collections::HashMap;
+
+    fn flip(sim: &mut Sim, d: &Design, x: u128) -> u128 {
+        let mut inp = HashMap::new();
+        inp.insert(d.iface.in_valid, 1u128);
+        inp.insert(d.iface.out_ready, 1u128);
+        inp.insert(d.iface.in_payload[0], x);
+        loop {
+            let accepted = sim.peek(&inp, d.iface.in_ready) == 1;
+            sim.step(&inp);
+            if accepted {
+                break;
+            }
+        }
+        inp.insert(d.iface.in_valid, 0);
+        for _ in 0..20 {
+            if sim.peek(&inp, d.iface.out_valid) == 1 {
+                let res = sim.peek(&inp, d.iface.out_payload[0]);
+                sim.step(&inp);
+                return res;
+            }
+            sim.step(&inp);
+        }
+        panic!("transaction did not complete");
+    }
+
+    #[test]
+    fn complements_every_sample() {
+        let d = build(&Params::default(), None);
+        let mut sim = Sim::new(&d.ctx, &d.ts);
+        assert_eq!(flip(&mut sim, &d, 0), 1);
+        assert_eq!(flip(&mut sim, &d, 1), 0);
+    }
+
+    #[test]
+    fn wider_builds_complement_bitwise() {
+        let d = build(
+            &Params {
+                width: 4,
+                latency: 1,
+            },
+            None,
+        );
+        let mut sim = Sim::new(&d.ctx, &d.ts);
+        assert_eq!(flip(&mut sim, &d, 0b1010), 0b0101);
+        assert_eq!(flip(&mut sim, &d, 0b1111), 0b0000);
+    }
+
+    #[test]
+    fn identity_bug_passes_input_through() {
+        let d = build(&Params::default(), Some("identity-passthrough"));
+        let mut sim = Sim::new(&d.ctx, &d.ts);
+        assert_eq!(flip(&mut sim, &d, 1), 1);
+        assert_eq!(flip(&mut sim, &d, 0), 0);
+    }
+
+    #[test]
+    fn bug_ids_unique_and_buildable() {
+        let all = bugs();
+        let mut ids: Vec<&str> = all.iter().map(|b| b.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), all.len());
+        for b in &all {
+            let _ = build(&Params::default(), Some(b.id));
+        }
+    }
+}

@@ -1,11 +1,12 @@
 //! The accelerator designs under verification.
 //!
 //! Non-interfering (A-QED applies): [`vecadd`], [`alu`], [`relu`],
-//! [`matvec`]. Interfering (G-QED required): [`accum`], [`crc32`],
-//! [`kvstore`], [`dma`], [`histogram`], [`movavg`].
+//! [`matvec`], [`bitflip`]. Interfering (G-QED required): [`accum`],
+//! [`crc32`], [`kvstore`], [`dma`], [`histogram`], [`movavg`].
 
 pub mod accum;
 pub mod alu;
+pub mod bitflip;
 pub mod crc32;
 pub mod dma;
 pub mod fir;

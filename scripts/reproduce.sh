@@ -25,6 +25,16 @@ cargo run --release -q --bin gqed -- campaign --all \
   --jobs "$jobs" --deadline-ms 600000 \
   --telemetry "$out/campaign.jsonl" | tee "$out/campaign.txt"
 
+echo "== portfolio smoke (PDR win on the seeded non-inductive design) =="
+# bitflip's clean-design proof is beyond k-induction at the campaign depth
+# limit; the three-engine portfolio must settle it Proven via IC3/PDR.
+cargo run --release -q --bin gqed -- campaign bitflip \
+  --jobs "$jobs" --engines bmc,kind,pdr \
+  --telemetry "$out/portfolio-smoke.jsonl" | tee "$out/portfolio-smoke.txt"
+grep -E 'engine wins: [0-9]+ bmc, [0-9]+ kind, [1-9][0-9]* pdr' \
+  "$out/portfolio-smoke.txt" >/dev/null \
+  || { echo "portfolio smoke: expected a PDR win on bitflip" >&2; exit 1; }
+
 run table1
 run table4
 run table5

@@ -26,8 +26,10 @@
 //!      --max-attempts <n>           escalation attempts (default 4)
 //!      --telemetry <file>           write JSONL telemetry (schema: EXPERIMENTS.md)
 //!      --flow gqed[,aqed,conv]      restrict to the listed flows
-//!      --no-race                    disable the BMC vs k-induction race
-//!                                   on clean designs
+//!      --engines bmc,kind,pdr       proof-engine portfolio raced on clean
+//!                                   designs (default: all three)
+//!      --no-race                    shorthand for --engines bmc (plain
+//!                                   deterministic bounded BMC)
 //!      --cold                       disable the warm-start pipeline
 //!                                   (model cache + resumable sessions)
 //!      --journal <file>             crash-safe write-ahead journal of verdicts
@@ -428,8 +430,8 @@ mod signals {
 
 fn cmd_campaign(args: &[String]) {
     use gqed::campaign::{
-        enumerate_obligations, manifest_crc, run_campaign_journaled, CampaignConfig, FlowFilter,
-        Journal, Telemetry,
+        enumerate_obligations, manifest_crc, run_campaign_journaled, CampaignConfig, EngineId,
+        FlowFilter, Journal, Telemetry,
     };
 
     let designs: Vec<String> = args
@@ -450,6 +452,7 @@ fn cmd_campaign(args: &[String]) {
                             | "--resume"
                             | "--mem-limit"
                             | "--summary-out"
+                            | "--engines"
                     )
                 )
         })
@@ -460,7 +463,8 @@ fn cmd_campaign(args: &[String]) {
             "usage: gqed campaign [<design>…|--all] [--jobs n] [--deadline-ms m] [--budget c]"
         );
         eprintln!("                     [--max-attempts n] [--telemetry file] [--flow gqed,aqed,conv] [--no-race]");
-        eprintln!("                     [--journal file] [--resume file] [--mem-limit bytes[K|M|G]] [--summary-out file]");
+        eprintln!("                     [--engines bmc,kind,pdr] [--journal file] [--resume file]");
+        eprintln!("                     [--mem-limit bytes[K|M|G]] [--summary-out file]");
         exit(2);
     }
     for name in &designs {
@@ -503,13 +507,30 @@ fn cmd_campaign(args: &[String]) {
             exit(2);
         })
     });
+    // Engine selection: `--engines` picks the clean-design proof
+    // portfolio; `--no-race` is the historical shorthand for the
+    // deterministic BMC-only path.
+    let engines = match (flag_value(args, "--engines"), has_flag(args, "--no-race")) {
+        (Some(_), true) => {
+            eprintln!(
+                "--engines and --no-race are mutually exclusive (--no-race means --engines bmc)"
+            );
+            exit(2);
+        }
+        (Some(list), false) => EngineId::parse_list(list).unwrap_or_else(|e| {
+            eprintln!("bad --engines '{list}': {e}");
+            exit(2);
+        }),
+        (None, true) => vec![EngineId::Bmc],
+        (None, false) => gqed::campaign::default_portfolio(),
+    };
     let interrupt = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
     let config = CampaignConfig {
         jobs: parse_flag(args, "--jobs").unwrap_or(1),
         deadline_ms: parse_flag(args, "--deadline-ms"),
         base_budget: parse_flag(args, "--budget"),
         max_attempts: parse_flag(args, "--max-attempts").unwrap_or(4),
-        race_clean: !has_flag(args, "--no-race"),
+        engines,
         warm_start: !has_flag(args, "--cold"),
         mem_limit,
         interrupt: Some(std::sync::Arc::clone(&interrupt)),
@@ -630,6 +651,10 @@ fn cmd_campaign(args: &[String]) {
         summary.cancelled,
         summary.replayed,
         summary.mismatches
+    );
+    println!(
+        "engine wins: {} bmc, {} kind, {} pdr",
+        summary.wins_bmc, summary.wins_kind, summary.wins_pdr
     );
     exit(summary.exit_code());
 }

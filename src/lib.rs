@@ -17,6 +17,7 @@
 //! | [`core`] | `gqed-core` | G-QED/A-QED wrapper synthesis, check flows, productivity model, theory |
 //! | [`ha`] | `gqed-ha` | the accelerator design library + bug catalogues |
 //! | [`bmc`] | `gqed-bmc` | the bounded model checker + k-induction + replay |
+//! | [`pdr`] | `gqed-pdr` | the IC3/PDR unbounded proof engine |
 //! | [`ir`] | `gqed-ir` | word-level IR, simulator, bit-blaster, VCD |
 //! | [`sat`] | `gqed-sat` | the CDCL SAT solver |
 //! | [`logic`] | `gqed-logic` | AIG, CNF, Tseitin |
@@ -50,6 +51,7 @@ pub use gqed_core as core;
 pub use gqed_ha as ha;
 pub use gqed_ir as ir;
 pub use gqed_logic as logic;
+pub use gqed_pdr as pdr;
 pub use gqed_sat as sat;
 
 /// Convenience re-exports of the types most applications need.
