@@ -22,7 +22,7 @@
 use crate::json::JsonValue;
 use crate::obligation::{enumerate_obligations, FlowFilter, Obligation};
 use crate::portfolio::{EngineId, PDR_QUERY_CAP};
-use crate::runner::{run_campaign, CampaignConfig, CampaignSummary};
+use crate::runner::{Campaign, CampaignConfig, CampaignSummary};
 use crate::telemetry::Telemetry;
 use gqed_bmc::BmcLimits;
 use gqed_core::{build_model, CheckKind};
@@ -59,15 +59,11 @@ pub fn bench_obligations(quick: bool) -> Vec<Obligation> {
 /// keep both runs fully deterministic; the small base budget forces the
 /// escalation path the bench exists to measure.
 pub fn bench_config(warm_start: bool) -> CampaignConfig {
-    CampaignConfig {
-        jobs: 1,
-        deadline_ms: None,
-        base_budget: Some(600),
-        max_attempts: 16,
-        engines: vec![EngineId::Bmc],
-        warm_start,
-        ..CampaignConfig::default()
-    }
+    CampaignConfig::default()
+        .with_base_budget(600)
+        .with_max_attempts(16)
+        .with_engines(vec![EngineId::Bmc])
+        .with_warm_start(warm_start)
 }
 
 /// Aggregated metrics of one bench mode (one full campaign run).
@@ -354,8 +350,10 @@ pub fn run_bench(quick: bool, telemetry: &Telemetry) -> BenchReport {
     let obligations = bench_obligations(quick);
     let cold_cfg = bench_config(false);
     let warm_cfg = bench_config(true);
-    let cold = run_campaign(&obligations, &cold_cfg, telemetry);
-    let warm = run_campaign(&obligations, &warm_cfg, telemetry);
+    let cold = Campaign::new(&obligations)
+        .config(cold_cfg.clone())
+        .run(telemetry);
+    let warm = Campaign::new(&obligations).config(warm_cfg).run(telemetry);
     BenchReport {
         quick,
         obligations: obligations.len(),

@@ -43,6 +43,14 @@ use std::sync::Mutex;
 /// Journal format version tag at the start of every record line.
 const FRAME_TAG: &str = "J1";
 
+/// Frames one rendered JSON payload as a `J1 <len> <crc32> <json>\n`
+/// record line — the encoding shared by the campaign journal and the
+/// content-addressed verdict store.
+pub(crate) fn frame_record(payload: &str) -> String {
+    let crc = crc32(payload.as_bytes());
+    format!("{FRAME_TAG} {} {crc:08x} {payload}\n", payload.len())
+}
+
 const fn crc_table() -> [u32; 256] {
     let mut table = [0u32; 256];
     let mut i = 0;
@@ -370,37 +378,20 @@ impl ResumeState {
 }
 
 /// Rebuilds the [`JobVerdict`] of a settled verdict record; `None` for
-/// unsettled or malformed ones (those re-run on resume).
-fn replay_verdict(r: &JsonValue) -> Option<ReplayedRecord> {
-    let u32_field = |key: &str| {
-        r.get(key)
-            .and_then(JsonValue::as_u64)
-            .and_then(|v| u32::try_from(v).ok())
-    };
-    let verdict = match r.get("verdict").and_then(JsonValue::as_str)? {
-        "violation" => JobVerdict::Violation {
-            property: r.get("property")?.as_str()?.to_string(),
-            cycles: usize::try_from(r.get("cycles")?.as_u64()?).ok()?,
-        },
-        "clean" => JobVerdict::Clean {
-            bound: u32_field("bound")?,
-        },
-        "proven" => JobVerdict::Proven { k: u32_field("k")? },
-        "unknown" => JobVerdict::Unknown {
-            max_k: u32_field("max_k")?,
-        },
-        _ => return None,
-    };
-    let engine = match r.get("engine").and_then(JsonValue::as_str) {
-        Some("bmc") => "bmc",
-        Some("kind") => "kind",
-        Some("pdr") => "pdr",
-        _ => "-",
-    };
+/// unsettled or malformed ones (those re-run on resume). The verdict
+/// fields themselves are decoded by the wire codec in [`crate::api`] —
+/// the journal shares its record vocabulary with the serve protocol and
+/// the verdict store.
+pub(crate) fn replay_verdict(r: &JsonValue) -> Option<ReplayedRecord> {
+    let verdict = crate::api::decode_settled_verdict(r)?;
     Some(ReplayedRecord {
         verdict,
-        attempts: u32_field("attempts").unwrap_or(1),
-        engine,
+        attempts: r
+            .get("attempts")
+            .and_then(JsonValue::as_u64)
+            .and_then(|v| u32::try_from(v).ok())
+            .unwrap_or(1),
+        engine: crate::api::decode_engine(r),
         frames_solved: r
             .get("frames_solved")
             .and_then(JsonValue::as_u64)

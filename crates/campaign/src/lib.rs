@@ -13,20 +13,31 @@
 //!
 //! Campaigns are additionally *crash-safe*: the [`journal`] module keeps
 //! an append-only write-ahead journal of verdicts and escalation attempts
-//! (CRC32-framed, fsync'd on verdict), and
-//! [`runner::run_campaign_journaled`] resumes an interrupted campaign
+//! (CRC32-framed, fsync'd on verdict), and a [`runner::Campaign`] built
+//! with [`runner::Campaign::resume`] continues an interrupted campaign
 //! from it, truncating torn records, skipping settled obligations and
 //! producing a merged summary identical to an uninterrupted run's.
+//!
+//! Campaigns also compose into a long-running *service*: [`service`]
+//! exposes the runner over a line-delimited JSON TCP protocol (see
+//! [`api`] for the versioned wire types), and [`store`] provides a
+//! content-addressed, crash-safe verdict store so obligations whose
+//! design IR, flow, bounds and solver configuration are unchanged are
+//! answered from disk instead of re-solved.
 
 #![warn(missing_docs)]
+pub mod api;
 pub mod bench;
 pub mod journal;
 pub mod json;
 pub mod obligation;
 pub mod portfolio;
 pub mod runner;
+pub mod service;
+pub mod store;
 pub mod telemetry;
 
+pub use api::{ApiError, BatchRequest, BatchResponse, ObligationSpec, SCHEMA_VERSION};
 pub use bench::{run_bench, run_pdr_probe, BenchReport, BenchRun, PdrProbe};
 pub use journal::{
     crc32, manifest_crc, read_journal, FaultPlan, Journal, JournalReplay, ReplayedRecord,
@@ -35,7 +46,9 @@ pub use journal::{
 pub use json::{is_valid_json, parse_json, JsonValue};
 pub use obligation::{enumerate_obligations, FlowFilter, Obligation, ObligationKind};
 pub use portfolio::{default_portfolio, EngineId, PDR_QUERY_CAP};
-pub use runner::{
-    run_campaign, run_campaign_journaled, CampaignConfig, CampaignSummary, JobRecord, JobVerdict,
-};
+#[allow(deprecated)]
+pub use runner::{run_campaign, run_campaign_journaled};
+pub use runner::{Campaign, CampaignConfig, CampaignSummary, JobRecord, JobVerdict};
+pub use service::{request_shutdown, serve, submit_batch, ServeOptions};
+pub use store::{derive_key, StoreKey, VerdictStore};
 pub use telemetry::{SharedBuffer, Telemetry};

@@ -47,7 +47,7 @@ impl Default for FlowFilter {
 }
 
 /// The work a single obligation performs.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum ObligationKind {
     /// Bounded check of one flow at the given bound.
     Check {
@@ -75,7 +75,7 @@ pub enum ObligationKind {
 }
 
 /// One unit of verification work.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Obligation {
     /// Stable identifier, e.g. `accum/carry-leak/gqed` or
     /// `accum/clean/prove`.

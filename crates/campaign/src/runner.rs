@@ -21,10 +21,11 @@
 //!
 //! Three robustness mechanisms wrap the queue (all optional):
 //!
-//! * **journaling** — [`run_campaign_journaled`] appends every verdict
-//!   (fsync'd) and escalation attempt to a crash-safe
-//!   [`Journal`](crate::journal::Journal), and replays a prior run's
-//!   journal so completed obligations are skipped on `--resume`;
+//! * **journaling** — a campaign built with [`Campaign::journal`]
+//!   appends every verdict (fsync'd) and escalation attempt to a
+//!   crash-safe [`Journal`](crate::journal::Journal), and
+//!   [`Campaign::resume`] replays a prior run's journal so completed
+//!   obligations are skipped on `--resume`;
 //! * **memory degradation** — when the solver's clause arena exceeds
 //!   [`CampaignConfig::mem_limit`] the attempt stops with
 //!   [`StopReason::MemoryLimit`]; the worker sheds the obligation's kept
@@ -35,13 +36,17 @@
 //!   obligations finish as `cancelled` with a journal checkpoint so a
 //!   resumed campaign re-runs exactly them.
 
-use crate::journal::{Journal, ResumeState};
+use crate::journal::{Journal, ReplayedRecord, ResumeState};
 use crate::json::JsonValue;
 use crate::obligation::{Obligation, ObligationKind};
 use crate::portfolio::{default_portfolio, EngineId, PDR_QUERY_CAP};
+use crate::store::{derive_key, StoreKey, VerdictStore};
 use crate::telemetry::Telemetry;
 use gqed_bmc::{BmcEngine, BmcLimits, BmcStats, StopReason};
-use gqed_core::{build_model, CheckKind, CheckSession, CheckStatus, ModelCache, ModelKey, Verdict};
+use gqed_core::{
+    build_model, model_fingerprint, CheckKind, CheckSession, CheckStatus, ModelCache, ModelKey,
+    Verdict,
+};
 use gqed_ha::{all_designs, Design};
 use gqed_ir::Model;
 use gqed_pdr::{prove_pdr_limited, PdrOptions, PdrStats, PdrVerdict};
@@ -103,6 +108,60 @@ impl Default for CampaignConfig {
             mem_limit: None,
             interrupt: None,
         }
+    }
+}
+
+/// Builder-style setters so every caller — CLI, bench, service, tests —
+/// derives its configuration from the same [`Default`] instead of
+/// assembling the struct field by field (which let a new field silently
+/// default differently per caller).
+impl CampaignConfig {
+    /// Sets the worker-thread count.
+    pub fn with_jobs(mut self, jobs: usize) -> Self {
+        self.jobs = jobs;
+        self
+    }
+
+    /// Sets the base per-attempt wall-clock deadline in milliseconds.
+    pub fn with_deadline_ms(mut self, ms: u64) -> Self {
+        self.deadline_ms = Some(ms);
+        self
+    }
+
+    /// Sets the base per-attempt conflict budget.
+    pub fn with_base_budget(mut self, budget: u64) -> Self {
+        self.base_budget = Some(budget);
+        self
+    }
+
+    /// Sets the escalation-attempt limit.
+    pub fn with_max_attempts(mut self, attempts: u32) -> Self {
+        self.max_attempts = attempts;
+        self
+    }
+
+    /// Sets the proof-engine portfolio.
+    pub fn with_engines(mut self, engines: Vec<EngineId>) -> Self {
+        self.engines = engines;
+        self
+    }
+
+    /// Enables or disables the warm-start pipeline.
+    pub fn with_warm_start(mut self, warm: bool) -> Self {
+        self.warm_start = warm;
+        self
+    }
+
+    /// Sets the clause-arena byte budget per solver.
+    pub fn with_mem_limit(mut self, bytes: usize) -> Self {
+        self.mem_limit = Some(bytes);
+        self
+    }
+
+    /// Wires a cooperative shutdown flag.
+    pub fn with_interrupt(mut self, flag: Arc<AtomicBool>) -> Self {
+        self.interrupt = Some(flag);
+        self
     }
 }
 
@@ -224,6 +283,9 @@ pub struct JobRecord {
     /// Whether a conclusive verdict contradicts the catalogue ground
     /// truth.
     pub mismatch: bool,
+    /// Whether the verdict was served from the content-addressed verdict
+    /// store instead of a solver (reported as `cache_hit` in telemetry).
+    pub cached: bool,
 }
 
 /// Aggregated campaign outcome.
@@ -252,7 +314,15 @@ pub struct CampaignSummary {
     pub replayed: usize,
     /// Conclusive verdicts contradicting the catalogue ground truth.
     pub mismatches: usize,
-    /// Model-cache lookups answered without re-synthesizing.
+    /// Obligations answered from the content-addressed verdict store
+    /// without running a solver.
+    pub cache_hits: u64,
+    /// Obligations that probed the verdict store and missed (and were
+    /// then solved normally). Zero when no store was attached.
+    pub cache_misses: u64,
+    /// Model-cache lookups answered without re-synthesizing (counted for
+    /// this campaign only, even when the model cache is shared across
+    /// batches by the service).
     pub encoding_cache_hits: u64,
     /// Model-cache lookups that built the model.
     pub encoding_cache_misses: u64,
@@ -344,8 +414,18 @@ struct Shared<'a> {
     wall_acc: Mutex<Vec<Duration>>,
     /// Per-obligation frames-solved accumulator across attempts.
     frames_acc: Mutex<Vec<u64>>,
-    /// Synthesized models shared across obligations (warm-start mode).
-    cache: ModelCache,
+    /// Synthesized models shared across obligations (warm-start mode) —
+    /// and across batches, when the service supplies a persistent cache.
+    cache: Arc<ModelCache>,
+    /// Content-addressed verdict store, when one is attached.
+    store: Option<&'a VerdictStore>,
+    /// Per-obligation store key, computed by the first attempt's probe
+    /// and consumed when the settled verdict is published to the store.
+    store_keys: Mutex<Vec<Option<StoreKey>>>,
+    /// Obligations answered from the verdict store this campaign.
+    cache_hits: AtomicU64,
+    /// Obligations that probed the store and missed this campaign.
+    cache_misses: AtomicU64,
     /// Live sessions of stopped obligations, keyed by obligation index,
     /// kept across retries so an escalated attempt resumes mid-unrolling.
     sessions: Mutex<HashMap<usize, CheckSession>>,
@@ -377,34 +457,152 @@ impl Shared<'_> {
     }
 }
 
-/// Runs every obligation to a final verdict and returns the aggregate.
+/// The single campaign entry point, builder style.
+///
+/// Every way of running a campaign — one-shot CLI, bench, the serve
+/// loop, journaled resumption, store-backed re-verification — drives the
+/// same path:
+///
+/// ```no_run
+/// # use gqed_campaign::{Campaign, CampaignConfig, Telemetry, enumerate_obligations, FlowFilter};
+/// let obligations = enumerate_obligations(FlowFilter::all(), &[]);
+/// let summary = Campaign::new(&obligations)
+///     .config(CampaignConfig::default().with_jobs(4))
+///     .run(&Telemetry::null());
+/// # let _ = summary;
+/// ```
+///
+/// Optional attachments: [`Campaign::journal`] for crash-safe verdict
+/// journaling, [`Campaign::resume`] to replay a prior journal,
+/// [`Campaign::verdict_store`] for content-addressed verdict caching,
+/// and [`Campaign::model_cache`] to share synthesized models across
+/// campaigns (the serve loop keeps one cache for its whole lifetime).
 ///
 /// Every obligation ends in exactly one `job_verdict` telemetry event; a
 /// `campaign_summary` event closes the stream.
+pub struct Campaign<'a> {
+    obligations: &'a [Obligation],
+    config: CampaignConfig,
+    journal: Option<&'a Journal>,
+    resume: Option<&'a ResumeState>,
+    store: Option<&'a VerdictStore>,
+    model_cache: Option<Arc<ModelCache>>,
+}
+
+impl<'a> Campaign<'a> {
+    /// A campaign over `obligations` with the default configuration.
+    pub fn new(obligations: &'a [Obligation]) -> Campaign<'a> {
+        Campaign {
+            obligations,
+            config: CampaignConfig::default(),
+            journal: None,
+            resume: None,
+            store: None,
+            model_cache: None,
+        }
+    }
+
+    /// Sets the campaign configuration.
+    pub fn config(mut self, config: CampaignConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Attaches a crash-safe write-ahead journal: every escalation
+    /// attempt and verdict is appended as a framed record (verdicts
+    /// fsync'd).
+    pub fn journal(mut self, journal: &'a Journal) -> Self {
+        self.journal = Some(journal);
+        self
+    }
+
+    /// Attaches a resume state (replayed from a previous run's journal by
+    /// [`Journal::resume`]): obligations that already reached a settled
+    /// verdict are *replayed* — their records enter the summary directly
+    /// (a `job_replayed` telemetry event each) and only the rest re-run.
+    /// The merged summary's [`CampaignSummary::normalized_render`] is
+    /// byte-identical to an uninterrupted run's.
+    pub fn resume(mut self, state: &'a ResumeState) -> Self {
+        self.resume = Some(state);
+        self
+    }
+
+    /// Attaches a content-addressed verdict store: each obligation's
+    /// first attempt probes the store and a hit is served without running
+    /// a solver (a `job_cached` telemetry event, `cache_hit: true` on the
+    /// verdict event, and the summary's `cache_hits` counter); settled
+    /// conclusive verdicts of misses are published back to the store.
+    pub fn verdict_store(mut self, store: &'a VerdictStore) -> Self {
+        self.store = Some(store);
+        self
+    }
+
+    /// Shares a synthesized-model cache with other campaigns (the serve
+    /// loop passes one cache to every batch, so repeat traffic skips
+    /// wrapper synthesis entirely). Without this, each run uses a private
+    /// cache. The summary's encoding-cache counters always report this
+    /// campaign's lookups only.
+    pub fn model_cache(mut self, cache: Arc<ModelCache>) -> Self {
+        self.model_cache = Some(cache);
+        self
+    }
+
+    /// Runs every obligation to a final verdict and returns the
+    /// aggregate.
+    pub fn run(&self, telemetry: &Telemetry) -> CampaignSummary {
+        run_campaign_inner(
+            self.obligations,
+            &self.config,
+            telemetry,
+            self.journal,
+            self.resume,
+            self.store,
+            self.model_cache.clone(),
+        )
+    }
+}
+
+/// Runs every obligation to a final verdict and returns the aggregate.
+#[deprecated(note = "use the `Campaign` builder: `Campaign::new(obligations).config(..).run(..)`")]
 pub fn run_campaign(
     obligations: &[Obligation],
     config: &CampaignConfig,
     telemetry: &Telemetry,
 ) -> CampaignSummary {
-    run_campaign_journaled(obligations, config, telemetry, None, None)
+    Campaign::new(obligations)
+        .config(config.clone())
+        .run(telemetry)
 }
 
-/// [`run_campaign`] with crash-safe journaling and resumption.
-///
-/// With a `journal`, every escalation attempt and verdict is appended as
-/// a framed record (verdicts fsync'd). With a `resume` state (replayed
-/// from a previous run's journal by [`Journal::resume`]), obligations
-/// that already reached a settled verdict are *replayed* — their records
-/// enter the summary directly (a `job_replayed` telemetry event each)
-/// and only the rest re-run. The merged summary's
-/// [`CampaignSummary::normalized_render`] is byte-identical to an
-/// uninterrupted run's.
+/// Campaign with crash-safe journaling and resumption.
+#[deprecated(
+    note = "use the `Campaign` builder: `Campaign::new(obligations).journal(..).resume(..).run(..)`"
+)]
 pub fn run_campaign_journaled(
     obligations: &[Obligation],
     config: &CampaignConfig,
     telemetry: &Telemetry,
     journal: Option<&Journal>,
     resume: Option<&ResumeState>,
+) -> CampaignSummary {
+    let mut campaign = Campaign::new(obligations).config(config.clone());
+    if let Some(j) = journal {
+        campaign = campaign.journal(j);
+    }
+    if let Some(s) = resume {
+        campaign = campaign.resume(s);
+    }
+    campaign.run(telemetry)
+}
+
+fn run_campaign_inner(
+    obligations: &[Obligation],
+    config: &CampaignConfig,
+    telemetry: &Telemetry,
+    journal: Option<&Journal>,
+    resume: Option<&ResumeState>,
+    store: Option<&VerdictStore>,
+    model_cache: Option<Arc<ModelCache>>,
 ) -> CampaignSummary {
     let t0 = Instant::now();
     let n = obligations.len();
@@ -439,6 +637,7 @@ pub fn run_campaign_journaled(
                     pdr_stats: None,
                     frames_solved: rr.frames_solved,
                     mismatch,
+                    cached: false,
                 });
                 replayed += 1;
             }
@@ -446,6 +645,10 @@ pub fn run_campaign_journaled(
         }
     }
 
+    let cache = model_cache.unwrap_or_else(|| Arc::new(ModelCache::new()));
+    // The model cache may be shared across batches by the service; the
+    // summary reports this campaign's lookups only.
+    let (encoding_hits_before, encoding_misses_before) = (cache.hits(), cache.misses());
     let shared = Shared {
         obligations,
         config,
@@ -455,7 +658,11 @@ pub fn run_campaign_journaled(
         results: Mutex::new(results),
         wall_acc: Mutex::new(vec![Duration::ZERO; n]),
         frames_acc: Mutex::new(vec![0; n]),
-        cache: ModelCache::new(),
+        cache,
+        store,
+        store_keys: Mutex::new(vec![None; n]),
+        cache_hits: AtomicU64::new(0),
+        cache_misses: AtomicU64::new(0),
         sessions: Mutex::new(HashMap::new()),
         session_resumes: AtomicU64::new(0),
         journal,
@@ -504,8 +711,10 @@ pub fn run_campaign_journaled(
         cancelled: 0,
         replayed,
         mismatches: 0,
-        encoding_cache_hits: shared.cache.hits(),
-        encoding_cache_misses: shared.cache.misses(),
+        cache_hits: shared.cache_hits.load(Ordering::Relaxed),
+        cache_misses: shared.cache_misses.load(Ordering::Relaxed),
+        encoding_cache_hits: shared.cache.hits() - encoding_hits_before,
+        encoding_cache_misses: shared.cache.misses() - encoding_misses_before,
         session_resumes: shared.session_resumes.load(Ordering::Relaxed),
         frames_solved: records.iter().map(|r| r.frames_solved).sum(),
         wins_bmc: 0,
@@ -545,6 +754,8 @@ pub fn run_campaign_journaled(
             .field("cancelled", summary.cancelled)
             .field("replayed", summary.replayed)
             .field("mismatches", summary.mismatches)
+            .field("cache_hits", summary.cache_hits)
+            .field("cache_misses", summary.cache_misses)
             .field("jobs", summary.jobs)
             .field("wall_ms", summary.wall.as_millis() as u64)
             .field("encoding_cache_hits", summary.encoding_cache_hits)
@@ -593,6 +804,18 @@ fn worker(shared: &Shared) {
             let total_wall = shared.wall_acc.lock().unwrap_or_else(|e| e.into_inner())[index];
             let total_frames = shared.frames_acc.lock().unwrap_or_else(|e| e.into_inner())[index];
             cancel_job(shared, index, attempt - 1, total_wall, total_frames, None);
+            let mut q = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+            q.active -= 1;
+            shared.cv.notify_all();
+            continue;
+        }
+
+        // Content-addressed verdict store: the first attempt probes the
+        // store before paying for a solve. The key needs the built
+        // model's fingerprint, so synthesis still happens on a hit — only
+        // solving is skipped (and the probe's model warms the cache for a
+        // miss's attempt).
+        if attempt == 1 && store_probe(shared, index) {
             let mut q = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
             q.active -= 1;
             shared.cv.notify_all();
@@ -705,6 +928,7 @@ fn worker(shared: &Shared) {
                         stats,
                         pdr_stats,
                         total_frames,
+                        false,
                     );
                 }
             }
@@ -782,6 +1006,7 @@ fn worker(shared: &Shared) {
                         None,
                         None,
                         total_frames,
+                        false,
                     );
                 }
             }
@@ -798,6 +1023,7 @@ fn worker(shared: &Shared) {
                     None,
                     None,
                     total_frames,
+                    false,
                 );
             }
         }
@@ -841,6 +1067,7 @@ fn cancel_job(
         None,
         None,
         frames,
+        false,
     );
 }
 
@@ -880,6 +1107,7 @@ fn finish(
     stats: Option<BmcStats>,
     pdr_stats: Option<PdrStats>,
     frames_solved: u64,
+    cached: bool,
 ) {
     let obl = &shared.obligations[index];
     let mismatch = match (obl.expect_violation, verdict.is_conclusive()) {
@@ -895,18 +1123,9 @@ fn finish(
         .field("engine", engine)
         .field("proof_engine", engine)
         .field("mismatch", mismatch)
+        .field("cache_hit", cached)
         .field("frames_solved", frames_solved);
-    ev = match &verdict {
-        JobVerdict::Violation { property, cycles } => ev
-            .field("property", property.as_str())
-            .field("cycles", *cycles),
-        JobVerdict::Clean { bound } => ev.field("bound", *bound),
-        JobVerdict::Proven { k } => ev.field("k", *k),
-        JobVerdict::Unknown { max_k } => ev.field("max_k", *max_k),
-        JobVerdict::TimeoutEscalated { attempts } => ev.field("attempts_made", *attempts),
-        JobVerdict::Failed { message } => ev.field("message", message.as_str()),
-        JobVerdict::Cancelled => ev,
-    };
+    ev = crate::api::encode_verdict_fields(ev, &verdict);
     if let Some(s) = &stats {
         ev = ev
             .field("frames", s.frames)
@@ -934,28 +1153,43 @@ fn finish(
     // The journal's verdict record carries exactly the fields
     // `ResumeState` needs to rebuild the verdict on `--resume`; it is
     // fsync'd so an immediately following crash cannot lose it.
-    let mut jrec = JsonValue::obj()
-        .field("type", "verdict")
-        .field("job", obl.id.as_str())
-        .field("verdict", verdict.tag())
-        .field("attempts", attempts)
-        .field("engine", engine)
-        .field("proof_engine", engine)
-        .field("frames_solved", frames_solved)
-        .field("wall_ms", wall.as_millis() as u64)
-        .field("mismatch", mismatch);
-    jrec = match &verdict {
-        JobVerdict::Violation { property, cycles } => jrec
-            .field("property", property.as_str())
-            .field("cycles", *cycles),
-        JobVerdict::Clean { bound } => jrec.field("bound", *bound),
-        JobVerdict::Proven { k } => jrec.field("k", *k),
-        JobVerdict::Unknown { max_k } => jrec.field("max_k", *max_k),
-        JobVerdict::TimeoutEscalated { attempts } => jrec.field("attempts_made", *attempts),
-        JobVerdict::Failed { message } => jrec.field("message", message.as_str()),
-        JobVerdict::Cancelled => jrec,
-    };
+    let jrec = crate::api::encode_verdict_fields(
+        JsonValue::obj()
+            .field("type", "verdict")
+            .field("job", obl.id.as_str())
+            .field("verdict", verdict.tag())
+            .field("attempts", attempts)
+            .field("engine", engine)
+            .field("proof_engine", engine)
+            .field("frames_solved", frames_solved)
+            .field("wall_ms", wall.as_millis() as u64)
+            .field("mismatch", mismatch),
+        &verdict,
+    );
     shared.journal_append(&jrec, true);
+
+    // Publish a freshly solved verdict to the verdict store (a cached one
+    // came from there; re-putting it would be a no-op append). The store
+    // itself refuses non-conclusive verdicts. Store faults are tolerated
+    // exactly like journal faults: they cost a future re-solve, never a
+    // verdict.
+    if !cached {
+        if let (Some(store), Some(key)) = (
+            shared.store,
+            shared.store_keys.lock().unwrap_or_else(|e| e.into_inner())[index],
+        ) {
+            let rr = ReplayedRecord {
+                verdict: verdict.clone(),
+                attempts,
+                engine,
+                frames_solved,
+                wall_ms: wall.as_millis() as u64,
+            };
+            if let Err(e) = store.put(key, &rr) {
+                eprintln!("verdict store write failed: {e}");
+            }
+        }
+    }
     let record = JobRecord {
         obligation: obl.clone(),
         verdict,
@@ -966,6 +1200,7 @@ fn finish(
         pdr_stats,
         frames_solved,
         mismatch,
+        cached,
     };
     shared.results.lock().unwrap_or_else(|e| e.into_inner())[index] = Some(record);
 }
@@ -978,16 +1213,72 @@ fn build_design(obl: &Obligation) -> Design {
     (entry.build)(obl.bug)
 }
 
+/// The flow whose model decides this obligation, when it has one (debug
+/// obligations do not).
+fn obligation_check_kind(obl: &Obligation) -> Option<CheckKind> {
+    match &obl.kind {
+        ObligationKind::Check { kind, .. } => Some(*kind),
+        ObligationKind::ProveClean { .. } => Some(CheckKind::GQed),
+        ObligationKind::DebugPanic | ObligationKind::DebugExhaust => None,
+    }
+}
+
 /// The model-cache key of an obligation's deciding BMC model, when the
 /// obligation has one (debug obligations do not).
 fn model_key(obl: &Obligation) -> Option<ModelKey> {
-    match &obl.kind {
-        ObligationKind::Check { kind, .. } => Some(ModelKey::new(obl.design, obl.bug, *kind)),
-        ObligationKind::ProveClean { .. } => {
-            Some(ModelKey::new(obl.design, obl.bug, CheckKind::GQed))
-        }
-        ObligationKind::DebugPanic | ObligationKind::DebugExhaust => None,
-    }
+    obligation_check_kind(obl).map(|kind| ModelKey::new(obl.design, obl.bug, kind))
+}
+
+/// Probes the content-addressed verdict store for this obligation.
+/// Returns `true` when the obligation was finished from a stored verdict
+/// (no solver runs). On a miss, remembers the derived key so the settled
+/// verdict is published to the store by [`finish`].
+fn store_probe(shared: &Shared, index: usize) -> bool {
+    let Some(store) = shared.store else {
+        return false;
+    };
+    let obl = &shared.obligations[index];
+    let Some(kind) = obligation_check_kind(obl) else {
+        return false; // debug obligations have no model, hence no key
+    };
+    // Building a model panics on an unknown design; skip the probe and
+    // let the normal attempt path hit the same panic, which the worker
+    // isolates into a Failed verdict.
+    let key = match catch_unwind(AssertUnwindSafe(|| {
+        let model = resolve_model(obl, kind, shared.config, &shared.cache);
+        derive_key(model_fingerprint(&model), obl, shared.config)
+    })) {
+        Ok(key) => key,
+        Err(_) => return false,
+    };
+    shared.store_keys.lock().unwrap_or_else(|e| e.into_inner())[index] = Some(key);
+    let Some(rr) = store.get(key) else {
+        shared.cache_misses.fetch_add(1, Ordering::Relaxed);
+        return false;
+    };
+    shared.cache_hits.fetch_add(1, Ordering::Relaxed);
+    shared.telemetry.emit(
+        &JsonValue::obj()
+            .field("type", "job_cached")
+            .field("job", obl.id.as_str())
+            .field("key", key.hex())
+            .field("verdict", rr.verdict.tag())
+            .field("engine", rr.engine)
+            .field("source", "verdict-store"),
+    );
+    finish(
+        shared,
+        index,
+        rr.verdict,
+        rr.attempts,
+        Duration::from_millis(rr.wall_ms),
+        rr.engine,
+        None,
+        None,
+        rr.frames_solved,
+        true,
+    );
+    true
 }
 
 /// The synthesized model for this obligation's flow: from the shared
@@ -1432,7 +1723,7 @@ mod tests {
     #[test]
     fn sequential_campaign_reaches_verdicts() {
         let obls = relu_obligations();
-        let summary = run_campaign(&obls, &CampaignConfig::default(), &Telemetry::null());
+        let summary = Campaign::new(&obls).run(&Telemetry::null());
         assert_eq!(summary.records.len(), obls.len());
         assert!(summary.is_success(), "summary: {summary:?}");
         for r in &summary.records {
@@ -1456,18 +1747,16 @@ mod tests {
             },
             &["relu".to_string()],
         );
-        let config = CampaignConfig {
-            jobs: 8,
-            ..CampaignConfig::default()
-        };
-        let summary = run_campaign(&obls, &config, &Telemetry::null());
+        let summary = Campaign::new(&obls)
+            .config(CampaignConfig::default().with_jobs(8))
+            .run(&Telemetry::null());
         assert_eq!(summary.records.len(), obls.len());
         assert!(summary.is_success());
     }
 
     #[test]
     fn empty_campaign_terminates() {
-        let summary = run_campaign(&[], &CampaignConfig::default(), &Telemetry::null());
+        let summary = Campaign::new(&[]).run(&Telemetry::null());
         assert!(summary.records.is_empty());
         assert!(summary.is_success());
     }
@@ -1491,11 +1780,9 @@ mod tests {
     #[test]
     fn pre_raised_interrupt_cancels_the_whole_campaign() {
         let obls = relu_obligations();
-        let config = CampaignConfig {
-            interrupt: Some(Arc::new(AtomicBool::new(true))),
-            ..CampaignConfig::default()
-        };
-        let summary = run_campaign(&obls, &config, &Telemetry::null());
+        let summary = Campaign::new(&obls)
+            .config(CampaignConfig::default().with_interrupt(Arc::new(AtomicBool::new(true))))
+            .run(&Telemetry::null());
         assert_eq!(summary.cancelled, obls.len());
         assert!(!summary.is_success());
         assert_eq!(summary.exit_code(), 130);
@@ -1507,7 +1794,7 @@ mod tests {
     #[test]
     fn normalized_render_is_one_line_per_obligation() {
         let obls = relu_obligations();
-        let summary = run_campaign(&obls, &CampaignConfig::default(), &Telemetry::null());
+        let summary = Campaign::new(&obls).run(&Telemetry::null());
         let render = summary.normalized_render();
         assert_eq!(render.lines().count(), obls.len());
         for (line, obl) in render.lines().zip(&obls) {

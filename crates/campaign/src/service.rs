@@ -1,0 +1,235 @@
+//! Campaign-as-a-service: the `gqed serve` loop and its client.
+//!
+//! A served campaign is the same campaign the CLI runs one-shot — same
+//! worker pool, portfolio, journal-grade telemetry — wrapped in a
+//! long-running process so the expensive state survives between batches:
+//! the synthesized-model cache ([`gqed_core::ModelCache`]) and the
+//! content-addressed [`VerdictStore`] persist across every batch the
+//! server handles, which is what makes resubmitting an unchanged batch
+//! effectively free.
+//!
+//! ## Protocol
+//!
+//! Line-delimited JSON over TCP, one JSON object per line, built entirely
+//! from the in-tree [`crate::json`] codec. The client sends a
+//! [`BatchRequest`] line; the server streams back the batch's telemetry
+//! events (`job_start`, `job_verdict`, `job_cached`, ... — the same
+//! stream `--telemetry` writes to a file) and closes the batch with a
+//! single [`BatchResponse`] line. Malformed or version-incompatible
+//! requests get a structured `{"type":"error",...}` line ([`ApiError`]),
+//! never a dropped connection mid-parse. A `{"type":"shutdown"}` line is
+//! acknowledged with `{"type":"shutdown_ack"}` and stops the server after
+//! the connection closes.
+//!
+//! Batches are handled sequentially (one campaign at a time); the
+//! parallelism lives *inside* a batch, in the campaign worker pool.
+
+use crate::api::{self, ApiError, BatchRequest, BatchResponse};
+use crate::json::{parse_json, JsonValue};
+use crate::runner::{Campaign, CampaignConfig};
+use crate::store::VerdictStore;
+use crate::telemetry::Telemetry;
+use gqed_core::ModelCache;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Configuration for a serve loop.
+pub struct ServeOptions {
+    /// Base campaign configuration; per-batch request overrides are
+    /// applied on top (see [`BatchRequest::apply_to`]).
+    pub config: CampaignConfig,
+    /// Path of the persistent verdict store. `None` keeps the store
+    /// in memory — still shared across batches, but only for the
+    /// lifetime of the process.
+    pub store: Option<PathBuf>,
+}
+
+/// Runs the serve loop on an already-bound listener until a client sends
+/// a shutdown request or the base configuration's interrupt flag is
+/// raised. Binding is the caller's job so tests and the CLI can bind
+/// `127.0.0.1:0` and learn the ephemeral port before the loop starts.
+pub fn serve(listener: TcpListener, opts: &ServeOptions) -> std::io::Result<()> {
+    let store = match &opts.store {
+        Some(path) => VerdictStore::open(path)?,
+        None => VerdictStore::in_memory()?,
+    };
+    let model_cache = Arc::new(ModelCache::new());
+    let interrupt = opts
+        .config
+        .interrupt
+        .clone()
+        .unwrap_or_else(|| Arc::new(AtomicBool::new(false)));
+    // Non-blocking accept so the interrupt flag is polled between
+    // connections; accepted streams are switched back to blocking.
+    listener.set_nonblocking(true)?;
+    let shutdown = AtomicBool::new(false);
+    loop {
+        if shutdown.load(Ordering::Relaxed) || interrupt.load(Ordering::Relaxed) {
+            return Ok(());
+        }
+        let stream = match listener.accept() {
+            Ok((stream, _peer)) => stream,
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(25));
+                continue;
+            }
+            Err(e) => return Err(e),
+        };
+        stream.set_nonblocking(false)?;
+        if let Err(e) = handle_connection(stream, opts, &store, &model_cache, &shutdown) {
+            // A broken client connection must not take the server down.
+            eprintln!("serve: connection error: {e}");
+        }
+    }
+}
+
+/// Handles one client connection: zero or more batch requests, each
+/// answered with a telemetry stream and a final response line.
+fn handle_connection(
+    stream: TcpStream,
+    opts: &ServeOptions,
+    store: &VerdictStore,
+    model_cache: &Arc<ModelCache>,
+    shutdown: &AtomicBool,
+) -> std::io::Result<()> {
+    let mut writer = stream.try_clone()?;
+    let reader = BufReader::new(stream);
+    for line in reader.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let Some(value) = parse_json(&line) else {
+            send_line(
+                &mut writer,
+                &ApiError::new("bad-request", "invalid JSON").to_json(),
+            )?;
+            continue;
+        };
+        match value.get("type").and_then(JsonValue::as_str) {
+            Some("batch_request") => {
+                match run_batch(&value, opts, store, model_cache, &mut writer) {
+                    Ok(response) => send_line(&mut writer, &response.to_json())?,
+                    Err(e) => send_line(&mut writer, &e.to_json())?,
+                }
+            }
+            Some("shutdown") => {
+                if let Err(e) = api::check_schema_version(&value) {
+                    send_line(&mut writer, &e.to_json())?;
+                    continue;
+                }
+                send_line(&mut writer, &api::shutdown_ack())?;
+                shutdown.store(true, Ordering::Relaxed);
+                return Ok(());
+            }
+            other => {
+                let what = other.unwrap_or("<missing type>");
+                send_line(
+                    &mut writer,
+                    &ApiError::new("bad-request", format!("unknown request type '{what}'"))
+                        .to_json(),
+                )?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Parses, resolves and runs one batch, streaming its telemetry to the
+/// client. Any protocol-level failure (bad version, unknown design,
+/// unknown engine) is a structured error *before* any solving starts.
+fn run_batch(
+    value: &JsonValue,
+    opts: &ServeOptions,
+    store: &VerdictStore,
+    model_cache: &Arc<ModelCache>,
+    writer: &mut TcpStream,
+) -> Result<BatchResponse, ApiError> {
+    let request = BatchRequest::from_json(value)?;
+    let config = request.apply_to(&opts.config)?;
+    let obligations = request.resolve_obligations()?;
+    let telemetry = Telemetry::new(Box::new(writer.try_clone().map_err(io_error)?));
+    let summary = Campaign::new(&obligations)
+        .config(config)
+        .verdict_store(store)
+        .model_cache(Arc::clone(model_cache))
+        .run(&telemetry);
+    telemetry.flush();
+    Ok(BatchResponse::from_summary(&request.batch, &summary))
+}
+
+/// Submits one batch to a running server and blocks until the final
+/// response. Every telemetry line the server streams before the response
+/// is handed to `on_event` in arrival order.
+pub fn submit_batch(
+    addr: &str,
+    request: &BatchRequest,
+    mut on_event: impl FnMut(&JsonValue),
+) -> Result<BatchResponse, ApiError> {
+    let stream = TcpStream::connect(addr).map_err(io_error)?;
+    let mut writer = stream.try_clone().map_err(io_error)?;
+    send_line(&mut writer, &request.to_json()).map_err(io_error)?;
+    let reader = BufReader::new(stream);
+    for line in reader.lines() {
+        let line = line.map_err(io_error)?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let value = parse_json(&line)
+            .ok_or_else(|| ApiError::new("bad-request", format!("unparseable line: {line}")))?;
+        match value.get("type").and_then(JsonValue::as_str) {
+            Some("batch_response") => return BatchResponse::from_json(&value),
+            Some("error") => {
+                return Err(ApiError::from_json(&value)
+                    .unwrap_or_else(|| ApiError::new("bad-request", "malformed error line")))
+            }
+            _ => on_event(&value),
+        }
+    }
+    Err(ApiError::new(
+        "io",
+        "connection closed before a batch response arrived",
+    ))
+}
+
+/// Asks a running server to shut down; returns once the server has
+/// acknowledged (it stops accepting connections when the current one
+/// closes).
+pub fn request_shutdown(addr: &str) -> Result<(), ApiError> {
+    let stream = TcpStream::connect(addr).map_err(io_error)?;
+    let mut writer = stream.try_clone().map_err(io_error)?;
+    send_line(&mut writer, &api::shutdown_request()).map_err(io_error)?;
+    let reader = BufReader::new(stream);
+    for line in reader.lines() {
+        let line = line.map_err(io_error)?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let Some(value) = parse_json(&line) else {
+            continue;
+        };
+        match value.get("type").and_then(JsonValue::as_str) {
+            Some("shutdown_ack") => return Ok(()),
+            Some("error") => {
+                return Err(ApiError::from_json(&value)
+                    .unwrap_or_else(|| ApiError::new("bad-request", "malformed error line")))
+            }
+            _ => {}
+        }
+    }
+    Err(ApiError::new("io", "connection closed before shutdown_ack"))
+}
+
+fn send_line(writer: &mut impl Write, value: &JsonValue) -> std::io::Result<()> {
+    writer.write_all(value.render().as_bytes())?;
+    writer.write_all(b"\n")?;
+    writer.flush()
+}
+
+fn io_error(e: std::io::Error) -> ApiError {
+    ApiError::new("io", e.to_string())
+}

@@ -7,8 +7,8 @@
 //! verdicts (obligations re-run), but can never flip or lose one.
 
 use gqed_campaign::{
-    enumerate_obligations, read_journal, run_campaign_journaled, CampaignConfig, EngineId,
-    FaultPlan, FlowFilter, JobVerdict, Journal, Obligation, ObligationKind, Telemetry, WriteFault,
+    enumerate_obligations, read_journal, Campaign, CampaignConfig, EngineId, FaultPlan, FlowFilter,
+    JobVerdict, Journal, Obligation, ObligationKind, Telemetry, WriteFault,
 };
 use gqed_core::CheckKind;
 use std::path::PathBuf;
@@ -32,24 +32,17 @@ fn conv_obligations() -> Vec<Obligation> {
 }
 
 fn deterministic_config() -> CampaignConfig {
-    CampaignConfig {
-        jobs: 1,
-        engines: vec![EngineId::Bmc],
-        ..CampaignConfig::default()
-    }
+    CampaignConfig::default().with_engines(vec![EngineId::Bmc])
 }
 
 /// Runs the reference (uninterrupted) journaled campaign; returns its
 /// normalized render and the journal file's framed lines.
 fn reference_run(obls: &[Obligation], path: &PathBuf) -> (String, Vec<String>) {
     let journal = Journal::create(path).unwrap();
-    let summary = run_campaign_journaled(
-        obls,
-        &deterministic_config(),
-        &Telemetry::null(),
-        Some(&journal),
-        None,
-    );
+    let summary = Campaign::new(obls)
+        .config(deterministic_config())
+        .journal(&journal)
+        .run(&Telemetry::null());
     assert!(summary.is_success(), "reference run failed: {summary:?}");
     drop(journal);
     let text = std::fs::read_to_string(path).unwrap();
@@ -73,13 +66,11 @@ fn resume_at_every_record_boundary_is_byte_identical() {
         let (journal, state) = Journal::resume(&cut_path).unwrap();
         let settled = state.completed.len();
         assert_eq!(settled, boundary.saturating_sub(1), "boundary {boundary}");
-        let summary = run_campaign_journaled(
-            &obls,
-            &deterministic_config(),
-            &Telemetry::null(),
-            Some(&journal),
-            Some(&state),
-        );
+        let summary = Campaign::new(&obls)
+            .config(deterministic_config())
+            .journal(&journal)
+            .resume(&state)
+            .run(&Telemetry::null());
         assert_eq!(summary.replayed, settled, "boundary {boundary}");
         assert_eq!(
             summary.normalized_render(),
@@ -102,13 +93,10 @@ fn resume_after_torn_write_mid_record_is_byte_identical() {
     let torn_path = tmp("torn.j1");
     let plan = FaultPlan::new().inject(obls.len() as u64, WriteFault::ShortWrite);
     let journal = Journal::create_with_faults(&torn_path, plan).unwrap();
-    let summary = run_campaign_journaled(
-        &obls,
-        &deterministic_config(),
-        &Telemetry::null(),
-        Some(&journal),
-        None,
-    );
+    let summary = Campaign::new(&obls)
+        .config(deterministic_config())
+        .journal(&journal)
+        .run(&Telemetry::null());
     // The fault never touches the verdicts themselves.
     assert_eq!(summary.normalized_render(), reference);
     drop(journal);
@@ -119,13 +107,11 @@ fn resume_after_torn_write_mid_record_is_byte_identical() {
 
     let (journal, state) = Journal::resume(&torn_path).unwrap();
     assert_eq!(state.completed.len(), obls.len() - 1);
-    let resumed = run_campaign_journaled(
-        &obls,
-        &deterministic_config(),
-        &Telemetry::null(),
-        Some(&journal),
-        Some(&state),
-    );
+    let resumed = Campaign::new(&obls)
+        .config(deterministic_config())
+        .journal(&journal)
+        .resume(&state)
+        .run(&Telemetry::null());
     assert_eq!(resumed.replayed, obls.len() - 1);
     assert_eq!(resumed.normalized_render(), reference);
     std::fs::remove_file(&ref_path).ok();
@@ -145,13 +131,10 @@ fn journal_faults_delay_but_never_flip_verdicts() {
         .inject(1, WriteFault::FsyncError)
         .inject(2, WriteFault::CorruptCrc);
     let journal = Journal::create_with_faults(&fault_path, plan).unwrap();
-    let summary = run_campaign_journaled(
-        &obls,
-        &deterministic_config(),
-        &Telemetry::null(),
-        Some(&journal),
-        None,
-    );
+    let summary = Campaign::new(&obls)
+        .config(deterministic_config())
+        .journal(&journal)
+        .run(&Telemetry::null());
     assert_eq!(summary.normalized_render(), reference);
     drop(journal);
 
@@ -163,13 +146,11 @@ fn journal_faults_delay_but_never_flip_verdicts() {
         state.completed.len() < obls.len(),
         "corruption must force re-runs"
     );
-    let resumed = run_campaign_journaled(
-        &obls,
-        &deterministic_config(),
-        &Telemetry::null(),
-        Some(&journal),
-        Some(&state),
-    );
+    let resumed = Campaign::new(&obls)
+        .config(deterministic_config())
+        .journal(&journal)
+        .resume(&state)
+        .run(&Telemetry::null());
     assert_eq!(resumed.normalized_render(), reference);
     std::fs::remove_file(&ref_path).ok();
     std::fs::remove_file(&fault_path).ok();
@@ -205,15 +186,15 @@ fn debug_obligations_rerun_on_resume_instead_of_being_skipped() {
             expect_violation: Some(false),
         },
     ];
-    let config = CampaignConfig {
-        jobs: 1,
-        base_budget: Some(50),
-        max_attempts: 2,
-        ..CampaignConfig::default()
-    };
+    let config = CampaignConfig::default()
+        .with_base_budget(50)
+        .with_max_attempts(2);
     let path = tmp("debug-rerun.j1");
     let journal = Journal::create(&path).unwrap();
-    let first = run_campaign_journaled(&obls, &config, &Telemetry::null(), Some(&journal), None);
+    let first = Campaign::new(&obls)
+        .config(config.clone())
+        .journal(&journal)
+        .run(&Telemetry::null());
     assert_eq!(first.failures, 1);
     assert_eq!(first.timeouts, 1);
     assert_eq!(first.passes, 1);
@@ -228,7 +209,11 @@ fn debug_obligations_rerun_on_resume_instead_of_being_skipped() {
     assert!(state.completed.contains_key("relu/clean/conv"));
 
     let (telemetry, buf) = Telemetry::buffer();
-    let second = run_campaign_journaled(&obls, &config, &telemetry, Some(&journal), Some(&state));
+    let second = Campaign::new(&obls)
+        .config(config)
+        .journal(&journal)
+        .resume(&state)
+        .run(&telemetry);
     assert_eq!(second.replayed, 1);
     assert_eq!(second.failures, 1, "the panic obligation re-ran");
     assert_eq!(second.timeouts, 1, "the exhaust obligation re-ran");
@@ -261,15 +246,12 @@ fn memory_limited_solver_degrades_without_flipping_verdicts() {
         kind: ObligationKind::DebugExhaust,
         expect_violation: None,
     }];
-    let config = CampaignConfig {
-        jobs: 1,
-        base_budget: Some(50),
-        max_attempts: 2,
-        mem_limit: Some(1),
-        ..CampaignConfig::default()
-    };
+    let config = CampaignConfig::default()
+        .with_base_budget(50)
+        .with_max_attempts(2)
+        .with_mem_limit(1);
     let (telemetry, buf) = Telemetry::buffer();
-    let summary = run_campaign_journaled(&obls, &config, &telemetry, None, None);
+    let summary = Campaign::new(&obls).config(config).run(&telemetry);
     assert_eq!(summary.timeouts, 1);
     assert!(matches!(
         summary.records[0].verdict,
@@ -285,18 +267,12 @@ fn memory_limited_solver_degrades_without_flipping_verdicts() {
 
     // With a sane budget the same campaign machinery still reaches real
     // verdicts: memory limiting is plumbing, not policy.
-    let sane = CampaignConfig {
-        mem_limit: Some(64 << 20),
-        ..deterministic_config()
-    };
     let obls = conv_obligations();
-    let unlimited = run_campaign_journaled(
-        &obls,
-        &deterministic_config(),
-        &Telemetry::null(),
-        None,
-        None,
-    );
-    let limited = run_campaign_journaled(&obls, &sane, &Telemetry::null(), None, None);
+    let unlimited = Campaign::new(&obls)
+        .config(deterministic_config())
+        .run(&Telemetry::null());
+    let limited = Campaign::new(&obls)
+        .config(deterministic_config().with_mem_limit(64 << 20))
+        .run(&Telemetry::null());
     assert_eq!(limited.normalized_render(), unlimited.normalized_render());
 }

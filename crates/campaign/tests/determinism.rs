@@ -6,19 +6,20 @@
 //! cross-job state.
 
 use gqed_campaign::{
-    enumerate_obligations, run_campaign, CampaignConfig, CampaignSummary, EngineId, FlowFilter,
+    enumerate_obligations, Campaign, CampaignConfig, CampaignSummary, EngineId, FlowFilter,
     Telemetry,
 };
 
 fn run(jobs: usize, engines: Vec<EngineId>) -> CampaignSummary {
     let obls = enumerate_obligations(FlowFilter::all(), &["relu".to_string()]);
     assert!(!obls.is_empty());
-    let config = CampaignConfig {
-        jobs,
-        engines,
-        ..CampaignConfig::default()
-    };
-    run_campaign(&obls, &config, &Telemetry::null())
+    Campaign::new(&obls)
+        .config(
+            CampaignConfig::default()
+                .with_jobs(jobs)
+                .with_engines(engines),
+        )
+        .run(&Telemetry::null())
 }
 
 /// (id, normalized verdict) pairs — the soundness-relevant content.

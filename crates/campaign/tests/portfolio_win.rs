@@ -12,8 +12,8 @@
 
 use gqed_bmc::{prove_k_induction_limited, BmcLimits, ProofResult};
 use gqed_campaign::{
-    default_portfolio, enumerate_obligations, run_campaign, run_campaign_journaled, CampaignConfig,
-    CampaignSummary, FlowFilter, JobVerdict, Journal, Obligation, Telemetry, PDR_QUERY_CAP,
+    default_portfolio, enumerate_obligations, Campaign, CampaignConfig, CampaignSummary,
+    FlowFilter, JobVerdict, Journal, Obligation, Telemetry, PDR_QUERY_CAP,
 };
 use gqed_core::{build_model, CheckKind};
 use gqed_ha::all_designs;
@@ -34,11 +34,9 @@ fn bitflip_obligations() -> Vec<Obligation> {
 }
 
 fn portfolio_config(jobs: usize) -> CampaignConfig {
-    CampaignConfig {
-        jobs,
-        engines: default_portfolio(),
-        ..CampaignConfig::default()
-    }
+    CampaignConfig::default()
+        .with_jobs(jobs)
+        .with_engines(default_portfolio())
 }
 
 /// The soundness-plus-attribution content a portfolio campaign must
@@ -106,13 +104,10 @@ fn portfolio_proves_bitflip_deterministically_and_survives_resume() {
     // Reference: an uninterrupted journaled single-worker run.
     let ref_path = tmp("ref.j1");
     let journal = Journal::create(&ref_path).unwrap();
-    let reference = run_campaign_journaled(
-        &obls,
-        &portfolio_config(1),
-        &Telemetry::null(),
-        Some(&journal),
-        None,
-    );
+    let reference = Campaign::new(&obls)
+        .config(portfolio_config(1))
+        .journal(&journal)
+        .run(&Telemetry::null());
     drop(journal);
     assert!(reference.is_success(), "reference failed: {reference:?}");
     assert_eq!(reference.mismatches, 0);
@@ -142,7 +137,9 @@ fn portfolio_proves_bitflip_deterministically_and_survives_resume() {
     // Worker-count independence of the racing portfolio: verdicts AND
     // engine attribution are exact, not merely normalized — the merge
     // policy is priority-ordered, never first-to-finish.
-    let par = run_campaign(&obls, &portfolio_config(4), &Telemetry::null());
+    let par = Campaign::new(&obls)
+        .config(portfolio_config(4))
+        .run(&Telemetry::null());
     assert_eq!(exact(&reference), exact(&par));
 
     // Resume with the proof obligation still pending: cut the journal
@@ -165,13 +162,11 @@ fn portfolio_proves_bitflip_deterministically_and_survives_resume() {
             prove_settled,
             "cut at line {cut}"
         );
-        let resumed = run_campaign_journaled(
-            &obls,
-            &portfolio_config(1),
-            &Telemetry::null(),
-            Some(&journal),
-            Some(&state),
-        );
+        let resumed = Campaign::new(&obls)
+            .config(portfolio_config(1))
+            .journal(&journal)
+            .resume(&state)
+            .run(&Telemetry::null());
         assert_eq!(resumed.replayed, state.completed.len());
         assert_eq!(
             resumed.normalized_render(),

@@ -8,7 +8,7 @@
 //! aggregate exit status — while still producing the genuine verdict.
 
 use gqed_campaign::{
-    is_valid_json, run_campaign, CampaignConfig, JobVerdict, Obligation, ObligationKind, Telemetry,
+    is_valid_json, Campaign, CampaignConfig, JobVerdict, Obligation, ObligationKind, Telemetry,
 };
 use gqed_core::CheckKind;
 
@@ -44,14 +44,12 @@ fn injected_obligations() -> Vec<Obligation> {
 #[test]
 fn campaign_survives_panics_and_exhaustion() {
     let (telemetry, buf) = Telemetry::buffer();
-    let config = CampaignConfig {
-        jobs: 2,
-        base_budget: Some(50), // far too small for the pigeonhole instance
-        max_attempts: 3,
-        ..CampaignConfig::default()
-    };
+    let config = CampaignConfig::default()
+        .with_jobs(2)
+        .with_base_budget(50) // far too small for the pigeonhole instance
+        .with_max_attempts(3);
     let obls = injected_obligations();
-    let summary = run_campaign(&obls, &config, &telemetry);
+    let summary = Campaign::new(&obls).config(config).run(&telemetry);
 
     // Every obligation reached a final record, in obligation order.
     assert_eq!(summary.records.len(), 3);
@@ -124,12 +122,9 @@ fn deadline_escalation_eventually_completes_a_real_check() {
     // A deadline so short the first attempts expire, long enough after
     // Luby growth that the check finishes: the obligation must end with a
     // real verdict, not a timeout.
-    let config = CampaignConfig {
-        jobs: 1,
-        deadline_ms: Some(10),
-        max_attempts: 10,
-        ..CampaignConfig::default()
-    };
+    let config = CampaignConfig::default()
+        .with_deadline_ms(10)
+        .with_max_attempts(10);
     let obls = vec![Obligation {
         id: "relu/clean/conv".to_string(),
         design: "relu",
@@ -140,7 +135,7 @@ fn deadline_escalation_eventually_completes_a_real_check() {
         },
         expect_violation: Some(false),
     }];
-    let summary = run_campaign(&obls, &config, &Telemetry::null());
+    let summary = Campaign::new(&obls).config(config).run(&Telemetry::null());
     let r = &summary.records[0];
     // Either an early attempt squeaked through or escalation rescued it;
     // a small bounded check must not end timeout-escalated with 10 tries

@@ -1,0 +1,270 @@
+//! Tentpole acceptance: the verdict store and the `gqed serve` loop.
+//!
+//! Pins the ISSUE's cache contract end to end: a cold campaign populates
+//! the content-addressed store, resubmitting the identical batch re-solves
+//! zero obligations (`cache_hits == jobs`) and reproduces the normalized
+//! summary byte for byte at any worker count — while mutating a design's
+//! IR invalidates exactly that design's entries.
+
+use gqed_campaign::{
+    derive_key, enumerate_obligations, serve, submit_batch, BatchRequest, Campaign, CampaignConfig,
+    CampaignSummary, EngineId, FlowFilter, JsonValue, Obligation, ObligationKind, ObligationSpec,
+    ReplayedRecord, ServeOptions, Telemetry, VerdictStore,
+};
+use gqed_campaign::{request_shutdown, JobVerdict};
+use gqed_core::{build_model, model_fingerprint, CheckKind};
+use gqed_ha::all_designs;
+use std::net::TcpListener;
+use std::path::PathBuf;
+
+fn tmp(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("gqed-service-{}-{name}", std::process::id()))
+}
+
+/// Bounded-BMC-only keeps every verdict exactly deterministic (see
+/// `determinism.rs`) and every relu obligation cheap.
+fn bmc_config(jobs: usize) -> CampaignConfig {
+    CampaignConfig::default()
+        .with_jobs(jobs)
+        .with_engines(vec![EngineId::Bmc])
+}
+
+fn relu_obligations() -> Vec<Obligation> {
+    let obls = enumerate_obligations(FlowFilter::all(), &["relu".to_string()]);
+    assert!(!obls.is_empty());
+    obls
+}
+
+#[test]
+fn resubmitted_campaign_is_fully_cached_at_any_worker_count() {
+    let path = tmp("store.j1");
+    std::fs::remove_file(&path).ok();
+    let obls = relu_obligations();
+    let n = obls.len() as u64;
+
+    // Cold run: every obligation is a miss and lands in the store.
+    let store = VerdictStore::open(&path).unwrap();
+    let cold = Campaign::new(&obls)
+        .config(bmc_config(1))
+        .verdict_store(&store)
+        .run(&Telemetry::null());
+    assert!(cold.is_success(), "cold campaign failed: {cold:?}");
+    assert_eq!((cold.cache_hits, cold.cache_misses), (0, n));
+    assert_eq!(
+        store.len() as u64,
+        n,
+        "every BMC verdict is conclusive, so every one must be stored"
+    );
+    drop(store);
+
+    // Warm runs: zero obligations re-solved, byte-identical normalized
+    // summary — independent of the worker count.
+    for jobs in [1, 4] {
+        let store = VerdictStore::open(&path).unwrap();
+        let warm = Campaign::new(&obls)
+            .config(bmc_config(jobs))
+            .verdict_store(&store)
+            .run(&Telemetry::null());
+        assert_eq!(
+            (warm.cache_hits, warm.cache_misses),
+            (n, 0),
+            "warm run at {jobs} workers re-solved something"
+        );
+        assert_eq!(
+            warm.normalized_render(),
+            cold.normalized_render(),
+            "cached verdicts diverge from solved ones at {jobs} workers"
+        );
+        // The cached records keep their attribution.
+        for r in &warm.records {
+            assert!(
+                r.cached,
+                "{} was not served from the store",
+                r.obligation.id
+            );
+        }
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+/// The scheduling half of the configuration must not partition the cache:
+/// a verdict computed at one worker count / deadline is valid at another.
+#[test]
+fn store_keys_ignore_scheduling_but_track_solver_relevant_config() {
+    let entry = all_designs()
+        .into_iter()
+        .find(|e| e.name == "relu")
+        .unwrap();
+    let fp = model_fingerprint(&build_model(&entry.build_clean(), CheckKind::GQed));
+    let obl = Obligation {
+        id: "relu/clean/gqed".to_string(),
+        design: "relu",
+        bug: None,
+        kind: ObligationKind::Check {
+            kind: CheckKind::GQed,
+            bound: 6,
+        },
+        expect_violation: Some(false),
+    };
+    let base = CampaignConfig::default();
+    let key = derive_key(fp, &obl, &base);
+    assert_eq!(key, derive_key(fp, &obl, &base.clone().with_jobs(8)));
+    assert_eq!(key, derive_key(fp, &obl, &base.clone().with_deadline_ms(5)));
+    assert_eq!(
+        key,
+        derive_key(fp, &obl, &base.clone().with_warm_start(false))
+    );
+    assert_ne!(key, derive_key(fp, &obl, &base.clone().with_base_budget(7)));
+    assert_ne!(
+        key,
+        derive_key(fp, &obl, &base.clone().with_max_attempts(9))
+    );
+    assert_ne!(
+        key,
+        derive_key(fp, &obl, &base.clone().with_engines(vec![EngineId::Bmc]))
+    );
+    let deeper = Obligation {
+        kind: ObligationKind::Check {
+            kind: CheckKind::GQed,
+            bound: 7,
+        },
+        ..obl.clone()
+    };
+    assert_ne!(key, derive_key(fp, &deeper, &base));
+}
+
+#[test]
+fn ir_mutation_invalidates_exactly_that_designs_entries() {
+    let entry = |name: &str| all_designs().into_iter().find(|e| e.name == name).unwrap();
+    let relu = entry("relu");
+    let fp_clean = model_fingerprint(&build_model(&relu.build_clean(), CheckKind::GQed));
+    let bug = (relu.bugs)().first().expect("relu has bugs").id;
+    let fp_mutated = model_fingerprint(&build_model(&relu.build_buggy(bug), CheckKind::GQed));
+    let vecadd = entry("vecadd");
+    let fp_vecadd = model_fingerprint(&build_model(&vecadd.build_clean(), CheckKind::GQed));
+
+    let check = |design: &'static str| Obligation {
+        id: format!("{design}/clean/gqed"),
+        design,
+        bug: None,
+        kind: ObligationKind::Check {
+            kind: CheckKind::GQed,
+            bound: 6,
+        },
+        expect_violation: Some(false),
+    };
+    let config = CampaignConfig::default();
+    let record = ReplayedRecord {
+        verdict: JobVerdict::Clean { bound: 6 },
+        attempts: 1,
+        engine: "bmc",
+        frames_solved: 7,
+        wall_ms: 1,
+    };
+
+    let store = VerdictStore::in_memory().unwrap();
+    let k_relu = derive_key(fp_clean, &check("relu"), &config);
+    let k_vecadd = derive_key(fp_vecadd, &check("vecadd"), &config);
+    store.put(k_relu, &record).unwrap();
+    store.put(k_vecadd, &record).unwrap();
+
+    // The mutated relu build misses — its fingerprint changed — while the
+    // untouched vecadd entry (and the unmutated relu entry) still hit.
+    let k_mutated = derive_key(fp_mutated, &check("relu"), &config);
+    assert_ne!(k_relu, k_mutated);
+    assert!(store.get(k_mutated).is_none());
+    assert!(store.get(k_relu).is_some());
+    assert!(store.get(k_vecadd).is_some());
+}
+
+#[test]
+fn served_batches_hit_the_cache_on_resubmission() {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap().to_string();
+    let server = std::thread::spawn(move || {
+        let opts = ServeOptions {
+            config: bmc_config(2),
+            store: None, // in-memory: shared across batches within the server
+        };
+        serve(listener, &opts)
+    });
+
+    let obls = relu_obligations();
+    let request = BatchRequest {
+        batch: "service-test".to_string(),
+        jobs: None,
+        deadline_ms: None,
+        budget: None,
+        max_attempts: None,
+        engines: None,
+        obligations: obls
+            .iter()
+            .map(|o| ObligationSpec::from_obligation(o).unwrap())
+            .collect(),
+    };
+    let n = obls.len() as u64;
+
+    let first = submit_batch(&addr, &request, |_| {}).unwrap();
+    assert_eq!(first.exit_code, 0, "cold batch failed: {first:?}");
+    assert_eq!((first.cache_hits, first.cache_misses), (0, n));
+    assert_eq!(first.obligations, n);
+
+    // Resubmission: zero re-solves, a `job_cached` event per obligation,
+    // and a byte-identical normalized summary.
+    let mut cached_events = 0u64;
+    let second = submit_batch(&addr, &request, |event| {
+        if event.get("type").and_then(JsonValue::as_str) == Some("job_cached") {
+            cached_events += 1;
+        }
+    })
+    .unwrap();
+    assert_eq!((second.cache_hits, second.cache_misses), (n, 0));
+    assert_eq!(cached_events, n);
+    assert_eq!(second.normalized, first.normalized);
+    assert_eq!(second.exit_code, 0);
+
+    // Batch-level failures are structured errors, not dropped connections
+    // — and they leave the server alive for the next request.
+    let mut bad = request.clone();
+    bad.obligations[0].design = "no-such-design".to_string();
+    let err = submit_batch(&addr, &bad, |_| {}).unwrap_err();
+    assert_eq!(err.code, "unknown-design");
+    let mut unknown_engine = request.clone();
+    unknown_engine.engines = Some(vec!["zchaff".to_string()]);
+    let err = submit_batch(&addr, &unknown_engine, |_| {}).unwrap_err();
+    assert_eq!(err.code, "unknown-engine");
+
+    let third = submit_batch(&addr, &request, |_| {}).unwrap();
+    assert_eq!(third.cache_hits, n);
+
+    request_shutdown(&addr).unwrap();
+    server.join().unwrap().unwrap();
+}
+
+/// Normalized summaries carry no wall-clock content, so a cold solve and
+/// a fully cached replay of the same obligations must render identically
+/// even across separate store files.
+#[test]
+fn normalized_summary_is_deterministic_across_cold_and_cached_runs() {
+    let obls = relu_obligations();
+    let render = |summary: &CampaignSummary| summary.normalized_render();
+
+    let store = VerdictStore::in_memory().unwrap();
+    let cold = Campaign::new(&obls)
+        .config(bmc_config(2))
+        .verdict_store(&store)
+        .run(&Telemetry::null());
+    let cached = Campaign::new(&obls)
+        .config(bmc_config(2))
+        .verdict_store(&store)
+        .run(&Telemetry::null());
+    assert_eq!(cached.cache_hits, obls.len() as u64);
+    assert_eq!(render(&cold), render(&cached));
+
+    // And without any store at all, the normalized render still matches:
+    // the cache changes how verdicts are obtained, never what they are.
+    let plain = Campaign::new(&obls)
+        .config(bmc_config(2))
+        .run(&Telemetry::null());
+    assert_eq!(render(&plain), render(&cold));
+}

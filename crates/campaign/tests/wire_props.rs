@@ -1,0 +1,267 @@
+//! Property tests for the versioned campaign wire types.
+//!
+//! Driven by the workspace's deterministic splitmix64 PRNG (the image has
+//! no `proptest`): hundreds of randomly shaped obligation specs, batch
+//! requests and batch responses — hostile strings included — must survive
+//! `encode → parse → encode` byte-identically, and envelopes with an
+//! unknown major schema version must be rejected with a structured error,
+//! never a parse panic.
+
+use gqed_campaign::{
+    enumerate_obligations, parse_json, ApiError, BatchRequest, BatchResponse, FlowFilter,
+    ObligationSpec, SCHEMA_VERSION,
+};
+use gqed_logic::rng::SplitMix64;
+
+/// Strings biased toward the JSON-hostile cases: control characters,
+/// quotes, backslashes, multibyte text.
+fn gen_string(rng: &mut SplitMix64) -> String {
+    let len = rng.below(10) as usize;
+    let mut s = String::new();
+    for _ in 0..len {
+        match rng.below(6) {
+            0 => s.push(char::from_u32(rng.below(0x20) as u32).unwrap()),
+            1 => s.push(['"', '\\', '/', '\u{7f}'][rng.below(4) as usize]),
+            2 => s.push(['é', 'ß', '\u{2028}', '😀'][rng.below(4) as usize]),
+            _ => s.push((b'a' + rng.below(26) as u8) as char),
+        }
+    }
+    s
+}
+
+fn gen_opt_u32(rng: &mut SplitMix64) -> Option<u32> {
+    if rng.next_bool() {
+        Some(rng.next_u64() as u32)
+    } else {
+        None
+    }
+}
+
+fn gen_spec(rng: &mut SplitMix64) -> ObligationSpec {
+    ObligationSpec {
+        id: format!("{}/{}", gen_string(rng), rng.below(1000)),
+        design: gen_string(rng),
+        bug: if rng.next_bool() {
+            Some(gen_string(rng))
+        } else {
+            None
+        },
+        flow: ["gqed", "aqed", "conv", "prove"][rng.below(4) as usize].to_string(),
+        bound: gen_opt_u32(rng),
+        max_k: gen_opt_u32(rng),
+        expect_violation: match rng.below(3) {
+            0 => None,
+            1 => Some(false),
+            _ => Some(true),
+        },
+    }
+}
+
+fn gen_request(rng: &mut SplitMix64) -> BatchRequest {
+    let n = rng.below(5) as usize;
+    BatchRequest {
+        batch: gen_string(rng),
+        jobs: if rng.next_bool() {
+            Some(rng.below(64))
+        } else {
+            None
+        },
+        deadline_ms: if rng.next_bool() {
+            Some(rng.next_u64() >> 1)
+        } else {
+            None
+        },
+        budget: if rng.next_bool() {
+            Some(rng.next_u64() >> 1)
+        } else {
+            None
+        },
+        max_attempts: gen_opt_u32(rng),
+        engines: if rng.next_bool() {
+            let k = rng.below(4) as usize;
+            Some(
+                (0..k)
+                    .map(|_| ["bmc", "kind", "pdr", "fancy"][rng.below(4) as usize].to_string())
+                    .collect(),
+            )
+        } else {
+            None
+        },
+        obligations: (0..n).map(|_| gen_spec(rng)).collect(),
+    }
+}
+
+fn gen_response(rng: &mut SplitMix64) -> BatchResponse {
+    let batch = gen_string(rng);
+    let normalized = gen_string(rng);
+    let mut c = || rng.below(1 << 20);
+    BatchResponse {
+        batch,
+        obligations: c(),
+        violations: c(),
+        passes: c(),
+        unknowns: c(),
+        timeouts: c(),
+        failures: c(),
+        cancelled: c(),
+        replayed: c(),
+        mismatches: c(),
+        cache_hits: c(),
+        cache_misses: c(),
+        jobs: c(),
+        wall_ms: c(),
+        exit_code: i64::from(rng.below(3) as u32),
+        normalized,
+    }
+}
+
+#[test]
+fn obligation_specs_round_trip_byte_identically() {
+    let mut rng = SplitMix64::new(0x0B11_6A7E);
+    for i in 0..500 {
+        let spec = gen_spec(&mut rng);
+        let rendered = spec.to_json().render();
+        let value = parse_json(&rendered)
+            .unwrap_or_else(|| panic!("case {i}: own render does not parse: {rendered}"));
+        let back = ObligationSpec::from_json(&value)
+            .unwrap_or_else(|e| panic!("case {i}: parse failed: {e}"));
+        assert_eq!(back, spec, "case {i}: value round-trip changed the spec");
+        assert_eq!(
+            back.to_json().render(),
+            rendered,
+            "case {i}: encode → parse → encode not byte-stable"
+        );
+    }
+}
+
+#[test]
+fn batch_requests_round_trip_byte_identically() {
+    let mut rng = SplitMix64::new(0xBA7C_4E05);
+    for i in 0..300 {
+        let req = gen_request(&mut rng);
+        let rendered = req.to_json().render();
+        let value = parse_json(&rendered)
+            .unwrap_or_else(|| panic!("case {i}: own render does not parse: {rendered}"));
+        let back =
+            BatchRequest::from_json(&value).unwrap_or_else(|e| panic!("case {i}: parse: {e}"));
+        assert_eq!(back, req, "case {i}");
+        assert_eq!(back.to_json().render(), rendered, "case {i}");
+    }
+}
+
+#[test]
+fn batch_responses_round_trip_byte_identically() {
+    let mut rng = SplitMix64::new(0x4E59_0453);
+    for i in 0..300 {
+        let resp = gen_response(&mut rng);
+        let rendered = resp.to_json().render();
+        let value = parse_json(&rendered)
+            .unwrap_or_else(|| panic!("case {i}: own render does not parse: {rendered}"));
+        let back =
+            BatchResponse::from_json(&value).unwrap_or_else(|e| panic!("case {i}: parse: {e}"));
+        assert_eq!(back, resp, "case {i}");
+        assert_eq!(back.to_json().render(), rendered, "case {i}");
+    }
+}
+
+#[test]
+fn unknown_major_versions_are_rejected_with_a_structured_error() {
+    let mut rng = SplitMix64::new(0x5EED_0007);
+    let req = gen_request(&mut rng);
+    let good = req.to_json().render();
+    assert!(BatchRequest::from_json(&parse_json(&good).unwrap()).is_ok());
+
+    // A future major version: structured `unsupported-version`, not a
+    // panic and not a generic parse failure.
+    let bumped = good.replace(
+        &format!("\"schema_version\":\"{SCHEMA_VERSION}\""),
+        "\"schema_version\":\"2.0\"",
+    );
+    assert_ne!(bumped, good, "replacement must hit the version field");
+    let err = BatchRequest::from_json(&parse_json(&bumped).unwrap()).unwrap_err();
+    assert_eq!(err.code, "unsupported-version", "{err}");
+
+    // A higher *minor* version of the same major is tolerated.
+    let minor = good.replace(
+        &format!("\"schema_version\":\"{SCHEMA_VERSION}\""),
+        "\"schema_version\":\"1.9\"",
+    );
+    assert!(BatchRequest::from_json(&parse_json(&minor).unwrap()).is_ok());
+
+    // Missing or malformed versions are `bad-request`.
+    for broken in [
+        good.replace(
+            &format!("\"schema_version\":\"{SCHEMA_VERSION}\""),
+            "\"schema_version\":null",
+        ),
+        good.replace(
+            &format!("\"schema_version\":\"{SCHEMA_VERSION}\""),
+            "\"schema_version\":\"not-a-version\"",
+        ),
+    ] {
+        let err = BatchRequest::from_json(&parse_json(&broken).unwrap()).unwrap_err();
+        assert_eq!(err.code, "bad-request", "{err}");
+    }
+
+    // Responses enforce the same contract.
+    let resp = gen_response(&mut rng).to_json().render().replace(
+        &format!("\"schema_version\":\"{SCHEMA_VERSION}\""),
+        "\"schema_version\":\"7.0\"",
+    );
+    let err = BatchResponse::from_json(&parse_json(&resp).unwrap()).unwrap_err();
+    assert_eq!(err.code, "unsupported-version");
+}
+
+#[test]
+fn api_errors_round_trip() {
+    let e = ApiError::new("unknown-design", "no design 'x\"y\\z'");
+    let rendered = e.to_json().render();
+    let back = ApiError::from_json(&parse_json(&rendered).unwrap()).unwrap();
+    assert_eq!(back, e);
+}
+
+#[test]
+fn catalogue_obligations_survive_the_wire_and_resolve_back() {
+    // Every real (wire-representable) obligation round-trips through its
+    // spec and resolves back to an equivalent obligation.
+    let obligations = enumerate_obligations(FlowFilter::all(), &[]);
+    assert!(!obligations.is_empty());
+    for obl in &obligations {
+        let spec = ObligationSpec::from_obligation(obl)
+            .expect("catalogue obligations are wire-representable");
+        let rendered = spec.to_json().render();
+        let back = ObligationSpec::from_json(&parse_json(&rendered).unwrap()).unwrap();
+        let resolved = back.resolve().unwrap_or_else(|e| panic!("{}: {e}", obl.id));
+        assert_eq!(resolved.id, obl.id);
+        assert_eq!(resolved.design, obl.design);
+        assert_eq!(resolved.bug, obl.bug);
+        assert_eq!(resolved.kind, obl.kind);
+        assert_eq!(resolved.expect_violation, obl.expect_violation);
+    }
+}
+
+#[test]
+fn resolution_failures_are_structured() {
+    let mut spec = ObligationSpec {
+        id: "x".to_string(),
+        design: "no-such-design".to_string(),
+        bug: None,
+        flow: "gqed".to_string(),
+        bound: Some(6),
+        max_k: None,
+        expect_violation: None,
+    };
+    assert_eq!(spec.resolve().unwrap_err().code, "unknown-design");
+    spec.design = "relu".to_string();
+    spec.bug = Some("no-such-bug".to_string());
+    assert_eq!(spec.resolve().unwrap_err().code, "unknown-bug");
+    spec.bug = None;
+    spec.flow = "sideways".to_string();
+    assert_eq!(spec.resolve().unwrap_err().code, "bad-request");
+    spec.flow = "prove".to_string();
+    assert_eq!(
+        spec.resolve().unwrap_err().code,
+        "bad-request",
+        "prove without max_k"
+    );
+}

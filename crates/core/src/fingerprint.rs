@@ -1,0 +1,108 @@
+//! Stable content fingerprints for built verification models.
+//!
+//! The campaign layer's content-addressed verdict store needs a key that
+//! identifies *what was verified* independently of where or when: two
+//! processes building the same design variant for the same flow must
+//! derive the same key, and any change to the design's IR — a bug
+//! injected, an operator swapped, a width widened — must change it.
+//!
+//! The fingerprint is the FNV-1a 64-bit hash of the model's BTOR2
+//! rendering. That rendering is deterministic (node ids are assigned in
+//! creation order by the deterministic synthesis + cone-of-influence
+//! pipeline) and complete (sorts, constants, operations, state init/next,
+//! constraints and bad properties all appear), so it is exactly the
+//! "design IR fingerprint" the store key calls for. Hashing the textual
+//! form rather than walking the term graph keeps the fingerprint stable
+//! under refactors of in-memory representation: it changes only when the
+//! semantics-bearing serialization changes.
+
+use gqed_ir::{to_btor2, Model};
+
+/// FNV-1a 64-bit offset basis.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a 64-bit prime.
+const FNV_PRIME: u64 = 0x100_0000_01b3;
+
+/// FNV-1a 64-bit hash of a byte string.
+///
+/// Small, dependency-free, and stable across platforms and releases —
+/// the properties a persistent store key needs. Not cryptographic; the
+/// verdict store is a cache keyed by trusted local inputs, not an
+/// integrity boundary.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// Extend an FNV-1a 64-bit hash with more bytes.
+///
+/// Used to fold multiple key components (fingerprint, flow, bounds,
+/// engine set, config) into one store key without intermediate strings.
+pub fn fnv1a64_extend(mut h: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// Stable fingerprint of a built model's IR.
+///
+/// Hashes the deterministic BTOR2 rendering of the (wrapped,
+/// cone-of-influence-reduced) transition system. Equal for repeated
+/// builds of the same design variant and flow; different whenever the
+/// IR differs — which is what lets a verdict store invalidate exactly
+/// the entries of a design whose RTL changed.
+pub fn model_fingerprint(model: &Model) -> u64 {
+    fnv1a64(to_btor2(&model.ctx, &model.ts).as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::session::build_model;
+    use crate::CheckKind;
+    use gqed_ha::all_designs;
+
+    fn entry(name: &str) -> gqed_ha::DesignEntry {
+        all_designs().into_iter().find(|e| e.name == name).unwrap()
+    }
+
+    #[test]
+    fn fnv1a64_matches_reference_vectors() {
+        // Published FNV-1a 64 test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+        // Extend is equivalent to hashing the concatenation.
+        assert_eq!(fnv1a64_extend(fnv1a64(b"foo"), b"bar"), fnv1a64(b"foobar"));
+    }
+
+    #[test]
+    fn fingerprint_is_stable_across_rebuilds() {
+        let e = entry("relu");
+        let a = model_fingerprint(&build_model(&e.build_clean(), CheckKind::GQed));
+        let b = model_fingerprint(&build_model(&e.build_clean(), CheckKind::GQed));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn fingerprint_separates_designs_flows_and_bugs() {
+        let relu = entry("relu");
+        let clean_gqed = model_fingerprint(&build_model(&relu.build_clean(), CheckKind::GQed));
+        let clean_aqed = model_fingerprint(&build_model(&relu.build_clean(), CheckKind::AQed));
+        assert_ne!(clean_gqed, clean_aqed, "flow must change the fingerprint");
+
+        let bug = (relu.bugs)().first().expect("relu has a catalogued bug").id;
+        let buggy = model_fingerprint(&build_model(&relu.build_buggy(bug), CheckKind::GQed));
+        assert_ne!(clean_gqed, buggy, "IR mutation must change the fingerprint");
+
+        let vecadd = entry("vecadd");
+        let other = model_fingerprint(&build_model(&vecadd.build_clean(), CheckKind::GQed));
+        assert_ne!(clean_gqed, other, "different designs must differ");
+    }
+}

@@ -28,6 +28,7 @@
 
 #![warn(missing_docs)]
 pub mod check;
+pub mod fingerprint;
 pub mod productivity;
 pub mod session;
 pub mod theory;
@@ -36,5 +37,6 @@ pub mod wrapper;
 pub use check::{
     check_design, check_design_limited, CheckKind, CheckOutcome, CheckStatus, Verdict,
 };
+pub use fingerprint::{fnv1a64, fnv1a64_extend, model_fingerprint};
 pub use session::{build_model, CheckSession, ModelCache, ModelKey};
 pub use wrapper::{synthesize, QedChecks, QedConfig, WrappedModel};

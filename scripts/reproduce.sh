@@ -35,6 +35,9 @@ grep -E 'engine wins: [0-9]+ bmc, [0-9]+ kind, [1-9][0-9]* pdr' \
   "$out/portfolio-smoke.txt" >/dev/null \
   || { echo "portfolio smoke: expected a PDR win on bitflip" >&2; exit 1; }
 
+echo "== serve smoke (content-addressed verdict cache over TCP) =="
+scripts/serve_smoke.sh target/release/gqed | tee "$out/serve-smoke.txt"
+
 run table1
 run table4
 run table5

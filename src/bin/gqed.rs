@@ -41,11 +41,32 @@
 //!                                   memory-stopped jobs retry cold
 //!      --summary-out <file>         write the normalized per-obligation
 //!                                   summary (stable across runs/resumes)
+//!      --store <file>               content-addressed verdict store: serve
+//!                                   unchanged obligations from disk, publish
+//!                                   fresh conclusive verdicts back
 //!
 //!      SIGINT/SIGTERM cancel the campaign gracefully: in-flight solvers
 //!      stop at the next poll, pending obligations drain as `cancelled`
 //!      with journal checkpoints, and the exit code is 130. A second
 //!      signal exits immediately.
+//! gqed serve [opts]                 long-running campaign service (TCP,
+//!                                   line-delimited JSON; see EXPERIMENTS.md)
+//!      --addr <host:port>           listen address (default 127.0.0.1:7878;
+//!                                   port 0 picks an ephemeral port)
+//!      --store <file>               persistent verdict store shared by every
+//!                                   batch (default: in-memory, process-lifetime)
+//!      plus the campaign solver knobs (--jobs, --deadline-ms, --budget,
+//!      --max-attempts, --engines, --no-race, --cold, --mem-limit) as the
+//!      base configuration; each batch request may override them
+//! gqed submit [<design>…|--all]     submit one batch to a running server
+//!      --addr <host:port>           server address (default 127.0.0.1:7878)
+//!      --batch <label>              batch label echoed in telemetry
+//!      --flow gqed[,aqed,conv]      restrict to the listed flows
+//!      --jobs/--deadline-ms/--budget/--max-attempts/--engines
+//!                                   per-batch overrides of the server's base
+//!      --telemetry <file>           write the streamed JSONL telemetry
+//!      --summary-out <file>         write the normalized summary
+//!      --shutdown                   ask the server to shut down instead
 //! gqed bench [opts]                 cold-vs-warm pipeline benchmark
 //!      --quick                      small suite for the CI smoke step
 //!      --out <file>                 report path (default BENCH_pipeline.json)
@@ -74,11 +95,13 @@ fn main() {
         Some("bmc") => cmd_bmc(&args[1..]),
         Some("prove") => cmd_prove(&args[1..]),
         Some("campaign") => cmd_campaign(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
+        Some("submit") => cmd_submit(&args[1..]),
         Some("bench") => cmd_bench(&args[1..]),
         Some("productivity") => cmd_productivity(&args[1..]),
         _ => {
             eprintln!(
-                "usage: gqed <list|check|hunt|export|bmc|prove|campaign|bench|productivity> …"
+                "usage: gqed <list|check|hunt|export|bmc|prove|campaign|serve|submit|bench|productivity> …"
             );
             eprintln!("       (see the crate docs or src/bin/gqed.rs for options)");
             exit(2);
@@ -382,6 +405,93 @@ fn cmd_prove(args: &[String]) {
     }
 }
 
+fn parse_flag<T: std::str::FromStr>(args: &[String], name: &str) -> Option<T> {
+    flag_value(args, name).map(|v| {
+        v.parse().unwrap_or_else(|_| {
+            eprintln!("bad {name} '{v}'");
+            exit(2);
+        })
+    })
+}
+
+/// The `--flow` filter shared by `campaign` and `submit`.
+fn parse_flows(args: &[String]) -> gqed::campaign::FlowFilter {
+    use gqed::campaign::FlowFilter;
+    match flag_value(args, "--flow") {
+        None => FlowFilter::all(),
+        Some(list) => {
+            let mut f = FlowFilter {
+                gqed: false,
+                aqed: false,
+                conventional: false,
+            };
+            for flow in list.split(',') {
+                match flow {
+                    "gqed" => f.gqed = true,
+                    "aqed" => f.aqed = true,
+                    "conv" | "conventional" => f.conventional = true,
+                    other => {
+                        eprintln!("unknown flow '{other}' (expected gqed, aqed or conv)");
+                        exit(2);
+                    }
+                }
+            }
+            f
+        }
+    }
+}
+
+/// Engine selection shared by `campaign` and `serve`: `--engines` picks
+/// the clean-design proof portfolio; `--no-race` is the historical
+/// shorthand for the deterministic BMC-only path.
+fn parse_engines(args: &[String]) -> Vec<gqed::campaign::EngineId> {
+    use gqed::campaign::EngineId;
+    match (flag_value(args, "--engines"), has_flag(args, "--no-race")) {
+        (Some(_), true) => {
+            eprintln!(
+                "--engines and --no-race are mutually exclusive (--no-race means --engines bmc)"
+            );
+            exit(2);
+        }
+        (Some(list), false) => EngineId::parse_list(list).unwrap_or_else(|e| {
+            eprintln!("bad --engines '{list}': {e}");
+            exit(2);
+        }),
+        (None, true) => vec![EngineId::Bmc],
+        (None, false) => gqed::campaign::default_portfolio(),
+    }
+}
+
+/// The campaign configuration implied by the shared solver flags —
+/// `campaign` uses it directly, `serve` as the base configuration batch
+/// requests override.
+fn campaign_config_from_args(args: &[String]) -> gqed::campaign::CampaignConfig {
+    use gqed::campaign::CampaignConfig;
+    let mut config = CampaignConfig::default()
+        .with_engines(parse_engines(args))
+        .with_warm_start(!has_flag(args, "--cold"));
+    if let Some(jobs) = parse_flag(args, "--jobs") {
+        config = config.with_jobs(jobs);
+    }
+    if let Some(ms) = parse_flag(args, "--deadline-ms") {
+        config = config.with_deadline_ms(ms);
+    }
+    if let Some(budget) = parse_flag(args, "--budget") {
+        config = config.with_base_budget(budget);
+    }
+    if let Some(attempts) = parse_flag(args, "--max-attempts") {
+        config = config.with_max_attempts(attempts);
+    }
+    if let Some(v) = flag_value(args, "--mem-limit") {
+        let bytes = parse_size(v).unwrap_or_else(|| {
+            eprintln!("bad --mem-limit '{v}' (expected bytes with optional K/M/G suffix)");
+            exit(2);
+        });
+        config = config.with_mem_limit(bytes);
+    }
+    config
+}
+
 /// Parses a byte size with an optional `K`/`M`/`G` suffix (powers of
 /// 1024), e.g. `512M`.
 fn parse_size(v: &str) -> Option<usize> {
@@ -430,8 +540,7 @@ mod signals {
 
 fn cmd_campaign(args: &[String]) {
     use gqed::campaign::{
-        enumerate_obligations, manifest_crc, run_campaign_journaled, CampaignConfig, EngineId,
-        FlowFilter, Journal, Telemetry,
+        enumerate_obligations, manifest_crc, Campaign, Journal, Telemetry, VerdictStore,
     };
 
     let designs: Vec<String> = args
@@ -453,6 +562,7 @@ fn cmd_campaign(args: &[String]) {
                             | "--mem-limit"
                             | "--summary-out"
                             | "--engines"
+                            | "--store"
                     )
                 )
         })
@@ -464,77 +574,24 @@ fn cmd_campaign(args: &[String]) {
         );
         eprintln!("                     [--max-attempts n] [--telemetry file] [--flow gqed,aqed,conv] [--no-race]");
         eprintln!("                     [--engines bmc,kind,pdr] [--journal file] [--resume file]");
-        eprintln!("                     [--mem-limit bytes[K|M|G]] [--summary-out file]");
+        eprintln!(
+            "                     [--mem-limit bytes[K|M|G]] [--summary-out file] [--store file]"
+        );
         exit(2);
     }
     for name in &designs {
         find_design(name); // validate early with the friendly error
     }
 
-    let flows = match flag_value(args, "--flow") {
-        None => FlowFilter::all(),
-        Some(list) => {
-            let mut f = FlowFilter {
-                gqed: false,
-                aqed: false,
-                conventional: false,
-            };
-            for flow in list.split(',') {
-                match flow {
-                    "gqed" => f.gqed = true,
-                    "aqed" => f.aqed = true,
-                    "conv" | "conventional" => f.conventional = true,
-                    other => {
-                        eprintln!("unknown flow '{other}' (expected gqed, aqed or conv)");
-                        exit(2);
-                    }
-                }
-            }
-            f
-        }
-    };
-    fn parse_flag<T: std::str::FromStr>(args: &[String], name: &str) -> Option<T> {
-        flag_value(args, name).map(|v| {
-            v.parse().unwrap_or_else(|_| {
-                eprintln!("bad {name} '{v}'");
-                exit(2);
-            })
-        })
-    }
-    let mem_limit = flag_value(args, "--mem-limit").map(|v| {
-        parse_size(v).unwrap_or_else(|| {
-            eprintln!("bad --mem-limit '{v}' (expected bytes with optional K/M/G suffix)");
-            exit(2);
+    let flows = parse_flows(args);
+    let interrupt = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let config = campaign_config_from_args(args).with_interrupt(std::sync::Arc::clone(&interrupt));
+    let store = flag_value(args, "--store").map(|path| {
+        VerdictStore::open(std::path::Path::new(path)).unwrap_or_else(|e| {
+            eprintln!("cannot open verdict store {path}: {e}");
+            exit(1);
         })
     });
-    // Engine selection: `--engines` picks the clean-design proof
-    // portfolio; `--no-race` is the historical shorthand for the
-    // deterministic BMC-only path.
-    let engines = match (flag_value(args, "--engines"), has_flag(args, "--no-race")) {
-        (Some(_), true) => {
-            eprintln!(
-                "--engines and --no-race are mutually exclusive (--no-race means --engines bmc)"
-            );
-            exit(2);
-        }
-        (Some(list), false) => EngineId::parse_list(list).unwrap_or_else(|e| {
-            eprintln!("bad --engines '{list}': {e}");
-            exit(2);
-        }),
-        (None, true) => vec![EngineId::Bmc],
-        (None, false) => gqed::campaign::default_portfolio(),
-    };
-    let interrupt = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
-    let config = CampaignConfig {
-        jobs: parse_flag(args, "--jobs").unwrap_or(1),
-        deadline_ms: parse_flag(args, "--deadline-ms"),
-        base_budget: parse_flag(args, "--budget"),
-        max_attempts: parse_flag(args, "--max-attempts").unwrap_or(4),
-        engines,
-        warm_start: !has_flag(args, "--cold"),
-        mem_limit,
-        interrupt: Some(std::sync::Arc::clone(&interrupt)),
-    };
     let telemetry = match flag_value(args, "--telemetry") {
         Some(path) => Telemetry::file(std::path::Path::new(path)).unwrap_or_else(|e| {
             eprintln!("cannot open telemetry file {path}: {e}");
@@ -607,13 +664,17 @@ fn cmd_campaign(args: &[String]) {
         obligations.len(),
         config.jobs.max(1)
     );
-    let summary = run_campaign_journaled(
-        &obligations,
-        &config,
-        &telemetry,
-        journal.as_ref(),
-        resume.as_ref(),
-    );
+    let mut campaign = Campaign::new(&obligations).config(config.clone());
+    if let Some(j) = journal.as_ref() {
+        campaign = campaign.journal(j);
+    }
+    if let Some(s) = resume.as_ref() {
+        campaign = campaign.resume(s);
+    }
+    if let Some(store) = store.as_ref() {
+        campaign = campaign.verdict_store(store);
+    }
+    let summary = campaign.run(&telemetry);
 
     if let Some(path) = flag_value(args, "--summary-out") {
         std::fs::write(path, summary.normalized_render()).unwrap_or_else(|e| {
@@ -656,7 +717,172 @@ fn cmd_campaign(args: &[String]) {
         "engine wins: {} bmc, {} kind, {} pdr",
         summary.wins_bmc, summary.wins_kind, summary.wins_pdr
     );
+    if store.is_some() {
+        println!(
+            "verdict store: {} cache hits, {} cache misses",
+            summary.cache_hits, summary.cache_misses
+        );
+    }
     exit(summary.exit_code());
+}
+
+fn cmd_serve(args: &[String]) {
+    use gqed::campaign::{serve, ServeOptions};
+
+    let interrupt = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let config = campaign_config_from_args(args).with_interrupt(std::sync::Arc::clone(&interrupt));
+    let opts = ServeOptions {
+        config,
+        store: flag_value(args, "--store").map(std::path::PathBuf::from),
+    };
+    let addr = flag_value(args, "--addr").unwrap_or("127.0.0.1:7878");
+    let listener = std::net::TcpListener::bind(addr).unwrap_or_else(|e| {
+        eprintln!("cannot bind {addr}: {e}");
+        exit(1);
+    });
+    let local = listener
+        .local_addr()
+        .expect("bound listener has an address");
+
+    // Ctrl-C stops the accept loop between connections.
+    #[cfg(unix)]
+    {
+        signals::install();
+        let flag = std::sync::Arc::clone(&interrupt);
+        std::thread::spawn(move || loop {
+            if signals::SHUTDOWN.load(std::sync::atomic::Ordering::Relaxed) {
+                flag.store(true, std::sync::atomic::Ordering::Relaxed);
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(25));
+        });
+    }
+
+    println!("gqed serve: listening on {local}");
+    match opts.store.as_deref() {
+        Some(path) => eprintln!("verdict store: {}", path.display()),
+        None => eprintln!("verdict store: in-memory (process lifetime)"),
+    }
+    if let Err(e) = serve(listener, &opts) {
+        eprintln!("serve failed: {e}");
+        exit(1);
+    }
+}
+
+fn cmd_submit(args: &[String]) {
+    use gqed::campaign::{
+        enumerate_obligations, request_shutdown, submit_batch, BatchRequest, ObligationSpec,
+        Telemetry,
+    };
+
+    let addr = flag_value(args, "--addr").unwrap_or("127.0.0.1:7878");
+    if has_flag(args, "--shutdown") {
+        if let Err(e) = request_shutdown(addr) {
+            eprintln!("shutdown request failed: {e}");
+            exit(1);
+        }
+        eprintln!("server at {addr} acknowledged shutdown");
+        return;
+    }
+
+    let designs: Vec<String> = args
+        .iter()
+        .enumerate()
+        .filter(|(i, a)| {
+            !a.starts_with("--")
+                && !matches!(
+                    args.get(i.wrapping_sub(1)).map(String::as_str),
+                    Some(
+                        "--addr"
+                            | "--batch"
+                            | "--flow"
+                            | "--jobs"
+                            | "--deadline-ms"
+                            | "--budget"
+                            | "--max-attempts"
+                            | "--engines"
+                            | "--telemetry"
+                            | "--summary-out"
+                    )
+                )
+        })
+        .map(|(_, a)| a.clone())
+        .collect();
+    if designs.is_empty() && !has_flag(args, "--all") {
+        eprintln!("usage: gqed submit [<design>…|--all] [--addr host:port] [--batch label]");
+        eprintln!(
+            "                   [--flow gqed,aqed,conv] [--jobs n] [--deadline-ms m] [--budget c]"
+        );
+        eprintln!("                   [--max-attempts n] [--engines bmc,kind,pdr]");
+        eprintln!("                   [--telemetry file] [--summary-out file] [--shutdown]");
+        exit(2);
+    }
+    for name in &designs {
+        find_design(name);
+    }
+
+    let obligations = enumerate_obligations(parse_flows(args), &designs);
+    let specs: Vec<ObligationSpec> = obligations
+        .iter()
+        .filter_map(ObligationSpec::from_obligation)
+        .collect();
+    let request = BatchRequest {
+        batch: flag_value(args, "--batch").unwrap_or("batch").to_string(),
+        jobs: parse_flag(args, "--jobs"),
+        deadline_ms: parse_flag(args, "--deadline-ms"),
+        budget: parse_flag(args, "--budget"),
+        max_attempts: parse_flag(args, "--max-attempts"),
+        engines: flag_value(args, "--engines")
+            .map(|list| list.split(',').map(str::to_string).collect()),
+        obligations: specs,
+    };
+
+    let telemetry = match flag_value(args, "--telemetry") {
+        Some(path) => Telemetry::file(std::path::Path::new(path)).unwrap_or_else(|e| {
+            eprintln!("cannot open telemetry file {path}: {e}");
+            exit(1);
+        }),
+        None => Telemetry::null(),
+    };
+    eprintln!(
+        "submitting {} obligations to {addr}…",
+        request.obligations.len()
+    );
+    let response = match submit_batch(addr, &request, |event| telemetry.emit(event)) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("submit failed: {e}");
+            exit(1);
+        }
+    };
+    telemetry.sync();
+
+    if let Some(path) = flag_value(args, "--summary-out") {
+        std::fs::write(path, &response.normalized).unwrap_or_else(|e| {
+            eprintln!("cannot write summary file {path}: {e}");
+            exit(1);
+        });
+    }
+    print!("{}", response.normalized);
+    println!(
+        "\nbatch '{}': {} obligations in {}ms on {} worker(s): {} violations, {} passes, {} unknown, {} timeouts, {} failures, {} cancelled, {} mismatches",
+        response.batch,
+        response.obligations,
+        response.wall_ms,
+        response.jobs,
+        response.violations,
+        response.passes,
+        response.unknowns,
+        response.timeouts,
+        response.failures,
+        response.cancelled,
+        response.mismatches
+    );
+    println!(
+        "verdict store: {} cache hits, {} cache misses",
+        response.cache_hits, response.cache_misses
+    );
+    exit(i32::try_from(response.exit_code).unwrap_or(1));
 }
 
 fn cmd_bench(args: &[String]) {
