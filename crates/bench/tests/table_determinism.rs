@@ -22,6 +22,32 @@ fn table2_bytes_identical_across_worker_counts() {
 }
 
 #[test]
+fn table2_bytes_identical_with_inprocessing_across_worker_counts() {
+    // SAT-core inprocessing (BVE, subsumption, vivification) is pure
+    // solver-internal work under a deterministic step budget, so the
+    // rendered table must stay byte-identical across worker counts with
+    // it explicitly on. The tight budget forces escalation with
+    // warm-start resumes, where sessions grow past the inprocessing
+    // trigger and the passes genuinely fire.
+    let cfg = |jobs| {
+        CampaignConfig::default()
+            .with_jobs(jobs)
+            .with_engines(vec![EngineId::Bmc])
+            .with_base_budget(600)
+            .with_max_attempts(16)
+            .with_inprocessing(true)
+    };
+    let one = render_table2_with(Some("relu"), &cfg(1), &Telemetry::null());
+    let four = render_table2_with(Some("relu"), &cfg(4), &Telemetry::null());
+    assert_eq!(one.mismatches, 0);
+    assert_eq!(four.mismatches, 0);
+    assert_eq!(
+        one.markdown, four.markdown,
+        "inprocessing broke worker-count determinism"
+    );
+}
+
+#[test]
 fn table2_bytes_identical_under_forced_escalation() {
     let unlimited = render_table2(Some("relu"), 1, &Telemetry::null());
     // A conflict budget far below the hardest query forces every

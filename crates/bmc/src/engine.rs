@@ -259,6 +259,15 @@ impl<'a> BmcEngine<'a> {
         self.verified_clean
     }
 
+    /// Enables or disables the solver's scheduled inprocessing
+    /// (subsumption, bounded variable elimination, vivification) for this
+    /// engine's queries. On by default; soundness never depends on the
+    /// setting — eliminated variables restore on demand — so this is
+    /// purely a performance knob for A/B benchmarking.
+    pub fn set_inprocessing(&mut self, on: bool) {
+        self.solver.set_simplify(on);
+    }
+
     /// Renders the engine's current CNF (the whole unrolling encoded so
     /// far) in DIMACS format, for cross-checking individual queries with
     /// an external SAT solver. Per-frame constraint activation literals

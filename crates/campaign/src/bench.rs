@@ -272,6 +272,170 @@ impl PdrProbe {
     }
 }
 
+/// Deterministic SAT-inprocessing effort probe, for the regression gate.
+///
+/// Runs the warm-pipeline suite twice — inprocessing (bounded variable
+/// elimination, subsumption, vivification, tiered learnt DB) on and off —
+/// and compares the two on the same deterministic `frames_solved` metric
+/// as the cold/warm gate, falling back to SAT conflicts as a tiebreak.
+/// Inprocessing is a pure performance knob: a verdict flip between the
+/// runs, or the `on` run doing strictly more frame-solving work (or the
+/// same frames at more conflicts), is a regression.
+#[derive(Clone, Debug)]
+pub struct SimplifyProbe {
+    /// Per-frame BMC queries with inprocessing on.
+    pub frames_on: u64,
+    /// Per-frame BMC queries with inprocessing off.
+    pub frames_off: u64,
+    /// SAT conflicts of the deciding runs with inprocessing on.
+    pub conflicts_on: u64,
+    /// SAT conflicts of the deciding runs with inprocessing off.
+    pub conflicts_off: u64,
+    /// Obligations that exhausted escalation with inprocessing on.
+    pub timeouts_on: usize,
+    /// Obligations that exhausted escalation with inprocessing off.
+    pub timeouts_off: usize,
+    /// Verdicts contradicting the catalogue, summed over both runs.
+    pub mismatches: usize,
+    /// Whether every obligation got an equivalent verdict in both runs
+    /// (same class; violations additionally at the same depth — the
+    /// witness property name is a model artifact and may differ).
+    pub verdicts_match: bool,
+    /// Inprocessing passes completed in the `on` run.
+    pub simplify_rounds: u64,
+    /// Variables eliminated by BVE in the `on` run.
+    pub eliminated_vars: u64,
+    /// Clauses deleted by subsumption in the `on` run.
+    pub subsumed_clauses: u64,
+    /// Clauses strengthened by self-subsuming resolution in the `on` run.
+    pub strengthened_clauses: u64,
+    /// Clauses shortened by vivification in the `on` run.
+    pub vivified_clauses: u64,
+}
+
+/// Runs the warm-pipeline suite with inprocessing on then off and
+/// returns the comparison.
+pub fn run_simplify_probe(quick: bool, telemetry: &Telemetry) -> SimplifyProbe {
+    let obligations = bench_obligations(quick);
+    let on = Campaign::new(&obligations)
+        .config(bench_config(true).with_inprocessing(true))
+        .run(telemetry);
+    let off = Campaign::new(&obligations)
+        .config(bench_config(true).with_inprocessing(false))
+        .run(telemetry);
+    let conflicts = |s: &CampaignSummary| -> u64 {
+        s.records
+            .iter()
+            .filter_map(|r| r.stats.as_ref())
+            .map(|st| st.solver.conflicts)
+            .sum()
+    };
+    // A violation witness is a SAT model artifact: when several
+    // properties fire at the same depth, which one the trace exhibits
+    // depends on the model the solver happened to find, and inprocessing
+    // legitimately changes that model. The verdict *class* and the
+    // violation *depth* must be invariant; the witness property name may
+    // not be.
+    let equivalent = |a: &crate::runner::JobVerdict, b: &crate::runner::JobVerdict| match (a, b) {
+        (
+            crate::runner::JobVerdict::Violation { cycles: ca, .. },
+            crate::runner::JobVerdict::Violation { cycles: cb, .. },
+        ) => ca == cb,
+        _ => a == b,
+    };
+    let verdicts_match = on.records.len() == off.records.len()
+        && on
+            .records
+            .iter()
+            .zip(off.records.iter())
+            .all(|(a, b)| equivalent(&a.verdict, &b.verdict));
+    let mut simplify_rounds = 0u64;
+    let mut eliminated_vars = 0u64;
+    let mut subsumed_clauses = 0u64;
+    let mut strengthened_clauses = 0u64;
+    let mut vivified_clauses = 0u64;
+    for st in on.records.iter().filter_map(|r| r.stats.as_ref()) {
+        simplify_rounds += st.solver.simplify_rounds;
+        eliminated_vars += st.solver.eliminated_vars;
+        subsumed_clauses += st.solver.subsumed_clauses;
+        strengthened_clauses += st.solver.strengthened_clauses;
+        vivified_clauses += st.solver.vivified_clauses;
+    }
+    SimplifyProbe {
+        frames_on: on.frames_solved,
+        frames_off: off.frames_solved,
+        conflicts_on: conflicts(&on),
+        conflicts_off: conflicts(&off),
+        timeouts_on: on.timeouts,
+        timeouts_off: off.timeouts,
+        mismatches: on.mismatches + off.mismatches,
+        verdicts_match,
+        simplify_rounds,
+        eliminated_vars,
+        subsumed_clauses,
+        strengthened_clauses,
+        vivified_clauses,
+    }
+}
+
+impl SimplifyProbe {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::obj()
+            .field("frames_on", self.frames_on)
+            .field("frames_off", self.frames_off)
+            .field("conflicts_on", self.conflicts_on)
+            .field("conflicts_off", self.conflicts_off)
+            .field("timeouts_on", self.timeouts_on)
+            .field("timeouts_off", self.timeouts_off)
+            .field("mismatches", self.mismatches)
+            .field("verdicts_match", self.verdicts_match)
+            .field("simplify_rounds", self.simplify_rounds)
+            .field("eliminated_vars", self.eliminated_vars)
+            .field("subsumed_clauses", self.subsumed_clauses)
+            .field("strengthened_clauses", self.strengthened_clauses)
+            .field("vivified_clauses", self.vivified_clauses)
+    }
+
+    /// `Some(reason)` when the probe shows inprocessing regressed: any
+    /// verdict flipped or contradicted the catalogue (it must be
+    /// verdict-invariant), a timeout appeared that the plain run did not
+    /// have, or it made the solver do strictly more work — more frame
+    /// queries, or the same frame queries at more conflicts.
+    fn regression(&self) -> Option<String> {
+        if self.mismatches > 0 {
+            return Some(format!(
+                "simplify probe produced {} verdict(s) contradicting the catalogue",
+                self.mismatches
+            ));
+        }
+        if !self.verdicts_match {
+            return Some(
+                "inprocessing flipped an obligation verdict (must be verdict-invariant)"
+                    .to_string(),
+            );
+        }
+        if self.timeouts_on > self.timeouts_off {
+            return Some(format!(
+                "inprocessing timed out on more obligations ({} > {})",
+                self.timeouts_on, self.timeouts_off
+            ));
+        }
+        if self.frames_on > self.frames_off {
+            return Some(format!(
+                "inprocessing solved more frames than the plain run ({} > {})",
+                self.frames_on, self.frames_off
+            ));
+        }
+        if self.frames_on == self.frames_off && self.conflicts_on > self.conflicts_off {
+            return Some(format!(
+                "inprocessing needed more conflicts at equal frames ({} > {})",
+                self.conflicts_on, self.conflicts_off
+            ));
+        }
+        None
+    }
+}
+
 /// The full cold-vs-warm comparison (`BENCH_pipeline.json`).
 #[derive(Clone, Debug)]
 pub struct BenchReport {
@@ -289,6 +453,8 @@ pub struct BenchReport {
     pub warm: BenchRun,
     /// The deterministic PDR effort probe.
     pub pdr: PdrProbe,
+    /// The deterministic SAT-inprocessing probe.
+    pub simplify: SimplifyProbe,
 }
 
 impl BenchReport {
@@ -303,6 +469,7 @@ impl BenchReport {
             .field("cold", self.cold.to_json())
             .field("warm", self.warm.to_json())
             .field("pdr", self.pdr.to_json())
+            .field("simplify", self.simplify.to_json())
             .field(
                 "frames_saved",
                 self.cold
@@ -339,7 +506,10 @@ impl BenchReport {
                 ));
             }
         }
-        self.pdr.regression()
+        if let Some(r) = self.pdr.regression() {
+            return Some(r);
+        }
+        self.simplify.regression()
     }
 }
 
@@ -362,6 +532,7 @@ pub fn run_bench(quick: bool, telemetry: &Telemetry) -> BenchReport {
         cold: BenchRun::from_summary("cold", &cold),
         warm: BenchRun::from_summary("warm", &warm),
         pdr: run_pdr_probe(),
+        simplify: run_simplify_probe(quick, telemetry),
     }
 }
 
@@ -400,6 +571,36 @@ mod tests {
         assert_eq!(report.warm.timeouts, 0, "warm run timed out: {report:?}");
         let json = report.to_json().render();
         assert!(is_valid_json(&json), "bad bench JSON: {json}");
+    }
+
+    #[test]
+    fn simplify_probe_is_verdict_invariant_and_never_slower() {
+        let probe = run_simplify_probe(true, &Telemetry::null());
+        assert!(
+            probe.regression().is_none(),
+            "simplify probe regressed: {probe:?}"
+        );
+        // The probe gates nothing if inprocessing never actually ran.
+        assert!(
+            probe.simplify_rounds > 0,
+            "no simplify pass fired: {probe:?}"
+        );
+        assert!(
+            probe.subsumed_clauses
+                + probe.strengthened_clauses
+                + probe.vivified_clauses
+                + probe.eliminated_vars
+                > 0,
+            "simplification did no work: {probe:?}"
+        );
+        // The acceptance criterion: strictly fewer frame queries, or the
+        // same frames at strictly fewer conflicts.
+        assert!(
+            probe.frames_on < probe.frames_off
+                || (probe.frames_on == probe.frames_off
+                    && probe.conflicts_on < probe.conflicts_off),
+            "inprocessing bought nothing: {probe:?}"
+        );
     }
 
     #[test]

@@ -38,7 +38,9 @@ pub mod store;
 pub mod telemetry;
 
 pub use api::{ApiError, BatchRequest, BatchResponse, ObligationSpec, SCHEMA_VERSION};
-pub use bench::{run_bench, run_pdr_probe, BenchReport, BenchRun, PdrProbe};
+pub use bench::{
+    run_bench, run_pdr_probe, run_simplify_probe, BenchReport, BenchRun, PdrProbe, SimplifyProbe,
+};
 pub use journal::{
     crc32, manifest_crc, read_journal, FaultPlan, Journal, JournalReplay, ReplayedRecord,
     ResumeState, WriteFault,
@@ -46,8 +48,6 @@ pub use journal::{
 pub use json::{is_valid_json, parse_json, JsonValue};
 pub use obligation::{enumerate_obligations, FlowFilter, Obligation, ObligationKind};
 pub use portfolio::{default_portfolio, EngineId, PDR_QUERY_CAP};
-#[allow(deprecated)]
-pub use runner::{run_campaign, run_campaign_journaled};
 pub use runner::{Campaign, CampaignConfig, CampaignSummary, JobRecord, JobVerdict};
 pub use service::{request_shutdown, serve, submit_batch, ServeOptions};
 pub use store::{derive_key, StoreKey, VerdictStore};

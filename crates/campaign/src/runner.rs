@@ -94,6 +94,11 @@ pub struct CampaignConfig {
     /// queued obligations drain without running. The CLI raises it from
     /// SIGINT/SIGTERM.
     pub interrupt: Option<Arc<AtomicBool>>,
+    /// SAT-core inprocessing (subsumption, bounded variable elimination,
+    /// vivification) on every session solver. On by default; a pure
+    /// performance knob — verdicts never depend on it — exposed so the
+    /// bench can run matched on/off campaigns.
+    pub inprocessing: bool,
 }
 
 impl Default for CampaignConfig {
@@ -107,6 +112,7 @@ impl Default for CampaignConfig {
             warm_start: true,
             mem_limit: None,
             interrupt: None,
+            inprocessing: true,
         }
     }
 }
@@ -161,6 +167,12 @@ impl CampaignConfig {
     /// Wires a cooperative shutdown flag.
     pub fn with_interrupt(mut self, flag: Arc<AtomicBool>) -> Self {
         self.interrupt = Some(flag);
+        self
+    }
+
+    /// Enables or disables SAT-core inprocessing on session solvers.
+    pub fn with_inprocessing(mut self, on: bool) -> Self {
+        self.inprocessing = on;
         self
     }
 }
@@ -392,7 +404,7 @@ impl CampaignSummary {
 enum AttemptResult {
     Verdict(
         JobVerdict,
-        Option<BmcStats>,
+        Option<Box<BmcStats>>,
         &'static str,
         Option<Box<PdrStats>>,
     ),
@@ -560,39 +572,6 @@ impl<'a> Campaign<'a> {
             self.model_cache.clone(),
         )
     }
-}
-
-/// Runs every obligation to a final verdict and returns the aggregate.
-#[deprecated(note = "use the `Campaign` builder: `Campaign::new(obligations).config(..).run(..)`")]
-pub fn run_campaign(
-    obligations: &[Obligation],
-    config: &CampaignConfig,
-    telemetry: &Telemetry,
-) -> CampaignSummary {
-    Campaign::new(obligations)
-        .config(config.clone())
-        .run(telemetry)
-}
-
-/// Campaign with crash-safe journaling and resumption.
-#[deprecated(
-    note = "use the `Campaign` builder: `Campaign::new(obligations).journal(..).resume(..).run(..)`"
-)]
-pub fn run_campaign_journaled(
-    obligations: &[Obligation],
-    config: &CampaignConfig,
-    telemetry: &Telemetry,
-    journal: Option<&Journal>,
-    resume: Option<&ResumeState>,
-) -> CampaignSummary {
-    let mut campaign = Campaign::new(obligations).config(config.clone());
-    if let Some(j) = journal {
-        campaign = campaign.journal(j);
-    }
-    if let Some(s) = resume {
-        campaign = campaign.resume(s);
-    }
-    campaign.run(telemetry)
 }
 
 fn run_campaign_inner(
@@ -905,6 +884,7 @@ fn worker(shared: &Shared) {
         let mut requeue = false;
         match outcome {
             Ok((AttemptResult::Verdict(verdict, stats, engine, pdr_stats), frames)) => {
+                let stats = stats.map(|b| *b);
                 let pdr_stats = pdr_stats.map(|b| *b);
                 let total_frames = add_frames(frames);
                 if shared.cancel.load(Ordering::Relaxed)
@@ -1136,6 +1116,12 @@ fn finish(
             .field("decisions", s.solver.decisions)
             .field("propagations", s.solver.propagations)
             .field("restarts", s.solver.restarts)
+            .field("simplify_rounds", s.solver.simplify_rounds)
+            .field("eliminated_vars", s.solver.eliminated_vars)
+            .field("restored_vars", s.solver.restored_vars)
+            .field("subsumed_clauses", s.solver.subsumed_clauses)
+            .field("strengthened_clauses", s.solver.strengthened_clauses)
+            .field("vivified_clauses", s.solver.vivified_clauses)
             .field("bmc_wall_ms", s.wall.as_millis() as u64);
     }
     if let Some(p) = &pdr_stats {
@@ -1318,7 +1304,9 @@ fn run_attempt(
             if config.engines.iter().any(|e| *e != EngineId::Bmc) {
                 let model = resolve_model(obl, CheckKind::GQed, config, cache);
                 let session = session_slot.take().unwrap_or_else(|| {
-                    CheckSession::new(CheckKind::GQed, *bound, Arc::clone(&model))
+                    let mut s = CheckSession::new(CheckKind::GQed, *bound, Arc::clone(&model));
+                    s.set_inprocessing(config.inprocessing);
+                    s
                 });
                 let before = session.frame_queries();
                 let (result, session) =
@@ -1360,7 +1348,9 @@ fn run_session_check(
 ) -> (AttemptResult, u64) {
     if session_slot.is_none() {
         let model = resolve_model(obl, kind, config, cache);
-        *session_slot = Some(CheckSession::new(kind, bound, model));
+        let mut session = CheckSession::new(kind, bound, model);
+        session.set_inprocessing(config.inprocessing);
+        *session_slot = Some(session);
     }
     let session = session_slot.as_mut().expect("slot just filled");
     let before = session.frame_queries();
@@ -1374,7 +1364,7 @@ fn run_session_check(
                 }
                 Verdict::CleanUpTo(b) => JobVerdict::Clean { bound: b },
             };
-            AttemptResult::Verdict(verdict, Some(o.stats), "bmc", None)
+            AttemptResult::Verdict(verdict, Some(Box::new(o.stats)), "bmc", None)
         }
         CheckStatus::Stopped { reason, .. } => AttemptResult::Stopped(reason),
     };
@@ -1510,8 +1500,10 @@ fn portfolio_prove_clean(
         None => (None, None),
     };
     let (bmc_verdict, bmc_stats, bmc_stop) = match bmc_status {
-        Some(CheckStatus::Done(o)) => (Some(o.verdict), Some(o.stats), None),
-        Some(CheckStatus::Stopped { reason, stats, .. }) => (None, Some(stats), Some(reason)),
+        Some(CheckStatus::Done(o)) => (Some(o.verdict), Some(Box::new(o.stats)), None),
+        Some(CheckStatus::Stopped { reason, stats, .. }) => {
+            (None, Some(Box::new(stats)), Some(reason))
+        }
         None => (None, None, None),
     };
     let aux: [(&'static str, Option<&AuxSide>); 2] =
@@ -1670,6 +1662,12 @@ fn add_pdr_stats(acc: &mut PdrStats, s: &PdrStats) {
     acc.solver.compactions += s.solver.compactions;
     acc.solver.peak_arena_bytes = acc.solver.peak_arena_bytes.max(s.solver.peak_arena_bytes);
     acc.solver.emergency_reductions += s.solver.emergency_reductions;
+    acc.solver.simplify_rounds += s.solver.simplify_rounds;
+    acc.solver.eliminated_vars += s.solver.eliminated_vars;
+    acc.solver.restored_vars += s.solver.restored_vars;
+    acc.solver.subsumed_clauses += s.solver.subsumed_clauses;
+    acc.solver.strengthened_clauses += s.solver.strengthened_clauses;
+    acc.solver.vivified_clauses += s.solver.vivified_clauses;
 }
 
 /// Test-only obligation body: a pigeonhole refutation far larger than any

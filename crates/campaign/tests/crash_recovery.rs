@@ -234,6 +234,70 @@ fn debug_obligations_rerun_on_resume_instead_of_being_skipped() {
 }
 
 #[test]
+fn interrupted_resume_with_inprocessing_is_byte_identical() {
+    // Inprocessing mutates solver-internal clause state that a resumed
+    // session rebuilds from scratch; none of that may leak into verdicts.
+    // A journaled campaign with inprocessing explicitly on, cut at a
+    // mid-run record boundary and resumed, must merge to the exact
+    // normalized summary of an uninterrupted run. The tight budget forces
+    // escalation with warm-start session resumes, where the solvers grow
+    // past the inprocessing trigger and the passes genuinely fire.
+    let mut obls = enumerate_obligations(FlowFilter::all(), &["relu".to_string()]);
+    obls.retain(|o| matches!(o.kind, ObligationKind::Check { .. }));
+    assert!(obls.len() >= 4, "need a multi-obligation campaign");
+    let config = CampaignConfig::default()
+        .with_engines(vec![EngineId::Bmc])
+        .with_base_budget(600)
+        .with_max_attempts(16)
+        .with_inprocessing(true);
+
+    let ref_path = tmp("inproc-ref.j1");
+    let journal = Journal::create(&ref_path).unwrap();
+    let reference = Campaign::new(&obls)
+        .config(config.clone())
+        .journal(&journal)
+        .run(&Telemetry::null());
+    assert!(
+        reference.is_success(),
+        "reference run failed: {reference:?}"
+    );
+    drop(journal);
+    let reference = reference.normalized_render();
+
+    // Interrupt: keep half the journal's records (the on-disk state a
+    // SIGKILL at that moment leaves behind — the escalated run journals
+    // retry attempts between verdicts, so the cut lands wherever it
+    // lands), then resume.
+    let text = std::fs::read_to_string(&ref_path).unwrap();
+    let lines: Vec<&str> = text.lines().collect();
+    let cut = lines.len() / 2;
+    let cut_path = tmp("inproc-cut.j1");
+    let mut prefix: String = lines[..cut].join("\n");
+    prefix.push('\n');
+    std::fs::write(&cut_path, prefix).unwrap();
+    let (journal, state) = Journal::resume(&cut_path).unwrap();
+    let settled = state.completed.len();
+    assert!(
+        settled > 0 && settled < obls.len(),
+        "midpoint cut should leave some obligations settled and some not ({settled}/{})",
+        obls.len()
+    );
+    let resumed = Campaign::new(&obls)
+        .config(config)
+        .journal(&journal)
+        .resume(&state)
+        .run(&Telemetry::null());
+    assert_eq!(resumed.replayed, settled);
+    assert_eq!(
+        resumed.normalized_render(),
+        reference,
+        "inprocessing broke interrupted-resume byte-identity"
+    );
+    std::fs::remove_file(&ref_path).ok();
+    std::fs::remove_file(&cut_path).ok();
+}
+
+#[test]
 fn memory_limited_solver_degrades_without_flipping_verdicts() {
     // An impossible arena budget: every attempt stops with MemoryLimit,
     // the runner sheds the session and retries cold at the base budget,

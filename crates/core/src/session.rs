@@ -150,6 +150,9 @@ pub struct CheckSession {
     model: Arc<Model>,
     /// Wall-clock accumulated across runs of this session.
     wall: Duration,
+    /// Whether the engine's solver runs scheduled inprocessing; kept on
+    /// the session so a cold rebuild preserves the caller's choice.
+    inprocessing: bool,
 }
 
 impl CheckSession {
@@ -161,7 +164,17 @@ impl CheckSession {
             engine: BmcEngine::for_model(Arc::clone(&model)),
             model,
             wall: Duration::ZERO,
+            inprocessing: true,
         }
+    }
+
+    /// Enables or disables SAT-core inprocessing for this session's
+    /// engine (on by default). The choice survives
+    /// [`CheckSession::rebuild_cold`]. A pure performance knob: verdicts
+    /// never depend on it.
+    pub fn set_inprocessing(&mut self, on: bool) {
+        self.inprocessing = on;
+        self.engine.set_inprocessing(on);
     }
 
     /// Convenience constructor: builds the model for `design` (no cache)
@@ -193,7 +206,9 @@ impl CheckSession {
     /// arena is released, only the (shared, cheap-to-keep) model survives,
     /// and the next run starts cold from frame 0.
     pub fn rebuild_cold(&self) -> Self {
-        Self::new(self.kind, self.bound, Arc::clone(&self.model))
+        let mut cold = Self::new(self.kind, self.bound, Arc::clone(&self.model));
+        cold.set_inprocessing(self.inprocessing);
+        cold
     }
 
     /// Runs — or, after a stop, resumes — the check under `limits`.

@@ -318,6 +318,13 @@ impl TsEncoding {
             .collect();
 
         let mut solver = Solver::new();
+        // PDR issues thousands of tiny activation-literal queries whose
+        // failed-assumption cores drive cube generalization; inprocessing
+        // between them perturbs the cores (changing CTI counts against
+        // the deterministic query cap) for no per-query win, so it stays
+        // off here. The solve-call schedule below is the wrong shape for
+        // it anyway.
+        solver.set_simplify(false);
         for c in cnf.clauses() {
             solver.add_clause(c);
         }

@@ -16,15 +16,55 @@ use crate::lit::Lit;
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub struct ClauseRef(pub(crate) u32);
 
+/// Largest LBD admitted to the core tier (kept forever).
+pub(crate) const CORE_LBD_MAX: u32 = 2;
+/// Largest LBD admitted to the mid tier on learning or promotion.
+pub(crate) const MID_LBD_MAX: u32 = 6;
+
+/// Retention tier of a learnt clause (CaDiCaL-style three-tier
+/// discipline). Core clauses are never deleted by ordinary reduction;
+/// mid-tier clauses survive while recently used and demote to local when
+/// idle; local clauses are the activity-sorted delete-half pool.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) enum Tier {
+    /// Glue clauses (LBD ≤ [`CORE_LBD_MAX`]): kept forever.
+    Core,
+    /// Mid-quality clauses (LBD ≤ [`MID_LBD_MAX`]): kept while used.
+    Mid,
+    /// Everything else: candidates for delete-half reduction.
+    Local,
+}
+
+impl Tier {
+    /// The tier a clause of the given LBD enters on learning.
+    pub(crate) fn for_lbd(lbd: u32) -> Tier {
+        if lbd <= CORE_LBD_MAX {
+            Tier::Core
+        } else if lbd <= MID_LBD_MAX {
+            Tier::Mid
+        } else {
+            Tier::Local
+        }
+    }
+}
+
 /// A clause with CDCL metadata.
 #[derive(Clone, Debug)]
 pub struct Clause {
     pub(crate) lits: Vec<Lit>,
     pub(crate) learnt: bool,
     pub(crate) deleted: bool,
-    /// Literal-block distance at learning time (glue level).
+    /// Literal-block distance at learning time (glue level), lowered when
+    /// a recomputation during conflict analysis finds a better value.
     pub(crate) lbd: u32,
     pub(crate) activity: f64,
+    /// Retention tier (meaningful for learnt clauses only).
+    pub(crate) tier: Tier,
+    /// Use credits: set on learning and on every use in conflict
+    /// analysis, spent one per database reduction. A mid-tier clause
+    /// that runs out demotes to local; a local clause with credits is
+    /// protected from the next delete-half pass.
+    pub(crate) used: u8,
 }
 
 impl Clause {
@@ -73,6 +113,8 @@ impl ClauseDb {
             deleted: false,
             lbd,
             activity: 0.0,
+            tier: Tier::for_lbd(lbd),
+            used: if learnt { 1 } else { 0 },
         });
         self.peak_bytes = self.peak_bytes.max(self.arena_bytes());
         r
@@ -166,6 +208,25 @@ impl ClauseDb {
     pub(crate) fn num_live(&self) -> usize {
         self.clauses.iter().filter(|c| !c.deleted).count()
     }
+
+    /// Number of slots in the arena, tombstones included — the iteration
+    /// bound for occurrence-list construction.
+    pub(crate) fn num_slots(&self) -> usize {
+        self.clauses.len()
+    }
+
+    /// Live learnt clauses per retention tier: `(core, mid, local)`.
+    pub(crate) fn tier_counts(&self) -> (usize, usize, usize) {
+        let mut counts = (0, 0, 0);
+        for c in self.clauses.iter().filter(|c| c.learnt && !c.deleted) {
+            match c.tier {
+                Tier::Core => counts.0 += 1,
+                Tier::Mid => counts.1 += 1,
+                Tier::Local => counts.2 += 1,
+            }
+        }
+        counts
+    }
 }
 
 #[cfg(test)]
@@ -234,6 +295,24 @@ mod tests {
         db.delete(r);
         assert!(db.arena_bytes() < peak);
         assert_eq!(db.peak_bytes, peak);
+    }
+
+    #[test]
+    fn tiers_assigned_by_lbd_and_counted() {
+        let mut db = ClauseDb::new();
+        let a = db.alloc(lits(&[1, 2, 3]), true, 2);
+        let b = db.alloc(lits(&[1, 2, 3]), true, 5);
+        let c = db.alloc(lits(&[1, 2, 3]), true, 9);
+        // Original clauses never count toward the tiers.
+        let _o = db.alloc(lits(&[4, 5]), false, 0);
+        assert_eq!(db.get(a).tier, Tier::Core);
+        assert_eq!(db.get(b).tier, Tier::Mid);
+        assert_eq!(db.get(c).tier, Tier::Local);
+        assert_eq!(db.get(a).used, 1);
+        assert_eq!(db.get(_o).used, 0);
+        assert_eq!(db.tier_counts(), (1, 1, 1));
+        db.delete(b);
+        assert_eq!(db.tier_counts(), (1, 0, 1));
     }
 
     #[test]

@@ -15,6 +15,20 @@
 //! unsatisfiable formulas — a mechanized "the UNSAT answers can be
 //! trusted" argument, which for a verification tool is as load-bearing as
 //! the SAT-side model check.
+//!
+//! # Inprocessing deletion convention
+//!
+//! The inprocessing passes (see `solver::simplify`) log every derived
+//! clause as an `Add` (subsumption-strengthened and vivified clauses,
+//! BVE resolvents — all RUP from the clauses they were resolved against)
+//! and every dropped clause as a `Delete` — with one deliberate
+//! exception: the *original* clauses of a BVE-eliminated variable are
+//! **not** `Delete`-logged, even though the solver detaches them. The
+//! checker keeps propagating over them, which is sound (deletions only
+//! ever shrink the clause set a RUP check may use) and buys two things:
+//! restoring an eliminated variable on a later incremental addition needs
+//! no proof steps at all, and clauses derived after the elimination may
+//! still use the kept originals as RUP antecedents.
 
 /// One step of a clausal proof.
 #[derive(Clone, Debug, PartialEq, Eq)]

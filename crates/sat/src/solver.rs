@@ -1,6 +1,8 @@
 //! The CDCL search engine.
 
-use crate::clause::{ClauseDb, ClauseRef};
+mod simplify;
+
+use crate::clause::{ClauseDb, ClauseRef, Tier, CORE_LBD_MAX, MID_LBD_MAX};
 use crate::drat::ProofStep;
 use crate::heap::VarHeap;
 use crate::lit::{Lit, Var};
@@ -78,6 +80,28 @@ pub struct SolverStats {
     /// Number of emergency learnt-clause purges forced by the memory
     /// limit ([`Solver::set_memory_limit`]).
     pub emergency_reductions: u64,
+    /// Inprocessing passes run at solve-call boundaries (scheduled or via
+    /// [`Solver::simplify`]).
+    pub simplify_rounds: u64,
+    /// Variables eliminated by bounded variable elimination, cumulative
+    /// (restored variables stay counted; see
+    /// [`SolverStats::restored_vars`]).
+    pub eliminated_vars: u64,
+    /// Eliminated variables restored on demand because a later clause,
+    /// assumption or freeze mentioned them.
+    pub restored_vars: u64,
+    /// Clauses deleted because another clause subsumes them.
+    pub subsumed_clauses: u64,
+    /// Clauses shortened by self-subsuming resolution.
+    pub strengthened_clauses: u64,
+    /// Clauses shortened or deleted by vivification.
+    pub vivified_clauses: u64,
+    /// Live learnt clauses in the core tier (LBD ≤ 2, kept forever).
+    pub tier_core: usize,
+    /// Live learnt clauses in the mid tier (use-protected).
+    pub tier_mid: usize,
+    /// Live learnt clauses in the local tier (delete-half pool).
+    pub tier_local: usize,
 }
 
 #[derive(Clone, Copy, Debug)]
@@ -91,6 +115,25 @@ struct Watcher {
     blocker: Lit,
     /// Whether the clause has exactly two literals (inlined fast path).
     binary: bool,
+}
+
+/// Record of one bounded-variable-elimination step: the variable and
+/// every original clause that mentioned it when it was eliminated.
+/// Kept in elimination order so [model reconstruction] walks the records
+/// in reverse, and so an eliminated variable can be *restored* on demand
+/// (clauses re-added, record marked restored) when an incremental caller
+/// mentions it again in a new clause, assumption or freeze.
+///
+/// [model reconstruction]: Solver::extend_model
+#[derive(Clone, Debug)]
+struct ElimRecord {
+    var: Var,
+    /// The eliminated variable's original clauses (both polarities).
+    clauses: Vec<Vec<Lit>>,
+    /// Whether the variable has been restored; restored records are
+    /// skipped by model reconstruction and can never be re-activated
+    /// (a re-elimination pushes a fresh record).
+    restored: bool,
 }
 
 /// Incremental CDCL SAT solver. See the crate docs for an overview.
@@ -133,6 +176,20 @@ pub struct Solver {
     deadline: Option<Instant>,
     /// Clause-arena byte budget, checked during search when set.
     mem_limit: Option<usize>,
+    /// Per variable: currently eliminated by bounded variable elimination
+    /// (no attached clause mentions it; restored on demand).
+    eliminated: Vec<bool>,
+    /// Per variable: protected from elimination ([`Solver::freeze`] and
+    /// every assumption variable).
+    frozen: Vec<bool>,
+    /// Elimination records in elimination order (model reconstruction
+    /// walks them in reverse).
+    elim_records: Vec<ElimRecord>,
+    /// Original clauses added since the last inprocessing pass — the
+    /// deterministic trigger counter for scheduled simplification.
+    simplify_pending: usize,
+    /// Whether scheduled inprocessing runs at solve-call boundaries.
+    simplify_enabled: bool,
 }
 
 impl Default for Solver {
@@ -169,7 +226,43 @@ impl Solver {
             interrupt: None,
             deadline: None,
             mem_limit: None,
+            eliminated: Vec::new(),
+            frozen: Vec::new(),
+            elim_records: Vec::new(),
+            simplify_pending: 0,
+            simplify_enabled: true,
         }
+    }
+
+    /// Enables or disables scheduled inprocessing (on by default). An
+    /// explicit [`Solver::simplify`] call still runs a pass either way.
+    pub fn set_simplify(&mut self, on: bool) {
+        self.simplify_enabled = on;
+    }
+
+    /// Freezes the variable of DIMACS literal `l` against bounded
+    /// variable elimination, restoring it first if a previous pass
+    /// already eliminated it. Freezing is a performance hint for
+    /// incremental callers whose future clauses or assumptions will
+    /// mention the variable — soundness never depends on it, because
+    /// eliminated variables are restored on demand.
+    pub fn freeze(&mut self, l: i32) {
+        self.ensure_vars(&[l]);
+        self.cancel_until(0);
+        let v = Lit::from_dimacs(l).var();
+        if self.eliminated[v.index()] {
+            self.restore_var(v);
+        }
+        self.frozen[v.index()] = true;
+    }
+
+    /// Removes the elimination protection installed by
+    /// [`Solver::freeze`] (assumption variables re-freeze themselves on
+    /// the next solve call that assumes them).
+    pub fn unfreeze(&mut self, l: i32) {
+        self.ensure_vars(&[l]);
+        let v = Lit::from_dimacs(l).var();
+        self.frozen[v.index()] = false;
     }
 
     /// Installs a cooperative cancellation flag. The CDCL search polls it
@@ -365,6 +458,10 @@ impl Solver {
         let mut s = self.stats;
         s.learnt_clauses = self.db.num_learnt;
         s.peak_arena_bytes = self.db.peak_bytes.max(self.db.arena_bytes());
+        let (core, mid, local) = self.db.tier_counts();
+        s.tier_core = core;
+        s.tier_mid = mid;
+        s.tier_local = local;
         s
     }
 
@@ -379,6 +476,8 @@ impl Solver {
         self.seen.push(false);
         self.watches.push(Vec::new());
         self.watches.push(Vec::new());
+        self.eliminated.push(false);
+        self.frozen.push(false);
         self.heap.grow();
         self.heap.push(v, &self.activity);
         v as i32 + 1
@@ -414,18 +513,45 @@ impl Solver {
         }
         self.cancel_until(0);
         self.ensure_vars(lits);
-        // Normalize: sort, dedupe, drop root-false lits, detect tautology
-        // and root-true lits.
-        let mut ls: Vec<Lit> = lits.iter().map(|&l| Lit::from_dimacs(l)).collect();
+        // Restore-on-demand: any eliminated variable the new clause
+        // mentions gets its saved clauses back before the formula changes,
+        // so incremental callers never need a freeze discipline for
+        // soundness.
+        for &l in lits {
+            let v = Lit::from_dimacs(l).var();
+            if self.eliminated[v.index()] {
+                self.restore_var(v);
+                if !self.ok {
+                    return false;
+                }
+            }
+        }
+        self.simplify_pending += 1;
+        let ls: Vec<Lit> = lits.iter().map(|&l| Lit::from_dimacs(l)).collect();
+        self.add_lits(&ls, false);
+        self.ok
+    }
+
+    /// Normalizes (sort, dedupe, drop root-false lits, detect tautology
+    /// and root-true lits) and installs a clause of internal literals at
+    /// the root level. Returns the stored ref when a clause of ≥ 2
+    /// literals was attached (`None` for tautologies, root-satisfied
+    /// clauses, units and the empty clause; the last two set `ok`
+    /// accordingly). With `force_log` the stored clause is DRAT-logged
+    /// even when normalization left it unchanged — used for derived
+    /// clauses such as BVE resolvents.
+    fn add_lits(&mut self, lits_in: &[Lit], force_log: bool) -> Option<ClauseRef> {
+        debug_assert_eq!(self.decision_level(), 0);
+        let mut ls: Vec<Lit> = lits_in.to_vec();
         ls.sort_unstable();
         ls.dedup();
         let mut out: Vec<Lit> = Vec::with_capacity(ls.len());
         for &l in &ls {
             if out.last().is_some_and(|&p| p == l.negate()) {
-                return true; // tautology (sorted order puts v, ¬v adjacent)
+                return None; // tautology (sorted order puts v, ¬v adjacent)
             }
             match self.value_lit(l) {
-                1 => return true, // already satisfied at root
+                1 => return None, // already satisfied at root
                 -1 => continue,   // false at root: drop
                 _ => out.push(l),
             }
@@ -433,14 +559,14 @@ impl Solver {
         // When proof logging is on and normalization strengthened the
         // clause, record the stored (stronger) version as a derived
         // addition so the checker's database matches the solver's.
-        let changed = out.len() != lits.len();
+        let changed = force_log || out.len() != lits_in.len();
         match out.len() {
             0 => {
                 if changed {
                     self.log_add(&[]);
                 }
                 self.ok = false;
-                false
+                None
             }
             1 => {
                 if changed {
@@ -451,7 +577,7 @@ impl Solver {
                     self.log_add(&[]);
                     self.ok = false;
                 }
-                self.ok
+                None
             }
             _ => {
                 if changed {
@@ -459,9 +585,85 @@ impl Solver {
                 }
                 let r = self.db.alloc(out, false, 0);
                 self.attach(r);
-                true
+                Some(r)
             }
         }
+    }
+
+    /// Re-activates an eliminated variable: marks its elimination record
+    /// restored and re-adds every saved original clause, cascading into
+    /// other eliminated variables those clauses mention. The saved
+    /// clauses were never DRAT-deleted, so re-adding logs nothing unless
+    /// normalization strengthens them.
+    fn restore_var(&mut self, v: Var) {
+        debug_assert_eq!(self.decision_level(), 0);
+        let Some(idx) = self
+            .elim_records
+            .iter()
+            .rposition(|r| !r.restored && r.var == v)
+        else {
+            return;
+        };
+        self.elim_records[idx].restored = true;
+        let clauses = std::mem::take(&mut self.elim_records[idx].clauses);
+        self.eliminated[v.index()] = false;
+        self.stats.restored_vars += 1;
+        self.heap.push(v.0, &self.activity);
+        for c in clauses {
+            for &l in &c {
+                let u = l.var();
+                if self.eliminated[u.index()] {
+                    self.restore_var(u);
+                    if !self.ok {
+                        return;
+                    }
+                }
+            }
+            self.add_lits(&c, false);
+            if !self.ok {
+                return;
+            }
+        }
+    }
+
+    /// Extends the model over eliminated variables: walks the
+    /// elimination records in reverse order, giving each variable the
+    /// polarity that satisfies its saved clauses. At most one polarity's
+    /// clauses can be falsified by the rest of the model (otherwise a
+    /// resolvent kept in the formula would be falsified too), so a single
+    /// scan per record suffices.
+    fn extend_model(&mut self) {
+        let records = std::mem::take(&mut self.elim_records);
+        for rec in records.iter().rev() {
+            if rec.restored {
+                continue;
+            }
+            // Default to false, matching Solver::value's unassigned default.
+            let mut val: i8 = -1;
+            for c in &rec.clauses {
+                let mut sat = false;
+                let mut vlit = None;
+                for &l in c {
+                    if l.var() == rec.var {
+                        vlit = Some(l);
+                        continue;
+                    }
+                    let a = self.model[l.var().index()];
+                    // An unassigned model value (0) reads as false.
+                    if if l.is_neg() { a != 1 } else { a == 1 } {
+                        sat = true;
+                        break;
+                    }
+                }
+                if !sat {
+                    let l = vlit.expect("saved clause mentions its variable");
+                    val = if l.is_neg() { -1 } else { 1 };
+                    break;
+                }
+            }
+            self.model[rec.var.index()] = val;
+        }
+        self.elim_records = records;
     }
 
     fn attach(&mut self, r: ClauseRef) {
@@ -657,6 +859,7 @@ impl Solver {
         loop {
             if self.db.get(confl).learnt {
                 self.db.bump_activity(confl);
+                self.bump_clause_use(confl);
             }
             let start = usize::from(p.is_some());
             let nlits = self.db.get(confl).len();
@@ -774,17 +977,45 @@ impl Solver {
     fn pick_branch_var(&mut self) -> Option<Var> {
         while !self.heap.is_empty() {
             let v = self.heap.pop_max(&self.activity).expect("non-empty");
-            if self.assigns[v as usize] == 0 {
+            if self.assigns[v as usize] == 0 && !self.eliminated[v as usize] {
                 return Some(Var(v));
             }
         }
         None
     }
 
+    /// Marks a learnt clause as used in conflict analysis: refreshes its
+    /// use credits and recomputes its LBD against the current assignment,
+    /// promoting it when the glue improved (anything → core, local → mid).
+    fn bump_clause_use(&mut self, r: ClauseRef) {
+        let lbd = {
+            let c = self.db.get(r);
+            let mut levels: Vec<u32> = c.lits.iter().map(|l| self.level[l.var().index()]).collect();
+            levels.sort_unstable();
+            levels.dedup();
+            levels.len() as u32
+        };
+        let c = self.db.get_mut(r);
+        c.used = 2;
+        if lbd < c.lbd {
+            c.lbd = lbd;
+        }
+        if c.lbd <= CORE_LBD_MAX {
+            c.tier = Tier::Core;
+        } else if c.lbd <= MID_LBD_MAX && c.tier == Tier::Local {
+            c.tier = Tier::Mid;
+        }
+    }
+
     /// Minimum live learnt clauses before a database reduction is worth
     /// the collect/sort pass at all.
     const REDUCE_MIN_LEARNT: usize = 50;
 
+    /// Tiered database reduction. Core clauses are untouchable; an idle
+    /// mid-tier clause (no use credits left) demotes to local; a local
+    /// clause spends a credit to survive one round, and once idle it
+    /// joins the delete-half candidate pool, sorted worst-first by LBD
+    /// then activity.
     fn reduce_db(&mut self) {
         if self.db.num_learnt < Self::REDUCE_MIN_LEARNT {
             return;
@@ -796,17 +1027,47 @@ impl Solver {
             let l0 = s.db.get(r).lits[0];
             s.value_lit(l0) == 1 && s.reason[l0.var().index()] == Some(r)
         };
-        learnts.retain(|&r| {
-            let c = self.db.get(r);
-            !(c.lbd <= 2 || c.len() == 2 || locked(self, r))
-        });
-        // Delete the worse half: high LBD first, then low activity.
+        // One pass: spend credits, demote idle mid-tier clauses, and keep
+        // only the idle local candidates (compacted into the prefix).
+        let mut n_cand = 0;
+        for i in 0..learnts.len() {
+            let r = learnts[i];
+            if locked(self, r) {
+                continue;
+            }
+            let c = self.db.get_mut(r);
+            match c.tier {
+                Tier::Core => {}
+                Tier::Mid => {
+                    if c.used == 0 {
+                        c.tier = Tier::Local;
+                        if c.len() > 2 {
+                            learnts[n_cand] = r;
+                            n_cand += 1;
+                        }
+                    } else {
+                        c.used -= 1;
+                    }
+                }
+                Tier::Local => {
+                    if c.used > 0 {
+                        c.used -= 1;
+                    } else if c.len() > 2 {
+                        learnts[n_cand] = r;
+                        n_cand += 1;
+                    }
+                }
+            }
+        }
+        learnts.truncate(n_cand);
+        // Delete the worse half: high LBD first, then low activity
+        // (total_cmp gives a total order even for degenerate floats).
         learnts.sort_by(|&a, &b| {
             let ca = self.db.get(a);
             let cb = self.db.get(b);
             cb.lbd
                 .cmp(&ca.lbd)
-                .then(ca.activity.partial_cmp(&cb.activity).unwrap())
+                .then(ca.activity.total_cmp(&cb.activity))
         });
         let n = learnts.len() / 2;
         for &r in &learnts[..n] {
@@ -897,12 +1158,35 @@ impl Solver {
         }
         self.cancel_until(0);
         self.ensure_vars(assumptions);
+        // Assumption variables auto-freeze: restored if a previous pass
+        // eliminated them, protected from elimination afterwards. This is
+        // what keeps activation-literal callers (PDR frames, BMC
+        // constraint selectors) sound with inprocessing on.
+        for &a in assumptions {
+            let v = Lit::from_dimacs(a).var();
+            if self.eliminated[v.index()] {
+                self.restore_var(v);
+            }
+            self.frozen[v.index()] = true;
+        }
+        if !self.ok {
+            return SolveOutcome::Unsat;
+        }
         let assumps: Vec<Lit> = assumptions.iter().map(|&l| Lit::from_dimacs(l)).collect();
 
         if self.propagate().is_some() {
             self.log_add(&[]);
             self.ok = false;
             return SolveOutcome::Unsat;
+        }
+        // Scheduled inprocessing at the solve-call boundary: enough new
+        // original clauses since the last pass, and simplification not
+        // disabled by the caller.
+        if self.simplify_enabled && self.simplify_pending >= simplify::SIMPLIFY_INTERVAL {
+            self.simplify();
+            if !self.ok {
+                return SolveOutcome::Unsat;
+            }
         }
         let conflicts_at_entry = self.stats.conflicts;
         // Interrupt/deadline polling cadence: every 64 search steps
@@ -1020,8 +1304,10 @@ impl Solver {
                 };
                 match decision {
                     None => {
-                        // Complete assignment: SAT.
+                        // Complete assignment: SAT. Extend the model over
+                        // eliminated variables before reporting it.
                         self.model = self.assigns.clone();
+                        self.extend_model();
                         return SolveOutcome::Sat;
                     }
                     Some(d) => {

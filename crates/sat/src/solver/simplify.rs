@@ -1,0 +1,524 @@
+//! Inprocessing at solve-call boundaries.
+//!
+//! One [`Solver::simplify`] pass runs, in order: top-level clause
+//! simplification (drop root-satisfied clauses, strip root-false
+//! literals), occurrence-list forward subsumption with self-subsuming
+//! resolution, bounded variable elimination (BVE) with a clause-growth
+//! cutoff, and clause vivification — all under one deterministic step
+//! budget (no wall clock, so campaign runs stay byte-reproducible at any
+//! worker count).
+//!
+//! Soundness with incremental callers rests on restore-on-demand: every
+//! eliminated variable keeps its original clauses in an elimination
+//! record, and any later clause, assumption or freeze that mentions the
+//! variable re-adds them (`Solver::restore_var`). Model reconstruction
+//! (`Solver::extend_model`) walks the records in reverse to value
+//! eliminated variables.
+//!
+//! DRAT contract: subsumed/satisfied clauses log `Delete`; strengthened
+//! and vivified clauses log `Add` of the stronger clause (RUP) before
+//! `Delete` of the old one; BVE resolvents log `Add` (RUP from the two
+//! parents); the *original* clauses a BVE step removes are deliberately
+//! **not** logged as deleted — DRAT deletions are optional, the checker
+//! keeping them preserves checkability of later strengthenings, and it
+//! lets restore re-add them without any non-RUP re-derivation.
+
+use super::Solver;
+use crate::clause::ClauseRef;
+use crate::lit::{Lit, Var};
+
+/// Original-clause additions between scheduled inprocessing passes.
+pub(crate) const SIMPLIFY_INTERVAL: usize = 700;
+/// Deterministic step budget per pass, spent on occurrence scans,
+/// resolvent construction and vivification propagations.
+const STEP_BUDGET: usize = 2_000_000;
+/// Clauses longer than this are neither subsumption nor vivification
+/// candidates (quadratic scans on long clauses drown the budget).
+const SUBSUME_LEN_MAX: usize = 24;
+/// Variables with more occurrences than this in either polarity are not
+/// BVE candidates.
+const ELIM_OCC_MAX: usize = 16;
+/// Resolvents longer than this veto the elimination producing them.
+const RESOLVENT_LEN_MAX: usize = 24;
+/// Vivification only pays off for clauses at least this long.
+const VIVIFY_LEN_MIN: usize = 3;
+
+impl Solver {
+    /// Runs one inprocessing pass (top-level simplification; subsumption
+    /// and self-subsuming resolution; bounded variable elimination;
+    /// vivification) at the root level under a deterministic step
+    /// budget. Scheduled automatically from [`Solver::solve_bounded`]
+    /// when enough clauses arrived since the last pass; public so
+    /// callers can force a pass regardless of
+    /// [`Solver::set_simplify`].
+    pub fn simplify(&mut self) {
+        if !self.ok {
+            return;
+        }
+        self.cancel_until(0);
+        if self.propagate().is_some() {
+            self.log_add(&[]);
+            self.ok = false;
+            return;
+        }
+        // Root-level reasons only matter to in-flight conflict analysis;
+        // clearing them means no clause is locked while we rewrite the
+        // database.
+        self.clear_root_reasons();
+        self.simplify_pending = 0;
+        self.stats.simplify_rounds += 1;
+        self.remove_satisfied();
+        if !self.ok {
+            return;
+        }
+        let mut budget = STEP_BUDGET;
+        let mut occ = self.build_occ();
+        self.subsume_round(&mut occ, &mut budget);
+        if !self.ok {
+            return;
+        }
+        self.eliminate_round(&mut occ, &mut budget);
+        if !self.ok {
+            return;
+        }
+        self.vivify_round(&mut budget);
+    }
+
+    /// Root assignments need no reason clause (conflict analysis never
+    /// resolves on level-0 literals, and `analyze_final` only walks the
+    /// trail above the first assumption level), so drop them to unlock
+    /// every clause for deletion and strengthening.
+    fn clear_root_reasons(&mut self) {
+        debug_assert_eq!(self.decision_level(), 0);
+        for i in 0..self.trail.len() {
+            let v = self.trail[i].var().index();
+            self.reason[v] = None;
+        }
+    }
+
+    /// MiniSat-style top-level simplification: delete every clause
+    /// satisfied at the root and strip root-false literals from the
+    /// rest, so the later passes only see unassigned literals.
+    fn remove_satisfied(&mut self) {
+        for ci in 0..self.db.num_slots() as u32 {
+            let r = ClauseRef(ci);
+            if self.db.get(r).deleted {
+                continue;
+            }
+            let (sat, has_false) = {
+                let c = self.db.get(r);
+                let mut sat = false;
+                let mut f = false;
+                for &l in &c.lits {
+                    match self.value_lit(l) {
+                        1 => sat = true,
+                        -1 => f = true,
+                        _ => {}
+                    }
+                }
+                (sat, f)
+            };
+            if sat {
+                let lits = self.db.get(r).lits.clone();
+                self.log_delete(&lits);
+                self.detach(r);
+                self.db.delete(r);
+                self.stats.deleted_clauses += 1;
+            } else if has_false {
+                let old = self.db.get(r).lits.clone();
+                let new: Vec<Lit> = old
+                    .iter()
+                    .copied()
+                    .filter(|&l| self.value_lit(l) == 0)
+                    .collect();
+                // At the propagation fixpoint an unsatisfied clause with
+                // one unassigned literal cannot exist.
+                debug_assert!(new.len() >= 2, "root-unit clause survived propagation");
+                self.log_add(&new);
+                self.log_delete(&old);
+                self.detach(r);
+                {
+                    // In-place rewrite preserves the literal Vec's
+                    // capacity, keeping the arena's byte accounting
+                    // consistent with the later delete().
+                    let c = self.db.get_mut(r);
+                    c.lits.clear();
+                    c.lits.extend_from_slice(&new);
+                }
+                self.attach(r);
+            }
+        }
+    }
+
+    /// Occurrence lists over live *original* clauses, indexed by literal
+    /// code. Entries can go stale (clauses deleted or strengthened by
+    /// later steps); every consumer re-verifies membership.
+    fn build_occ(&self) -> Vec<Vec<ClauseRef>> {
+        let mut occ: Vec<Vec<ClauseRef>> = vec![Vec::new(); self.watches.len()];
+        for i in 0..self.db.num_slots() as u32 {
+            let r = ClauseRef(i);
+            let c = self.db.get(r);
+            if c.deleted || c.learnt {
+                continue;
+            }
+            for &l in &c.lits {
+                occ[l.code()].push(r);
+            }
+        }
+        occ
+    }
+
+    /// Forward subsumption and self-subsuming resolution. For each
+    /// candidate clause C, scan the occurrence lists of its
+    /// least-occurring literal (both polarities) counting hits (literals
+    /// of D also in C) and flips (literals of D whose negation is in C):
+    /// all-hits means C subsumes D (delete D); one flip and the rest
+    /// hits means the resolvent of C and D on the flipped variable
+    /// subsumes D minus that literal (strengthen D).
+    fn subsume_round(&mut self, occ: &mut [Vec<ClauseRef>], budget: &mut usize) {
+        let mut marks: Vec<i8> = vec![0; self.num_vars() as usize];
+        for ci in 0..self.db.num_slots() as u32 {
+            if *budget == 0 || !self.ok {
+                break;
+            }
+            let c = ClauseRef(ci);
+            {
+                let cl = self.db.get(c);
+                if cl.deleted || cl.learnt || cl.len() > SUBSUME_LEN_MAX {
+                    continue;
+                }
+            }
+            let lits: Vec<Lit> = self.db.get(c).lits.clone();
+            if lits.iter().any(|&l| self.value_lit(l) != 0) {
+                continue;
+            }
+            for &l in &lits {
+                marks[l.var().index()] = if l.is_neg() { -1 } else { 1 };
+            }
+            let l_min = *lits
+                .iter()
+                .min_by_key(|l| occ[l.code()].len())
+                .expect("clauses are never empty");
+            for key in [l_min, l_min.negate()] {
+                let cand = occ[key.code()].clone();
+                for d in cand {
+                    if d == c || !self.ok {
+                        continue;
+                    }
+                    let (hits, flip_lit, assigned) = {
+                        let dc = self.db.get(d);
+                        if dc.deleted || dc.len() < lits.len() || !dc.lits.contains(&key) {
+                            continue;
+                        }
+                        *budget = budget.saturating_sub(dc.len());
+                        let mut hits = 0usize;
+                        let mut flips = 0usize;
+                        let mut flip = None;
+                        let mut assigned = false;
+                        for &l in &dc.lits {
+                            if self.value_lit(l) != 0 {
+                                assigned = true;
+                            }
+                            let m = marks[l.var().index()];
+                            if m == 0 {
+                                continue;
+                            }
+                            if m == if l.is_neg() { -1 } else { 1 } {
+                                hits += 1;
+                            } else {
+                                flips += 1;
+                                flip = Some(l);
+                            }
+                        }
+                        if flips > 1 {
+                            continue;
+                        }
+                        (hits, flip, assigned)
+                    };
+                    if hits == lits.len() && flip_lit.is_none() {
+                        let dl = self.db.get(d).lits.clone();
+                        self.log_delete(&dl);
+                        self.detach(d);
+                        self.db.delete(d);
+                        self.stats.subsumed_clauses += 1;
+                    } else if hits == lits.len() - 1 && flip_lit.is_some() && !assigned {
+                        self.strengthen_clause(d, flip_lit.expect("flip literal recorded"));
+                    }
+                }
+            }
+            for &l in &lits {
+                marks[l.var().index()] = 0;
+            }
+        }
+    }
+
+    /// Removes literal `l` from clause `d` (self-subsuming resolution or
+    /// a vivification step), logging the stronger clause before deleting
+    /// the old one and propagating the unit case at the root.
+    fn strengthen_clause(&mut self, d: ClauseRef, l: Lit) {
+        let old = self.db.get(d).lits.clone();
+        let new: Vec<Lit> = old.iter().copied().filter(|&x| x != l).collect();
+        self.log_add(&new);
+        self.log_delete(&old);
+        self.detach(d);
+        {
+            let c = self.db.get_mut(d);
+            c.lits.retain(|&x| x != l); // in place: capacity preserved
+        }
+        self.stats.strengthened_clauses += 1;
+        if new.len() >= 2 {
+            self.attach(d);
+        } else {
+            self.db.delete(d);
+            let u = new[0];
+            match self.value_lit(u) {
+                1 => {}
+                -1 => {
+                    self.log_add(&[]);
+                    self.ok = false;
+                }
+                _ => {
+                    self.enqueue(u, None);
+                    if self.propagate().is_some() {
+                        self.log_add(&[]);
+                        self.ok = false;
+                    }
+                    self.clear_root_reasons();
+                }
+            }
+        }
+    }
+
+    /// Live original clauses from `occ[l]` that still contain `l`.
+    fn gather_occ(&self, occ: &[Vec<ClauseRef>], l: Lit) -> Vec<ClauseRef> {
+        occ[l.code()]
+            .iter()
+            .copied()
+            .filter(|&r| {
+                let c = self.db.get(r);
+                !c.deleted && !c.learnt && c.lits.contains(&l)
+            })
+            .collect()
+    }
+
+    /// Resolvent of `p` and `n` on `v`, or `None` when tautological.
+    fn resolve(&self, p: ClauseRef, n: ClauseRef, v: Var) -> Option<Vec<Lit>> {
+        let mut out: Vec<Lit> = Vec::new();
+        for &l in &self.db.get(p).lits {
+            if l.var() != v {
+                out.push(l);
+            }
+        }
+        for &l in &self.db.get(n).lits {
+            if l.var() == v {
+                continue;
+            }
+            if out.contains(&l.negate()) {
+                return None;
+            }
+            if !out.contains(&l) {
+                out.push(l);
+            }
+        }
+        Some(out)
+    }
+
+    /// Bounded variable elimination. A variable is a candidate when it
+    /// is unassigned, not frozen and occurs at most [`ELIM_OCC_MAX`]
+    /// times per polarity; it is eliminated when its non-tautological
+    /// resolvents do not outnumber the clauses they replace and none
+    /// exceeds [`RESOLVENT_LEN_MAX`]. The ordering within a commit —
+    /// save originals, detach and delete them, mark eliminated, only
+    /// then add resolvents — guarantees a unit resolvent propagating can
+    /// never re-assign the variable (no attached clause mentions it).
+    fn eliminate_round(&mut self, occ: &mut [Vec<ClauseRef>], budget: &mut usize) {
+        let nv = self.num_vars() as usize;
+        let mut any_elim = false;
+        for vi in 0..nv {
+            if *budget == 0 || !self.ok {
+                break;
+            }
+            if self.frozen[vi] || self.eliminated[vi] || self.assigns[vi] != 0 {
+                continue;
+            }
+            let v = Var(vi as u32);
+            let pos = self.gather_occ(occ, v.pos());
+            let neg = self.gather_occ(occ, v.neg());
+            if pos.len() > ELIM_OCC_MAX || neg.len() > ELIM_OCC_MAX {
+                continue;
+            }
+            if pos.is_empty() && neg.is_empty() {
+                continue;
+            }
+            let limit = pos.len() + neg.len();
+            let mut resolvents: Vec<Vec<Lit>> = Vec::new();
+            let mut admissible = true;
+            'pairs: for &p in &pos {
+                for &n in &neg {
+                    *budget = budget.saturating_sub(self.db.get(p).len() + self.db.get(n).len());
+                    if let Some(res) = self.resolve(p, n, v) {
+                        if res.len() > RESOLVENT_LEN_MAX || resolvents.len() == limit {
+                            admissible = false;
+                            break 'pairs;
+                        }
+                        resolvents.push(res);
+                    }
+                }
+            }
+            if !admissible {
+                continue;
+            }
+            // Commit: save → delete originals (unlogged; see module docs)
+            // → mark eliminated → add resolvents.
+            let mut saved: Vec<Vec<Lit>> = Vec::with_capacity(limit);
+            for &r in pos.iter().chain(neg.iter()) {
+                saved.push(self.db.get(r).lits.clone());
+                self.detach(r);
+                self.db.delete(r);
+            }
+            self.eliminated[vi] = true;
+            self.stats.eliminated_vars += 1;
+            self.elim_records.push(super::ElimRecord {
+                var: v,
+                clauses: saved,
+                restored: false,
+            });
+            any_elim = true;
+            for res in resolvents {
+                if let Some(r) = self.add_lits(&res, true) {
+                    // Register resolvents so later eliminations this
+                    // round see them.
+                    let codes: Vec<usize> = self.db.get(r).lits.iter().map(|l| l.code()).collect();
+                    for code in codes {
+                        occ[code].push(r);
+                    }
+                }
+                self.clear_root_reasons();
+                if !self.ok {
+                    return;
+                }
+            }
+        }
+        if any_elim {
+            self.purge_eliminated_learnts();
+        }
+    }
+
+    /// Deletes (and DRAT-logs) every learnt clause mentioning an
+    /// eliminated variable. Learnt clauses are implied by the original
+    /// formula, so keeping them would stay sound, but dropping them
+    /// restores the invariant that no attached clause mentions an
+    /// eliminated variable.
+    fn purge_eliminated_learnts(&mut self) {
+        let mut learnts = std::mem::take(&mut self.reduce_scratch);
+        self.db.learnt_refs_into(&mut learnts);
+        for &r in &learnts {
+            let mentions = self
+                .db
+                .get(r)
+                .lits
+                .iter()
+                .any(|l| self.eliminated[l.var().index()]);
+            if mentions {
+                let lits = self.db.get(r).lits.clone();
+                self.log_delete(&lits);
+                self.detach(r);
+                self.db.delete(r);
+                self.stats.deleted_clauses += 1;
+            }
+        }
+        learnts.clear();
+        self.reduce_scratch = learnts;
+    }
+
+    /// Vivification sweep over medium-length original clauses.
+    fn vivify_round(&mut self, budget: &mut usize) {
+        for ci in 0..self.db.num_slots() as u32 {
+            if *budget == 0 || !self.ok {
+                break;
+            }
+            let r = ClauseRef(ci);
+            {
+                let c = self.db.get(r);
+                if c.deleted || c.learnt || c.len() < VIVIFY_LEN_MIN || c.len() > SUBSUME_LEN_MAX {
+                    continue;
+                }
+            }
+            if self.db.get(r).lits.iter().any(|&l| self.value_lit(l) != 0) {
+                continue;
+            }
+            self.vivify_clause(r, budget);
+        }
+    }
+
+    /// Vivifies one clause: detach it, then assume the negation of each
+    /// literal in turn. A conflict proves the assumed prefix is already
+    /// a clause; a literal found true under the prefix closes the clause
+    /// early; a literal found false is redundant and dropped. Any
+    /// shortening replaces the clause (Add-then-Delete in the DRAT log).
+    fn vivify_clause(&mut self, r: ClauseRef, budget: &mut usize) {
+        let old = self.db.get(r).lits.clone();
+        self.detach(r);
+        let before = self.stats.propagations;
+        let mut kept: Vec<Lit> = Vec::with_capacity(old.len());
+        for (i, &l) in old.iter().enumerate() {
+            match self.value_lit(l) {
+                1 => {
+                    kept.push(l);
+                    break;
+                }
+                -1 => continue,
+                _ => {}
+            }
+            kept.push(l);
+            if i + 1 == old.len() {
+                break;
+            }
+            self.new_decision_level();
+            self.enqueue(l.negate(), None);
+            if self.propagate().is_some() {
+                break;
+            }
+        }
+        self.cancel_until(0);
+        *budget = budget.saturating_sub((self.stats.propagations - before) as usize + old.len());
+        if kept.len() == old.len() {
+            self.attach(r);
+            return;
+        }
+        self.stats.vivified_clauses += 1;
+        self.log_add(&kept);
+        self.log_delete(&old);
+        {
+            let c = self.db.get_mut(r);
+            c.lits.clear();
+            c.lits.extend_from_slice(&kept); // in place: capacity preserved
+        }
+        match kept.len() {
+            0 => {
+                self.db.delete(r);
+                self.ok = false;
+            }
+            1 => {
+                self.db.delete(r);
+                let u = kept[0];
+                match self.value_lit(u) {
+                    1 => {}
+                    -1 => {
+                        self.log_add(&[]);
+                        self.ok = false;
+                    }
+                    _ => {
+                        self.enqueue(u, None);
+                        if self.propagate().is_some() {
+                            self.log_add(&[]);
+                            self.ok = false;
+                        }
+                        self.clear_root_reasons();
+                    }
+                }
+            }
+            _ => self.attach(r),
+        }
+    }
+}

@@ -926,6 +926,20 @@ fn cmd_bench(args: &[String]) {
             .saturating_sub(report.warm.frames_solved),
         report.obligations
     );
+    let sp = &report.simplify;
+    println!(
+        "simplify probe: {} vs {} frames ({} vs {} conflicts) inprocessing on/off; \
+         {} rounds, {} vars eliminated, {} subsumed, {} strengthened, {} vivified",
+        sp.frames_on,
+        sp.frames_off,
+        sp.conflicts_on,
+        sp.conflicts_off,
+        sp.simplify_rounds,
+        sp.eliminated_vars,
+        sp.subsumed_clauses,
+        sp.strengthened_clauses,
+        sp.vivified_clauses
+    );
     if let Some(reason) = report.regression() {
         eprintln!("REGRESSION: {reason}");
         exit(1);
