@@ -126,8 +126,13 @@ pub struct ObligationSpec {
 
 impl ObligationSpec {
     /// The wire form of a library obligation. Returns `None` for the
-    /// test-only debug kinds, which have no wire representation.
+    /// test-only debug kinds and for synthesized-mutant obligations,
+    /// which have no wire representation (mutants are regenerated from
+    /// `(seed, ordinal)` by `gqed mutants`, not submitted over the wire).
     pub fn from_obligation(obl: &Obligation) -> Option<ObligationSpec> {
+        if obl.mutation.is_some() {
+            return None;
+        }
         let (bound, max_k) = match &obl.kind {
             ObligationKind::Check { bound, .. } => (Some(*bound), None),
             ObligationKind::ProveClean { bound, max_k } => (Some(*bound), Some(*max_k)),
@@ -266,6 +271,7 @@ impl ObligationSpec {
             id: self.id.clone(),
             design: entry.name,
             bug,
+            mutation: None,
             kind,
             expect_violation: self.expect_violation,
         })

@@ -30,6 +30,7 @@ pub mod api;
 pub mod bench;
 pub mod journal;
 pub mod json;
+pub mod mutants;
 pub mod obligation;
 pub mod portfolio;
 pub mod runner;
@@ -46,7 +47,11 @@ pub use journal::{
     ResumeState, WriteFault,
 };
 pub use json::{is_valid_json, parse_json, JsonValue};
-pub use obligation::{enumerate_obligations, FlowFilter, Obligation, ObligationKind};
+pub use mutants::{
+    enumerate_mutant_obligations, MutantBatch, MutantPlan, MutantRow, MutantsReport,
+    DEFAULT_DETECTION_FLOOR,
+};
+pub use obligation::{enumerate_obligations, FlowFilter, MutationSpec, Obligation, ObligationKind};
 pub use portfolio::{default_portfolio, EngineId, PDR_QUERY_CAP};
 pub use runner::{Campaign, CampaignConfig, CampaignSummary, JobRecord, JobVerdict};
 pub use service::{request_shutdown, serve, submit_batch, ServeOptions};

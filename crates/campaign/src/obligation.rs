@@ -74,6 +74,20 @@ pub enum ObligationKind {
     DebugExhaust,
 }
 
+/// Identifies a synthesized mutant: the runner regenerates the mutated
+/// design deterministically from `(design, seed, ordinal)` via
+/// [`gqed_ha::mutation::generate`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MutationSpec {
+    /// Campaign seed.
+    pub seed: u64,
+    /// Per-design mutant ordinal.
+    pub ordinal: u64,
+    /// The mutant's bug-class tag ([`gqed_ha::MutationClass::tag`]) —
+    /// carried for tables and telemetry, not needed for regeneration.
+    pub class: &'static str,
+}
+
 /// One unit of verification work.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Obligation {
@@ -84,6 +98,9 @@ pub struct Obligation {
     pub design: &'static str,
     /// Injected bug, `None` for the clean build.
     pub bug: Option<&'static str>,
+    /// Synthesized mutation to apply instead of a catalogued bug
+    /// (mutually exclusive with `bug`; `None` for catalogue obligations).
+    pub mutation: Option<MutationSpec>,
     /// The work to perform.
     pub kind: ObligationKind,
     /// Catalogue ground truth: whether this obligation is expected to
@@ -127,6 +144,7 @@ pub fn enumerate_obligations(flows: FlowFilter, design_filter: &[String]) -> Vec
                 id: format!("{}/clean/aqed", entry.name),
                 design: entry.name,
                 bug: None,
+                mutation: None,
                 kind: ObligationKind::Check {
                     kind: CheckKind::AQed,
                     bound: rec.min(14),
@@ -140,6 +158,7 @@ pub fn enumerate_obligations(flows: FlowFilter, design_filter: &[String]) -> Vec
                 id: format!("{}/clean/prove", entry.name),
                 design: entry.name,
                 bug: None,
+                mutation: None,
                 kind: ObligationKind::ProveClean {
                     bound: rec.min(12),
                     max_k: 8,
@@ -155,6 +174,7 @@ pub fn enumerate_obligations(flows: FlowFilter, design_filter: &[String]) -> Vec
                     id: format!("{}/{}/gqed", entry.name, bug.id),
                     design: entry.name,
                     bug: Some(bug.id),
+                    mutation: None,
                     kind: ObligationKind::Check {
                         kind: CheckKind::GQed,
                         bound: evaluation_bound(&d, &bug),
@@ -167,6 +187,7 @@ pub fn enumerate_obligations(flows: FlowFilter, design_filter: &[String]) -> Vec
                     id: format!("{}/{}/aqed", entry.name, bug.id),
                     design: entry.name,
                     bug: Some(bug.id),
+                    mutation: None,
                     kind: ObligationKind::Check {
                         kind: CheckKind::AQed,
                         bound: baseline_bound(&d, &bug, bug.expected.aqed),
@@ -179,6 +200,7 @@ pub fn enumerate_obligations(flows: FlowFilter, design_filter: &[String]) -> Vec
                     id: format!("{}/{}/conv", entry.name, bug.id),
                     design: entry.name,
                     bug: Some(bug.id),
+                    mutation: None,
                     kind: ObligationKind::Check {
                         kind: CheckKind::Conventional,
                         bound: baseline_bound(&d, &bug, bug.expected.conventional),

@@ -1105,6 +1105,12 @@ fn finish(
         .field("mismatch", mismatch)
         .field("cache_hit", cached)
         .field("frames_solved", frames_solved);
+    if let Some(m) = obl.mutation {
+        ev = ev
+            .field("mutant_seed", m.seed)
+            .field("mutant_ordinal", m.ordinal)
+            .field("mutant_class", m.class);
+    }
     ev = crate::api::encode_verdict_fields(ev, &verdict);
     if let Some(s) = &stats {
         ev = ev
@@ -1196,7 +1202,12 @@ fn build_design(obl: &Obligation) -> Design {
         .into_iter()
         .find(|e| e.name == obl.design)
         .unwrap_or_else(|| panic!("unknown design '{}'", obl.design));
-    (entry.build)(obl.bug)
+    match obl.mutation {
+        // Synthesized mutants are regenerated deterministically from
+        // (design, seed, ordinal) — the obligation never carries the IR.
+        Some(m) => gqed_ha::mutation::generate(&entry, m.seed, m.ordinal).design,
+        None => (entry.build)(obl.bug),
+    }
 }
 
 /// The flow whose model decides this obligation, when it has one (debug
@@ -1209,10 +1220,24 @@ fn obligation_check_kind(obl: &Obligation) -> Option<CheckKind> {
     }
 }
 
+/// The model-cache key for an obligation's design variant under `kind`:
+/// catalogue bug id for hand-written bugs, `mut-s{seed}-{ordinal}` for
+/// synthesized mutants (each mutant is its own variant — sharing the
+/// clean model would solve the wrong design).
+fn cache_model_key(obl: &Obligation, kind: CheckKind) -> ModelKey {
+    match obl.mutation {
+        Some(m) => {
+            let variant = format!("mut-s{}-{}", m.seed, m.ordinal);
+            ModelKey::new(obl.design, Some(&variant), kind)
+        }
+        None => ModelKey::new(obl.design, obl.bug, kind),
+    }
+}
+
 /// The model-cache key of an obligation's deciding BMC model, when the
 /// obligation has one (debug obligations do not).
 fn model_key(obl: &Obligation) -> Option<ModelKey> {
-    obligation_check_kind(obl).map(|kind| ModelKey::new(obl.design, obl.bug, kind))
+    obligation_check_kind(obl).map(|kind| cache_model_key(obl, kind))
 }
 
 /// Probes the content-addressed verdict store for this obligation.
@@ -1277,7 +1302,7 @@ fn resolve_model(
     cache: &ModelCache,
 ) -> Arc<Model> {
     if config.warm_start {
-        let key = ModelKey::new(obl.design, obl.bug, kind);
+        let key = cache_model_key(obl, kind);
         cache.get_or_build(key, || build_model(&build_design(obl), kind))
     } else {
         Arc::new(build_model(&build_design(obl), kind))

@@ -165,6 +165,7 @@ fn debug_obligations_rerun_on_resume_instead_of_being_skipped() {
             id: "debug/panic".to_string(),
             design: "relu",
             bug: None,
+            mutation: None,
             kind: ObligationKind::DebugPanic,
             expect_violation: None,
         },
@@ -172,6 +173,7 @@ fn debug_obligations_rerun_on_resume_instead_of_being_skipped() {
             id: "debug/exhaust".to_string(),
             design: "relu",
             bug: None,
+            mutation: None,
             kind: ObligationKind::DebugExhaust,
             expect_violation: None,
         },
@@ -179,6 +181,7 @@ fn debug_obligations_rerun_on_resume_instead_of_being_skipped() {
             id: "relu/clean/conv".to_string(),
             design: "relu",
             bug: None,
+            mutation: None,
             kind: ObligationKind::Check {
                 kind: CheckKind::Conventional,
                 bound: 6,
@@ -307,6 +310,7 @@ fn memory_limited_solver_degrades_without_flipping_verdicts() {
         id: "debug/exhaust".to_string(),
         design: "relu",
         bug: None,
+        mutation: None,
         kind: ObligationKind::DebugExhaust,
         expect_violation: None,
     }];

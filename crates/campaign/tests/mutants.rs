@@ -1,0 +1,178 @@
+//! Mutation-engine acceptance: catalogue injectability, negative
+//! controls, and verdict-store round-trips for synthesized mutants.
+
+use gqed_campaign::{
+    enumerate_mutant_obligations, Campaign, CampaignConfig, EngineId, FlowFilter, MutantsReport,
+    Telemetry, VerdictStore,
+};
+use gqed_core::fingerprint::fnv1a64;
+use gqed_ha::all_designs;
+use gqed_ha::mutation::{self, MutationClass};
+use std::path::PathBuf;
+
+fn tmp(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("gqed-mutants-{}-{name}", std::process::id()))
+}
+
+fn deterministic_config() -> CampaignConfig {
+    CampaignConfig::default().with_engines(vec![EngineId::Bmc])
+}
+
+/// Satellite 1 — property test over the whole catalogue: every catalogued
+/// bug of every design is injectable, reports the requested id back, and
+/// actually changes the design's observable rendering (so the mutation
+/// engine's fingerprint discard can never silently swallow a real
+/// catalogue bug either).
+#[test]
+fn every_catalogued_bug_is_injectable_and_observably_distinct() {
+    for entry in all_designs() {
+        let clean = entry.build_clean();
+        assert_eq!(clean.injected_bug, None, "{}", entry.name);
+        let clean_fp = fnv1a64(mutation::observable_render(&clean).as_bytes());
+        for bug in (entry.bugs)() {
+            let buggy = entry.build_buggy(bug.id);
+            assert_eq!(
+                buggy.injected_bug,
+                Some(bug.id),
+                "{}/{} did not record the injected bug",
+                entry.name,
+                bug.id
+            );
+            let fp = fnv1a64(mutation::observable_render(&buggy).as_bytes());
+            assert_ne!(
+                fp, clean_fp,
+                "{}/{} is observably identical to the clean build",
+                entry.name, bug.id
+            );
+        }
+    }
+}
+
+/// Satellite 2 — negative controls: fingerprint-identical candidates (the
+/// seeded fold-noop, which rewrites a term to `t + 0` and folds back to
+/// itself) are discarded before solving, and the semantic no-op that IS
+/// solved (the dead shadow-counter control) is never reported as detected.
+#[test]
+fn semantic_noops_are_discarded_or_undetected() {
+    let batch = enumerate_mutant_obligations(7, 5, FlowFilter::all(), &["relu".to_string()]);
+    // Ordinal 1 is the fold-noop control: byte-identical rendering, must
+    // be rejected before any solver sees it.
+    assert!(
+        batch.discarded_noops >= 1,
+        "the fold-noop control was not discarded"
+    );
+    assert!(
+        !batch.plans.iter().any(|p| p.ordinal == 1),
+        "a fingerprint-identical candidate reached the plan"
+    );
+    // Ordinal 0 is the dead shadow-counter control: accepted (distinct
+    // rendering) but undetectable by construction — every obligation
+    // carries the expect-no-violation ground truth.
+    let control = &batch.plans[0];
+    assert_eq!(control.ordinal, 0);
+    assert_eq!(control.class, MutationClass::NoopControl);
+    assert!(control.detectable.none());
+    let control_obls: Vec<_> = batch
+        .obligations
+        .iter()
+        .filter(|o| o.mutation.unwrap().ordinal == 0)
+        .cloned()
+        .collect();
+    assert!(!control_obls.is_empty());
+    assert!(control_obls
+        .iter()
+        .all(|o| o.expect_violation == Some(false)));
+
+    let summary = Campaign::new(&control_obls)
+        .config(deterministic_config())
+        .run(&Telemetry::null());
+    assert!(summary.is_success(), "{summary:?}");
+    assert_eq!(summary.violations, 0, "a no-op control was 'detected'");
+    assert_eq!(summary.mismatches, 0);
+
+    let report = MutantsReport::from_summary(&batch, &summary, 0.0);
+    assert_eq!(report.false_positives, 0);
+    assert_eq!(report.detected, 0);
+    assert_eq!(report.controls, 1);
+    let (_, class, row) = report
+        .table
+        .iter()
+        .find(|(d, c, _)| *d == "relu" && *c == MutationClass::NoopControl)
+        .expect("control row missing");
+    assert_eq!(*class, MutationClass::NoopControl);
+    assert_eq!(row.detected, 0);
+}
+
+/// Satellite 4 — verdict-store round-trip: mutant verdicts are admitted to
+/// the content-addressed store, and resubmitting the unchanged batch
+/// re-solves zero obligations.
+#[test]
+fn mutant_verdicts_round_trip_through_the_verdict_store() {
+    let batch = enumerate_mutant_obligations(
+        3,
+        3,
+        FlowFilter {
+            gqed: true,
+            aqed: false,
+            conventional: false,
+        },
+        &["relu".to_string()],
+    );
+    assert!(!batch.obligations.is_empty());
+    let path = tmp("store.vs");
+    std::fs::remove_file(&path).ok();
+
+    let store = VerdictStore::open(&path).unwrap();
+    let cold = Campaign::new(&batch.obligations)
+        .config(deterministic_config())
+        .verdict_store(&store)
+        .run(&Telemetry::null());
+    assert!(cold.is_success(), "{cold:?}");
+    assert_eq!(cold.cache_hits, 0);
+    assert!(!store.is_empty(), "no mutant verdict was admitted");
+    drop(store);
+
+    // Fresh process image of the same batch: everything served from disk.
+    let store = VerdictStore::open(&path).unwrap();
+    let warm = Campaign::new(&batch.obligations)
+        .config(deterministic_config())
+        .verdict_store(&store)
+        .run(&Telemetry::null());
+    assert!(warm.is_success(), "{warm:?}");
+    assert_eq!(warm.cache_hits, batch.obligations.len() as u64);
+    assert_eq!(warm.cache_misses, 0);
+    assert_eq!(warm.normalized_render(), cold.normalized_render());
+    std::fs::remove_file(&path).ok();
+}
+
+/// Acceptance floor from the issue: `--per-design 50` must synthesize 50
+/// distinct-fingerprint mutants for every catalogued design without
+/// exhausting the ordinal cap (enumeration only — nothing is solved here).
+#[test]
+fn fifty_distinct_mutants_per_design_are_synthesizable() {
+    let batch = enumerate_mutant_obligations(
+        1,
+        50,
+        FlowFilter {
+            gqed: true,
+            aqed: false,
+            conventional: false,
+        },
+        &[],
+    );
+    assert!(
+        batch.exhausted.is_empty(),
+        "designs exhausted before 50 mutants: {:?}",
+        batch.exhausted
+    );
+    for entry in all_designs() {
+        let plans: Vec<_> = batch
+            .plans
+            .iter()
+            .filter(|p| p.design == entry.name)
+            .collect();
+        assert_eq!(plans.len(), 50, "{}", entry.name);
+        let fps: std::collections::HashSet<u64> = plans.iter().map(|p| p.fingerprint).collect();
+        assert_eq!(fps.len(), 50, "{} has duplicate fingerprints", entry.name);
+    }
+}

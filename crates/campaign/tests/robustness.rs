@@ -18,6 +18,7 @@ fn injected_obligations() -> Vec<Obligation> {
             id: "debug/panic".to_string(),
             design: "relu",
             bug: None,
+            mutation: None,
             kind: ObligationKind::DebugPanic,
             expect_violation: None,
         },
@@ -25,6 +26,7 @@ fn injected_obligations() -> Vec<Obligation> {
             id: "debug/exhaust".to_string(),
             design: "relu",
             bug: None,
+            mutation: None,
             kind: ObligationKind::DebugExhaust,
             expect_violation: None,
         },
@@ -32,6 +34,7 @@ fn injected_obligations() -> Vec<Obligation> {
             id: "relu/clean/conv".to_string(),
             design: "relu",
             bug: None,
+            mutation: None,
             kind: ObligationKind::Check {
                 kind: CheckKind::Conventional,
                 bound: 6,
@@ -129,6 +132,7 @@ fn deadline_escalation_eventually_completes_a_real_check() {
         id: "relu/clean/conv".to_string(),
         design: "relu",
         bug: None,
+        mutation: None,
         kind: ObligationKind::Check {
             kind: CheckKind::Conventional,
             bound: 4,

@@ -100,6 +100,7 @@ fn store_keys_ignore_scheduling_but_track_solver_relevant_config() {
         id: "relu/clean/gqed".to_string(),
         design: "relu",
         bug: None,
+        mutation: None,
         kind: ObligationKind::Check {
             kind: CheckKind::GQed,
             bound: 6,
@@ -147,6 +148,7 @@ fn ir_mutation_invalidates_exactly_that_designs_entries() {
         id: format!("{design}/clean/gqed"),
         design,
         bug: None,
+        mutation: None,
         kind: ObligationKind::Check {
             kind: CheckKind::GQed,
             bound: 6,

@@ -31,9 +31,11 @@ pub mod catalog;
 pub mod designs;
 pub mod driver;
 pub mod iface;
+pub mod mutation;
 pub mod skeleton;
 
 pub use catalog::{all_designs, DesignEntry};
 pub use driver::{DriveError, Driver};
 pub use iface::{BugClass, BugInfo, Design, DesignMeta, Detectors, HaInterface};
+pub use mutation::{FlowDetectability, Mutant, MutationClass};
 pub use skeleton::TxnControl;

@@ -44,4 +44,6 @@ pub use eval::{eval_terms, Sim};
 pub use mem::RegFile;
 pub use smt2::unrolling_to_smt2;
 pub use term::{Context, Op, TermId};
-pub use ts::{Bad, Model, StateDef, TransitionSystem};
+pub use ts::{
+    influence_cone, reachable_terms, substitute_all, Bad, Model, StateDef, TransitionSystem,
+};

@@ -12,7 +12,7 @@
 //! design share transaction *payloads* but receive independent *schedules*.
 
 use crate::term::{Context, Op, TermId};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 /// A state variable with its reset value and next-state function.
 #[derive(Clone, Copy, Debug)]
@@ -252,6 +252,57 @@ impl TransitionSystem {
     }
 }
 
+/// Every term reachable from `roots` through the operand relation,
+/// deduplicated and sorted by [`TermId`].
+///
+/// The sorted order makes this a *deterministic enumeration* of a term
+/// cone — the property mutation-candidate selection depends on: iterating
+/// a `HashSet` would make the chosen mutation site depend on hasher state.
+pub fn reachable_terms(ctx: &Context, roots: &[TermId]) -> Vec<TermId> {
+    let mut seen: HashSet<TermId> = HashSet::new();
+    let mut stack: Vec<TermId> = roots.to_vec();
+    while let Some(t) = stack.pop() {
+        if seen.insert(t) {
+            stack.extend(ctx.operands(t));
+        }
+    }
+    let mut out: Vec<TermId> = seen.into_iter().collect();
+    out.sort();
+    out
+}
+
+/// Term-level influence cone: every term whose value can affect one of the
+/// observable terms `obs`, either combinationally or through any number of
+/// state transitions.
+///
+/// This is the dual of [`TransitionSystem::cone_of_influence`] at term
+/// rather than variable granularity: starting from everything `obs` reads,
+/// the cone absorbs the `next`/`init` cones of every state variable already
+/// inside it, to a fixpoint. A term *outside* the returned set provably
+/// cannot change any observable in any execution — the reachability class
+/// that grounds a mutation's `expected_detectable` tag.
+pub fn influence_cone(ctx: &Context, states: &[StateDef], obs: &[TermId]) -> HashSet<TermId> {
+    let mut cone: HashSet<TermId> = reachable_terms(ctx, obs).into_iter().collect();
+    loop {
+        let mut grew = false;
+        for s in states {
+            if cone.contains(&s.term) {
+                let mut roots = vec![s.next];
+                if let Some(i) = s.init {
+                    roots.push(i);
+                }
+                for t in reachable_terms(ctx, &roots) {
+                    grew |= cone.insert(t);
+                }
+            }
+        }
+        if !grew {
+            break;
+        }
+    }
+    cone
+}
+
 /// Extends `map` so that every term reachable from `roots` has an image,
 /// rebuilding non-leaf terms bottom-up. Leaves (inputs/states) must already
 /// be mapped or are mapped to themselves.
@@ -478,6 +529,45 @@ mod tests {
         ts.add_bad("a3", hit);
         let reduced = ts.cone_of_influence(&ctx);
         assert_eq!(reduced.states.len(), 2);
+    }
+
+    #[test]
+    fn reachable_terms_is_sorted_and_complete() {
+        let mut ctx = Context::new();
+        let ts = accumulator(&mut ctx);
+        let r = reachable_terms(&ctx, &ts.roots());
+        let mut sorted = r.clone();
+        sorted.sort();
+        assert_eq!(r, sorted, "enumeration must be TermId-sorted");
+        // All leaves of the accumulator are in the cone.
+        for &i in &ts.inputs {
+            assert!(r.contains(&i));
+        }
+        assert!(r.contains(&ts.states[0].term));
+    }
+
+    #[test]
+    fn influence_cone_tracks_state_transitions_and_excludes_dead_logic() {
+        let mut ctx = Context::new();
+        // b feeds a (through a's next); observable reads a only.
+        let a = ctx.state("a", 4);
+        let b = ctx.state("b", 4);
+        let z = ctx.zero(4);
+        let bn = ctx.inc(b);
+        let mut ts = TransitionSystem::new("chain");
+        ts.add_state(a, Some(z), b);
+        ts.add_state(b, Some(z), bn);
+        // Dead counter: never read by any observable.
+        let junk = ctx.state("junk", 4);
+        let jn = ctx.inc(junk);
+        ts.add_state(junk, Some(z), jn);
+
+        let cone = influence_cone(&ctx, &ts.states, &[a]);
+        assert!(cone.contains(&a));
+        assert!(cone.contains(&b), "b reaches a through a's next");
+        assert!(cone.contains(&bn));
+        assert!(!cone.contains(&junk), "dead state is out of the cone");
+        assert!(!cone.contains(&jn));
     }
 
     #[test]

@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# Mutation-campaign smoke test.
+#
+# 1. Runs a small seeded mutant batch at two worker counts and diffs the
+#    normalized summaries and the BENCH_mutants.json reports: the
+#    detection-rate table must be byte-identical at any worker count.
+# 2. Relies on the binary's own regression gate (exit 1) to pin the
+#    detection-rate floor and the zero-false-positive guarantee on the
+#    negative controls; the greps below additionally pin the report
+#    fields a refactor could silently drop.
+#
+# Usage: scripts/mutants_smoke.sh [path-to-gqed-binary]
+set -u
+
+GQED="${1:-target/release/gqed}"
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+
+# Two fast designs, one interfering: bounded checks only, bmc-only by
+# default, so every verdict is deterministic.
+ARGS=(mutants relu accum --seed 1 --per-design 6)
+
+echo "== run A (2 workers) =="
+"$GQED" "${ARGS[@]}" --jobs 2 --out "$WORK/a.json" --summary-out "$WORK/a.txt" \
+  | tee "$WORK/a.table" || { echo "mutant campaign failed its gate"; exit 1; }
+
+echo "== run B (1 worker) =="
+"$GQED" "${ARGS[@]}" --jobs 1 --out "$WORK/b.json" --summary-out "$WORK/b.txt" \
+  >"$WORK/b.table" || { echo "mutant campaign failed its gate"; exit 1; }
+
+echo "== determinism =="
+diff -u "$WORK/a.txt" "$WORK/b.txt" || { echo "FAIL: summaries diverge across worker counts"; exit 1; }
+diff -u "$WORK/a.json" "$WORK/b.json" || { echo "FAIL: reports diverge across worker counts"; exit 1; }
+diff -u "$WORK/a.table" "$WORK/b.table" || { echo "FAIL: tables diverge across worker counts"; exit 1; }
+
+echo "== report fields =="
+grep -q '"bench":"mutants"' "$WORK/a.json"
+grep -q '"false_positives":0' "$WORK/a.json"
+grep -q '"exhausted":\[\]' "$WORK/a.json"
+grep -q '"regression":false' "$WORK/a.json"
+
+echo "OK: seeded mutation campaign is deterministic and passes its gate"

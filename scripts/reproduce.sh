@@ -38,6 +38,11 @@ grep -E 'engine wins: [0-9]+ bmc, [0-9]+ kind, [1-9][0-9]* pdr' \
 echo "== serve smoke (content-addressed verdict cache over TCP) =="
 scripts/serve_smoke.sh target/release/gqed | tee "$out/serve-smoke.txt"
 
+echo "== mutation campaign (seeded detection-rate table, $jobs workers) =="
+cargo run --release -q --bin gqed -- mutants \
+  --seed 1 --per-design 10 --jobs "$jobs" \
+  --out "$out/BENCH_mutants.json" | tee "$out/mutants.txt"
+
 run table1
 run table4
 run table5

@@ -49,6 +49,18 @@
 //!      stop at the next poll, pending obligations drain as `cancelled`
 //!      with journal checkpoints, and the exit code is 130. A second
 //!      signal exits immediately.
+//! gqed mutants [<design>…] [opts]   seeded mutation campaign: synthesize
+//!                                   mutants, solve them, report the
+//!                                   detection-rate table
+//!      --seed <s>                   mutation seed (default 1)
+//!      --per-design <n>             distinct mutants per design (default 10)
+//!      --out <file>                 report path (default BENCH_mutants.json)
+//!      --floor <f>                  detection-rate regression floor
+//!      plus the campaign knobs (--jobs, --deadline-ms, --budget,
+//!      --max-attempts, --telemetry, --flow, --journal, --resume,
+//!      --mem-limit, --summary-out, --store, --engines, --no-race);
+//!      engines default to bmc-only so the table is byte-identical at
+//!      any worker count
 //! gqed serve [opts]                 long-running campaign service (TCP,
 //!                                   line-delimited JSON; see EXPERIMENTS.md)
 //!      --addr <host:port>           listen address (default 127.0.0.1:7878;
@@ -95,13 +107,14 @@ fn main() {
         Some("bmc") => cmd_bmc(&args[1..]),
         Some("prove") => cmd_prove(&args[1..]),
         Some("campaign") => cmd_campaign(&args[1..]),
+        Some("mutants") => cmd_mutants(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
         Some("submit") => cmd_submit(&args[1..]),
         Some("bench") => cmd_bench(&args[1..]),
         Some("productivity") => cmd_productivity(&args[1..]),
         _ => {
             eprintln!(
-                "usage: gqed <list|check|hunt|export|bmc|prove|campaign|serve|submit|bench|productivity> …"
+                "usage: gqed <list|check|hunt|export|bmc|prove|campaign|mutants|serve|submit|bench|productivity> …"
             );
             eprintln!("       (see the crate docs or src/bin/gqed.rs for options)");
             exit(2);
@@ -724,6 +737,189 @@ fn cmd_campaign(args: &[String]) {
         );
     }
     exit(summary.exit_code());
+}
+
+fn cmd_mutants(args: &[String]) {
+    use gqed::campaign::{
+        enumerate_mutant_obligations, manifest_crc, Campaign, EngineId, Journal, MutantsReport,
+        Telemetry, VerdictStore, DEFAULT_DETECTION_FLOOR,
+    };
+
+    let designs: Vec<String> = args
+        .iter()
+        .enumerate()
+        .filter(|(i, a)| {
+            !a.starts_with("--")
+                && !matches!(
+                    args.get(i.wrapping_sub(1)).map(String::as_str),
+                    Some(
+                        "--jobs"
+                            | "--deadline-ms"
+                            | "--budget"
+                            | "--max-attempts"
+                            | "--telemetry"
+                            | "--flow"
+                            | "--journal"
+                            | "--resume"
+                            | "--mem-limit"
+                            | "--summary-out"
+                            | "--engines"
+                            | "--store"
+                            | "--seed"
+                            | "--per-design"
+                            | "--out"
+                            | "--floor"
+                    )
+                )
+        })
+        .map(|(_, a)| a.clone())
+        .collect();
+    for name in &designs {
+        find_design(name); // validate early with the friendly error
+    }
+
+    let seed: u64 = parse_flag(args, "--seed").unwrap_or(1);
+    let per_design: usize = parse_flag(args, "--per-design").unwrap_or(10);
+    let floor: f64 = parse_flag(args, "--floor").unwrap_or(DEFAULT_DETECTION_FLOOR);
+    let out = flag_value(args, "--out").unwrap_or("BENCH_mutants.json");
+
+    let flows = parse_flows(args);
+    let interrupt = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let mut config =
+        campaign_config_from_args(args).with_interrupt(std::sync::Arc::clone(&interrupt));
+    // Detection-rate tables must be byte-identical across runs and worker
+    // counts, so the racing portfolio defaults off; --engines opts back in.
+    if flag_value(args, "--engines").is_none() && !has_flag(args, "--no-race") {
+        config = config.with_engines(vec![EngineId::Bmc]);
+    }
+    let store = flag_value(args, "--store").map(|path| {
+        VerdictStore::open(std::path::Path::new(path)).unwrap_or_else(|e| {
+            eprintln!("cannot open verdict store {path}: {e}");
+            exit(1);
+        })
+    });
+    let telemetry = match flag_value(args, "--telemetry") {
+        Some(path) => Telemetry::file(std::path::Path::new(path)).unwrap_or_else(|e| {
+            eprintln!("cannot open telemetry file {path}: {e}");
+            exit(1);
+        }),
+        None => Telemetry::null(),
+    };
+
+    eprintln!("mutants: synthesizing {per_design} mutant(s) per design with seed {seed}…");
+    let batch = enumerate_mutant_obligations(seed, per_design, flows, &designs);
+    let obligations = &batch.obligations;
+    eprintln!(
+        "mutants: {} accepted ({} no-ops and {} duplicates discarded before solving), {} obligations",
+        batch.plans.len(),
+        batch.discarded_noops,
+        batch.discarded_dups,
+        obligations.len()
+    );
+
+    if flag_value(args, "--journal").is_some() && flag_value(args, "--resume").is_some() {
+        eprintln!("--journal and --resume are mutually exclusive (resume appends to its journal)");
+        exit(2);
+    }
+    let (journal, resume) = if let Some(path) = flag_value(args, "--resume") {
+        let (journal, state) = Journal::resume(std::path::Path::new(path)).unwrap_or_else(|e| {
+            eprintln!("cannot resume journal {path}: {e}");
+            exit(1);
+        });
+        match state.manifest_crc {
+            Some(crc) if crc == manifest_crc(obligations) => {}
+            Some(_) => {
+                // Mutant ids embed the seed, so this also rejects a journal
+                // from a different --seed or --per-design.
+                eprintln!(
+                    "journal {path} belongs to a different mutant batch (manifest mismatch); \
+                     re-run with the original seed/designs/flows"
+                );
+                exit(2);
+            }
+            None => {
+                eprintln!("journal {path} has no campaign_start record; cannot verify manifest");
+                exit(2);
+            }
+        }
+        eprintln!(
+            "resuming: {} of {} obligations already settled",
+            state.completed.len(),
+            obligations.len()
+        );
+        (Some(journal), Some(state))
+    } else if let Some(path) = flag_value(args, "--journal") {
+        let journal = Journal::create(std::path::Path::new(path)).unwrap_or_else(|e| {
+            eprintln!("cannot create journal {path}: {e}");
+            exit(1);
+        });
+        (Some(journal), None)
+    } else {
+        (None, None)
+    };
+
+    #[cfg(unix)]
+    {
+        signals::install();
+        let flag = std::sync::Arc::clone(&interrupt);
+        std::thread::spawn(move || loop {
+            if signals::SHUTDOWN.load(std::sync::atomic::Ordering::Relaxed) {
+                eprintln!("interrupt received; checkpointing and shutting down…");
+                flag.store(true, std::sync::atomic::Ordering::Relaxed);
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(25));
+        });
+    }
+
+    eprintln!(
+        "mutants: {} obligations, {} worker(s)…",
+        obligations.len(),
+        config.jobs.max(1)
+    );
+    let mut campaign = Campaign::new(obligations).config(config.clone());
+    if let Some(j) = journal.as_ref() {
+        campaign = campaign.journal(j);
+    }
+    if let Some(s) = resume.as_ref() {
+        campaign = campaign.resume(s);
+    }
+    if let Some(store) = store.as_ref() {
+        campaign = campaign.verdict_store(store);
+    }
+    let summary = campaign.run(&telemetry);
+
+    if let Some(path) = flag_value(args, "--summary-out") {
+        std::fs::write(path, summary.normalized_render()).unwrap_or_else(|e| {
+            eprintln!("cannot write summary file {path}: {e}");
+            exit(1);
+        });
+    }
+
+    let report = MutantsReport::from_summary(&batch, &summary, floor);
+    print!("{}", report.render_table());
+    println!(
+        "engine wins: {} bmc, {} kind, {} pdr",
+        report.wins_bmc, report.wins_kind, report.wins_pdr
+    );
+    if store.is_some() {
+        println!(
+            "verdict store: {} cache hits, {} cache misses",
+            summary.cache_hits, summary.cache_misses
+        );
+    }
+    std::fs::write(out, report.to_json().render() + "\n").unwrap_or_else(|e| {
+        eprintln!("cannot write {out}: {e}");
+        exit(1);
+    });
+    eprintln!("report: {out}");
+    if summary.exit_code() != 0 {
+        exit(summary.exit_code());
+    }
+    if let Some(reason) = report.regression() {
+        eprintln!("REGRESSION: {reason}");
+        exit(1);
+    }
 }
 
 fn cmd_serve(args: &[String]) {
