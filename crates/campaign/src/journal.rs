@@ -103,11 +103,53 @@ pub enum WriteFault {
     FsyncError,
 }
 
+/// An injectable worker-process death, executed by a `gqed worker`
+/// child the moment it receives the marked dispatch — deterministic by
+/// construction (the kill fires before any solving, so the supervisor
+/// always observes the obligation in flight).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum KillFault {
+    /// The worker calls `abort()` — the shape of a heap-corruption trap,
+    /// a stack overflow, or any other in-process fatal error.
+    Abort,
+    /// The worker SIGKILLs itself — the shape of the OS OOM killer.
+    SigKill,
+    /// The worker goes silent without dying: no heartbeats, no result.
+    /// The supervisor must detect the loss by heartbeat timeout and kill
+    /// the child itself.
+    Hang,
+}
+
+impl KillFault {
+    /// Stable wire/telemetry tag.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            KillFault::Abort => "abort",
+            KillFault::SigKill => "sigkill",
+            KillFault::Hang => "hang",
+        }
+    }
+
+    /// Parses a wire tag back into the fault.
+    pub fn parse(tag: &str) -> Option<KillFault> {
+        match tag {
+            "abort" => Some(KillFault::Abort),
+            "sigkill" => Some(KillFault::SigKill),
+            "hang" => Some(KillFault::Hang),
+            _ => None,
+        }
+    }
+}
+
 /// A plan of journal-write faults, keyed by the zero-based index of the
-/// `append` call they strike. Faulted appends still consume their index.
+/// `append` call they strike (faulted appends still consume their
+/// index), plus deterministic worker-kill points for the fleet, keyed by
+/// `(obligation id, dispatch number)` — dispatch 1 is the first time the
+/// supervisor hands the obligation to a worker process.
 #[derive(Clone, Default, Debug)]
 pub struct FaultPlan {
     faults: HashMap<u64, WriteFault>,
+    kills: HashMap<(String, u32), KillFault>,
 }
 
 impl FaultPlan {
@@ -120,6 +162,24 @@ impl FaultPlan {
     pub fn inject(mut self, record_index: u64, fault: WriteFault) -> Self {
         self.faults.insert(record_index, fault);
         self
+    }
+
+    /// Adds a worker-kill point: the worker process solving `job`'s
+    /// `dispatch`-th fleet dispatch dies by `fault` (builder style).
+    pub fn kill_job(mut self, job: &str, dispatch: u32, fault: KillFault) -> Self {
+        self.kills.insert((job.to_string(), dispatch), fault);
+        self
+    }
+
+    /// The kill point planned for `job`'s `dispatch`-th fleet dispatch,
+    /// if any.
+    pub fn kill_for(&self, job: &str, dispatch: u32) -> Option<KillFault> {
+        self.kills.get(&(job.to_string(), dispatch)).copied()
+    }
+
+    /// Whether the plan contains any worker-kill points.
+    pub fn has_kills(&self) -> bool {
+        !self.kills.is_empty()
     }
 }
 

@@ -28,6 +28,7 @@
 #![warn(missing_docs)]
 pub mod api;
 pub mod bench;
+pub mod fleet;
 pub mod journal;
 pub mod json;
 pub mod mutants;
@@ -42,9 +43,10 @@ pub use api::{ApiError, BatchRequest, BatchResponse, ObligationSpec, SCHEMA_VERS
 pub use bench::{
     run_bench, run_pdr_probe, run_simplify_probe, BenchReport, BenchRun, PdrProbe, SimplifyProbe,
 };
+pub use fleet::{chaos_kill_plan, run_worker, FleetConfig};
 pub use journal::{
-    crc32, manifest_crc, read_journal, FaultPlan, Journal, JournalReplay, ReplayedRecord,
-    ResumeState, WriteFault,
+    crc32, manifest_crc, read_journal, FaultPlan, Journal, JournalReplay, KillFault,
+    ReplayedRecord, ResumeState, WriteFault,
 };
 pub use json::{is_valid_json, parse_json, JsonValue};
 pub use mutants::{
@@ -54,6 +56,8 @@ pub use mutants::{
 pub use obligation::{enumerate_obligations, FlowFilter, MutationSpec, Obligation, ObligationKind};
 pub use portfolio::{default_portfolio, EngineId, PDR_QUERY_CAP};
 pub use runner::{Campaign, CampaignConfig, CampaignSummary, JobRecord, JobVerdict};
-pub use service::{request_shutdown, serve, submit_batch, ServeOptions};
+pub use service::{
+    request_shutdown, serve, submit_batch, submit_batch_with_retry, ServeOptions, ServeSummary,
+};
 pub use store::{derive_key, StoreKey, VerdictStore};
 pub use telemetry::{SharedBuffer, Telemetry};

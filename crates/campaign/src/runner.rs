@@ -218,6 +218,15 @@ pub enum JobVerdict {
     /// [`CampaignConfig::interrupt`]) before this obligation settled. A
     /// resumed campaign re-runs it.
     Cancelled,
+    /// The obligation crashed its worker process (abort, signal, or
+    /// heartbeat loss) on every dispatch up to the fleet's crash budget
+    /// and was quarantined instead of taking the campaign down. Like
+    /// `Cancelled`, a resumed campaign re-runs it, and the verdict store
+    /// refuses it — "faults delay, never flip" extends to process death.
+    Poisoned {
+        /// Worker crashes attributed to this obligation.
+        crashes: u32,
+    },
 }
 
 impl JobVerdict {
@@ -245,6 +254,7 @@ impl JobVerdict {
             JobVerdict::TimeoutEscalated { .. } => "timeout-escalated",
             JobVerdict::Failed { .. } => "failed",
             JobVerdict::Cancelled => "cancelled",
+            JobVerdict::Poisoned { .. } => "poisoned",
         }
     }
 
@@ -263,6 +273,7 @@ impl JobVerdict {
             JobVerdict::TimeoutEscalated { .. } => "timeout".to_string(),
             JobVerdict::Failed { .. } => "failed".to_string(),
             JobVerdict::Cancelled => "cancelled".to_string(),
+            JobVerdict::Poisoned { .. } => "poisoned".to_string(),
         }
     }
 }
@@ -321,6 +332,18 @@ pub struct CampaignSummary {
     pub failures: usize,
     /// Obligations cancelled by an interrupt before settling.
     pub cancelled: usize,
+    /// Obligations quarantined after exhausting the fleet's per-job
+    /// crash budget. Zero outside fleet mode.
+    pub poisoned: usize,
+    /// Worker-process deaths observed by the fleet supervisor (exit,
+    /// signal, or heartbeat loss). Zero outside fleet mode.
+    pub worker_crashes: u64,
+    /// Crashed worker processes respawned (after capped exponential
+    /// backoff). Zero outside fleet mode.
+    pub worker_restarts: u64,
+    /// In-flight obligations re-dispatched after their worker died.
+    /// Zero outside fleet mode.
+    pub requeued: u64,
     /// Obligations whose verdict was replayed from a resume journal
     /// instead of being re-run.
     pub replayed: usize,
@@ -355,7 +378,11 @@ impl CampaignSummary {
     /// Whether every obligation reached a conclusive verdict agreeing
     /// with the catalogue.
     pub fn is_success(&self) -> bool {
-        self.failures == 0 && self.timeouts == 0 && self.mismatches == 0 && self.cancelled == 0
+        self.failures == 0
+            && self.timeouts == 0
+            && self.mismatches == 0
+            && self.cancelled == 0
+            && self.poisoned == 0
     }
 
     /// Process exit code for the CLI: 0 on success, 130 when the
@@ -411,55 +438,64 @@ enum AttemptResult {
     Stopped(StopReason),
 }
 
-struct QueueState {
-    pending: VecDeque<(usize, u32)>, // (obligation index, attempt number)
-    active: usize,
+pub(crate) struct QueueState {
+    pub(crate) pending: VecDeque<(usize, u32)>, // (obligation index, attempt number)
+    pub(crate) active: usize,
 }
 
-struct Shared<'a> {
-    obligations: &'a [Obligation],
-    config: &'a CampaignConfig,
-    telemetry: &'a Telemetry,
-    queue: Mutex<QueueState>,
-    cv: Condvar,
-    results: Mutex<Vec<Option<JobRecord>>>,
-    wall_acc: Mutex<Vec<Duration>>,
+pub(crate) struct Shared<'a> {
+    pub(crate) obligations: &'a [Obligation],
+    pub(crate) config: &'a CampaignConfig,
+    pub(crate) telemetry: &'a Telemetry,
+    pub(crate) queue: Mutex<QueueState>,
+    pub(crate) cv: Condvar,
+    pub(crate) results: Mutex<Vec<Option<JobRecord>>>,
+    pub(crate) wall_acc: Mutex<Vec<Duration>>,
     /// Per-obligation frames-solved accumulator across attempts.
-    frames_acc: Mutex<Vec<u64>>,
+    pub(crate) frames_acc: Mutex<Vec<u64>>,
     /// Synthesized models shared across obligations (warm-start mode) —
     /// and across batches, when the service supplies a persistent cache.
-    cache: Arc<ModelCache>,
+    pub(crate) cache: Arc<ModelCache>,
     /// Content-addressed verdict store, when one is attached.
-    store: Option<&'a VerdictStore>,
+    pub(crate) store: Option<&'a VerdictStore>,
     /// Per-obligation store key, computed by the first attempt's probe
     /// and consumed when the settled verdict is published to the store.
-    store_keys: Mutex<Vec<Option<StoreKey>>>,
+    pub(crate) store_keys: Mutex<Vec<Option<StoreKey>>>,
     /// Obligations answered from the verdict store this campaign.
-    cache_hits: AtomicU64,
+    pub(crate) cache_hits: AtomicU64,
     /// Obligations that probed the store and missed this campaign.
-    cache_misses: AtomicU64,
+    pub(crate) cache_misses: AtomicU64,
     /// Live sessions of stopped obligations, keyed by obligation index,
     /// kept across retries so an escalated attempt resumes mid-unrolling.
-    sessions: Mutex<HashMap<usize, CheckSession>>,
+    pub(crate) sessions: Mutex<HashMap<usize, CheckSession>>,
     /// Attempts that resumed a kept session.
-    session_resumes: AtomicU64,
+    pub(crate) session_resumes: AtomicU64,
     /// Write-ahead journal, when the campaign is journaled.
-    journal: Option<&'a Journal>,
+    pub(crate) journal: Option<&'a Journal>,
     /// Journal appends that reported an error (faults are tolerated —
     /// they cost a re-run on resume, never a verdict).
-    journal_faults: AtomicU64,
+    pub(crate) journal_faults: AtomicU64,
     /// Cooperative shutdown flag (always present; shared with
     /// [`CampaignConfig::interrupt`] when the caller supplied one).
-    cancel: Arc<AtomicBool>,
+    pub(crate) cancel: Arc<AtomicBool>,
     /// Obligations degraded to cold base-budget retries after a
     /// [`StopReason::MemoryLimit`] stop.
-    mem_degraded: Mutex<Vec<bool>>,
+    pub(crate) mem_degraded: Mutex<Vec<bool>>,
+    /// Per-obligation worker-crash counts (fleet mode): the quarantine
+    /// budget compares against this.
+    pub(crate) crash_counts: Mutex<Vec<u32>>,
+    /// Worker-process deaths observed by the fleet supervisor.
+    pub(crate) worker_crashes: AtomicU64,
+    /// Crashed worker processes respawned after backoff.
+    pub(crate) worker_restarts: AtomicU64,
+    /// In-flight obligations re-dispatched after a worker death.
+    pub(crate) requeued: AtomicU64,
 }
 
 impl Shared<'_> {
     /// Appends a journal record; errors are counted and reported but
     /// never abort the campaign.
-    fn journal_append(&self, record: &JsonValue, sync: bool) {
+    pub(crate) fn journal_append(&self, record: &JsonValue, sync: bool) {
         if let Some(j) = self.journal {
             if let Err(e) = j.append(record, sync) {
                 self.journal_faults.fetch_add(1, Ordering::Relaxed);
@@ -499,6 +535,7 @@ pub struct Campaign<'a> {
     resume: Option<&'a ResumeState>,
     store: Option<&'a VerdictStore>,
     model_cache: Option<Arc<ModelCache>>,
+    fleet: Option<crate::fleet::FleetConfig>,
 }
 
 impl<'a> Campaign<'a> {
@@ -511,6 +548,7 @@ impl<'a> Campaign<'a> {
             resume: None,
             store: None,
             model_cache: None,
+            fleet: None,
         }
     }
 
@@ -559,6 +597,19 @@ impl<'a> Campaign<'a> {
         self
     }
 
+    /// Runs the campaign on a supervised fleet of worker *processes*
+    /// instead of in-process threads: each supervisor slot dispatches
+    /// obligations to a `gqed worker` child over stdin/stdout, restarts
+    /// crashed children and requeues their in-flight obligations, and
+    /// quarantines an obligation as [`JobVerdict::Poisoned`] once it
+    /// exhausts the fleet's per-job crash budget. The normalized summary
+    /// is byte-identical to the in-process runner's at any worker count,
+    /// including under injected worker kills.
+    pub fn fleet(mut self, fleet: crate::fleet::FleetConfig) -> Self {
+        self.fleet = Some(fleet);
+        self
+    }
+
     /// Runs every obligation to a final verdict and returns the
     /// aggregate.
     pub fn run(&self, telemetry: &Telemetry) -> CampaignSummary {
@@ -570,10 +621,12 @@ impl<'a> Campaign<'a> {
             self.resume,
             self.store,
             self.model_cache.clone(),
+            self.fleet.as_ref(),
         )
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn run_campaign_inner(
     obligations: &[Obligation],
     config: &CampaignConfig,
@@ -582,6 +635,7 @@ fn run_campaign_inner(
     resume: Option<&ResumeState>,
     store: Option<&VerdictStore>,
     model_cache: Option<Arc<ModelCache>>,
+    fleet: Option<&crate::fleet::FleetConfig>,
 ) -> CampaignSummary {
     let t0 = Instant::now();
     let n = obligations.len();
@@ -651,6 +705,10 @@ fn run_campaign_inner(
             .clone()
             .unwrap_or_else(|| Arc::new(AtomicBool::new(false))),
         mem_degraded: Mutex::new(vec![false; n]),
+        crash_counts: Mutex::new(vec![0; n]),
+        worker_crashes: AtomicU64::new(0),
+        worker_restarts: AtomicU64::new(0),
+        requeued: AtomicU64::new(0),
     };
     if journal.is_some() {
         let record = match resume {
@@ -665,10 +723,21 @@ fn run_campaign_inner(
         };
         shared.journal_append(&record, true);
     }
-    let workers = config.jobs.max(1).min(n.max(1));
-    std::thread::scope(|s| {
-        for _ in 0..workers {
-            s.spawn(|| worker(&shared));
+    let workers = match fleet {
+        Some(f) => f.workers.max(1).min(n.max(1)),
+        None => config.jobs.max(1).min(n.max(1)),
+    };
+    let shared_ref = &shared;
+    std::thread::scope(|s| match fleet {
+        Some(f) => {
+            for slot in 0..workers {
+                s.spawn(move || crate::fleet::fleet_worker(shared_ref, f, slot));
+            }
+        }
+        None => {
+            for _ in 0..workers {
+                s.spawn(move || worker(shared_ref));
+            }
         }
     });
     let records: Vec<JobRecord> = shared
@@ -688,6 +757,10 @@ fn run_campaign_inner(
         timeouts: 0,
         failures: 0,
         cancelled: 0,
+        poisoned: 0,
+        worker_crashes: shared.worker_crashes.load(Ordering::Relaxed),
+        worker_restarts: shared.worker_restarts.load(Ordering::Relaxed),
+        requeued: shared.requeued.load(Ordering::Relaxed),
         replayed,
         mismatches: 0,
         cache_hits: shared.cache_hits.load(Ordering::Relaxed),
@@ -715,6 +788,7 @@ fn run_campaign_inner(
             JobVerdict::TimeoutEscalated { .. } => summary.timeouts += 1,
             JobVerdict::Failed { .. } => summary.failures += 1,
             JobVerdict::Cancelled => summary.cancelled += 1,
+            JobVerdict::Poisoned { .. } => summary.poisoned += 1,
         }
         if r.mismatch {
             summary.mismatches += 1;
@@ -731,6 +805,10 @@ fn run_campaign_inner(
             .field("timeouts", summary.timeouts)
             .field("failures", summary.failures)
             .field("cancelled", summary.cancelled)
+            .field("poisoned", summary.poisoned)
+            .field("worker_crashes", summary.worker_crashes)
+            .field("worker_restarts", summary.worker_restarts)
+            .field("requeued", summary.requeued)
             .field("replayed", summary.replayed)
             .field("mismatches", summary.mismatches)
             .field("cache_hits", summary.cache_hits)
@@ -755,248 +833,252 @@ fn run_campaign_inner(
 }
 
 fn worker(shared: &Shared) {
+    while let Some((index, attempt)) = next_job(shared) {
+        if preflight(shared, index, attempt) {
+            job_done(shared, None);
+            continue;
+        }
+        let requeue = solve_job(shared, index, attempt);
+        job_done(shared, requeue);
+    }
+}
+
+/// Pops the next attempt off the shared queue, or returns `None` when
+/// the queue is drained AND no attempt is in flight (an in-flight
+/// attempt may still re-enqueue its obligation for escalation). The
+/// in-process worker pool and the fleet supervisor slots share this.
+pub(crate) fn next_job(shared: &Shared) -> Option<(usize, u32)> {
+    let mut q = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
     loop {
-        // Pop the next attempt, or exit when the queue is drained AND no
-        // attempt is in flight (an in-flight attempt may still re-enqueue
-        // its obligation for escalation).
-        let (index, attempt) = {
-            let mut q = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
-            loop {
-                if let Some(job) = q.pending.pop_front() {
-                    q.active += 1;
-                    break job;
-                }
-                if q.active == 0 {
-                    shared.cv.notify_all();
-                    return;
-                }
-                q = shared.cv.wait(q).unwrap_or_else(|e| e.into_inner());
-            }
-        };
-
-        let obl = &shared.obligations[index];
-
-        // Shutdown drain: once the interrupt is raised, queued obligations
-        // are recorded as cancelled (with a journal checkpoint so a
-        // resumed campaign re-runs them) instead of starting new solves.
-        if shared.cancel.load(Ordering::Relaxed) {
-            let total_wall = shared.wall_acc.lock().unwrap_or_else(|e| e.into_inner())[index];
-            let total_frames = shared.frames_acc.lock().unwrap_or_else(|e| e.into_inner())[index];
-            cancel_job(shared, index, attempt - 1, total_wall, total_frames, None);
-            let mut q = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
-            q.active -= 1;
-            shared.cv.notify_all();
-            continue;
+        if let Some(job) = q.pending.pop_front() {
+            q.active += 1;
+            return Some(job);
         }
-
-        // Content-addressed verdict store: the first attempt probes the
-        // store before paying for a solve. The key needs the built
-        // model's fingerprint, so synthesis still happens on a hit — only
-        // solving is skipped (and the probe's model warms the cache for a
-        // miss's attempt).
-        if attempt == 1 && store_probe(shared, index) {
-            let mut q = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
-            q.active -= 1;
+        if q.active == 0 {
             shared.cv.notify_all();
-            continue;
+            return None;
         }
+        q = shared.cv.wait(q).unwrap_or_else(|e| e.into_inner());
+    }
+}
 
-        // Memory-degraded obligations retry cold at the base budget: the
-        // Luby schedule would grow the clause arena straight back into
-        // the wall it just hit.
-        let degraded = shared
-            .mem_degraded
+/// Returns a popped job to the queue bookkeeping: requeues an escalation
+/// attempt (if any) and releases the in-flight slot.
+pub(crate) fn job_done(shared: &Shared, requeue: Option<(usize, u32)>) {
+    let mut q = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+    if let Some(job) = requeue {
+        q.pending.push_back(job);
+    }
+    q.active -= 1;
+    shared.cv.notify_all();
+}
+
+/// Pre-solve checks shared by the in-process worker and the fleet
+/// supervisor. Returns `true` when the obligation was settled without a
+/// solve: the shutdown drain (queued obligations finish as cancelled
+/// once the interrupt is raised, with a journal checkpoint so a resumed
+/// campaign re-runs them) and the content-addressed store probe (the
+/// first attempt probes before paying for a solve; the key needs the
+/// built model's fingerprint, so synthesis still happens on a hit —
+/// only solving is skipped).
+pub(crate) fn preflight(shared: &Shared, index: usize, attempt: u32) -> bool {
+    if shared.cancel.load(Ordering::Relaxed) {
+        let total_wall = shared.wall_acc.lock().unwrap_or_else(|e| e.into_inner())[index];
+        let total_frames = shared.frames_acc.lock().unwrap_or_else(|e| e.into_inner())[index];
+        cancel_job(shared, index, attempt - 1, total_wall, total_frames, None);
+        return true;
+    }
+    if attempt == 1 && store_probe(shared, index) {
+        return true;
+    }
+    false
+}
+
+/// Runs one in-process attempt of one obligation to completion: limits
+/// derivation, warm-session resume, the solve itself (panic-isolated),
+/// and verdict/retry bookkeeping. Returns the escalation job to requeue
+/// when the attempt stopped without settling, `None` otherwise.
+pub(crate) fn solve_job(shared: &Shared, index: usize, attempt: u32) -> Option<(usize, u32)> {
+    let obl = &shared.obligations[index];
+    // Memory-degraded obligations retry cold at the base budget: the
+    // Luby schedule would grow the clause arena straight back into
+    // the wall it just hit.
+    let degraded = shared
+        .mem_degraded
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())[index];
+    let factor = if degraded {
+        1
+    } else {
+        luby(u64::from(attempt))
+    };
+    let budget = shared.config.base_budget.map(|b| b.saturating_mul(factor));
+    let deadline_ms = shared
+        .config
+        .deadline_ms
+        .map(|ms| ms.saturating_mul(factor));
+    let limits = BmcLimits {
+        budget,
+        deadline: deadline_ms.map(|ms| Instant::now() + Duration::from_millis(ms)),
+        interrupt: Some(Arc::clone(&shared.cancel)),
+        mem_limit: shared.config.mem_limit,
+    };
+
+    // Warm start: pull the kept session of a previously stopped
+    // attempt (resumes mid-unrolling), and record what this attempt
+    // reuses before it runs.
+    let warm = shared.config.warm_start;
+    let mut session_slot: Option<CheckSession> = if warm {
+        shared
+            .sessions
             .lock()
-            .unwrap_or_else(|e| e.into_inner())[index];
-        let factor = if degraded {
-            1
-        } else {
-            luby(u64::from(attempt))
-        };
-        let budget = shared.config.base_budget.map(|b| b.saturating_mul(factor));
-        let deadline_ms = shared
-            .config
-            .deadline_ms
-            .map(|ms| ms.saturating_mul(factor));
-        let limits = BmcLimits {
-            budget,
-            deadline: deadline_ms.map(|ms| Instant::now() + Duration::from_millis(ms)),
-            interrupt: Some(Arc::clone(&shared.cancel)),
-            mem_limit: shared.config.mem_limit,
-        };
+            .unwrap_or_else(|e| e.into_inner())
+            .remove(&index)
+    } else {
+        None
+    };
+    let resumed_from_frame = session_slot.as_ref().map(|s| s.resume_frame());
+    if resumed_from_frame.is_some() {
+        shared.session_resumes.fetch_add(1, Ordering::Relaxed);
+    }
+    let encoding_reused = session_slot.is_some()
+        || (warm && model_key(obl).is_some_and(|k| shared.cache.contains(&k)));
 
-        // Warm start: pull the kept session of a previously stopped
-        // attempt (resumes mid-unrolling), and record what this attempt
-        // reuses before it runs.
-        let warm = shared.config.warm_start;
-        let mut session_slot: Option<CheckSession> = if warm {
-            shared
-                .sessions
-                .lock()
-                .unwrap_or_else(|e| e.into_inner())
-                .remove(&index)
-        } else {
-            None
-        };
-        let resumed_from_frame = session_slot.as_ref().map(|s| s.resume_frame());
-        if resumed_from_frame.is_some() {
-            shared.session_resumes.fetch_add(1, Ordering::Relaxed);
-        }
-        let encoding_reused = session_slot.is_some()
-            || (warm && model_key(obl).is_some_and(|k| shared.cache.contains(&k)));
+    shared.telemetry.emit(
+        &JsonValue::obj()
+            .field("type", "job_start")
+            .field("job", obl.id.as_str())
+            .field("design", obl.design)
+            .field("bug", obl.bug)
+            .field("flow", obl.flow_tag())
+            .field("attempt", attempt)
+            .field("budget", budget)
+            .field("deadline_ms", deadline_ms)
+            .field("resumed_from_frame", resumed_from_frame)
+            .field("encoding_reused", encoding_reused),
+    );
 
-        shared.telemetry.emit(
-            &JsonValue::obj()
-                .field("type", "job_start")
-                .field("job", obl.id.as_str())
-                .field("design", obl.design)
-                .field("bug", obl.bug)
-                .field("flow", obl.flow_tag())
-                .field("attempt", attempt)
-                .field("budget", budget)
-                .field("deadline_ms", deadline_ms)
-                .field("resumed_from_frame", resumed_from_frame)
-                .field("encoding_reused", encoding_reused),
-        );
+    let t0 = Instant::now();
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        run_attempt(
+            obl,
+            &limits,
+            shared.config,
+            &shared.cache,
+            &mut session_slot,
+        )
+    }));
+    let attempt_wall = t0.elapsed();
+    let total_wall = {
+        let mut acc = shared.wall_acc.lock().unwrap_or_else(|e| e.into_inner());
+        acc[index] += attempt_wall;
+        acc[index]
+    };
+    let add_frames = |frames: u64| {
+        let mut acc = shared.frames_acc.lock().unwrap_or_else(|e| e.into_inner());
+        acc[index] += frames;
+        acc[index]
+    };
 
-        let t0 = Instant::now();
-        let outcome = catch_unwind(AssertUnwindSafe(|| {
-            run_attempt(
-                obl,
-                &limits,
-                shared.config,
-                &shared.cache,
-                &mut session_slot,
-            )
-        }));
-        let attempt_wall = t0.elapsed();
-        let total_wall = {
-            let mut acc = shared.wall_acc.lock().unwrap_or_else(|e| e.into_inner());
-            acc[index] += attempt_wall;
-            acc[index]
-        };
-        let add_frames = |frames: u64| {
-            let mut acc = shared.frames_acc.lock().unwrap_or_else(|e| e.into_inner());
-            acc[index] += frames;
-            acc[index]
-        };
-
-        let mut requeue = false;
-        match outcome {
-            Ok((AttemptResult::Verdict(verdict, stats, engine, pdr_stats), frames)) => {
-                let stats = stats.map(|b| *b);
-                let pdr_stats = pdr_stats.map(|b| *b);
-                let total_frames = add_frames(frames);
-                if shared.cancel.load(Ordering::Relaxed)
-                    && matches!(verdict, JobVerdict::Unknown { .. })
-                {
-                    // An Unknown reached during shutdown is an artifact of
-                    // the interrupt (the BMC side was cut short), not a
-                    // genuine exhaustion — record it as cancelled so the
-                    // resumed campaign re-runs it to the same verdict an
-                    // uninterrupted run would reach.
-                    let frame = session_slot.as_ref().map(|s| s.resume_frame());
-                    cancel_job(shared, index, attempt, total_wall, total_frames, frame);
-                } else {
-                    finish(
-                        shared,
-                        index,
-                        verdict,
-                        attempt,
-                        total_wall,
-                        engine,
-                        stats,
-                        pdr_stats,
-                        total_frames,
-                        false,
-                    );
-                }
-            }
-            Ok((AttemptResult::Stopped(reason), frames)) => {
-                let total_frames = add_frames(frames);
-                if shared.cancel.load(Ordering::Relaxed) {
-                    let frame = session_slot.as_ref().map(|s| s.resume_frame());
-                    cancel_job(shared, index, attempt, total_wall, total_frames, frame);
-                } else if attempt < shared.config.max_attempts {
-                    let memory_stopped = reason == StopReason::MemoryLimit;
-                    if memory_stopped {
-                        // Shed the session (its learnt clauses are the
-                        // memory) and pin future attempts to the base
-                        // budget.
-                        session_slot = None;
-                        shared
-                            .mem_degraded
-                            .lock()
-                            .unwrap_or_else(|e| e.into_inner())[index] = true;
-                    }
-                    let next_factor = if memory_stopped || degraded {
-                        1
-                    } else {
-                        luby(u64::from(attempt + 1))
-                    };
-                    shared.journal_append(
-                        &JsonValue::obj()
-                            .field("type", "attempt")
-                            .field("job", obl.id.as_str())
-                            .field("attempt", attempt)
-                            .field("reason", stop_tag(reason)),
-                        false,
-                    );
-                    shared.telemetry.emit(
-                        &JsonValue::obj()
-                            .field("type", "job_retry")
-                            .field("job", obl.id.as_str())
-                            .field("attempt", attempt)
-                            .field("reason", stop_tag(reason))
-                            .field(
-                                "next_budget",
-                                shared
-                                    .config
-                                    .base_budget
-                                    .map(|b| b.saturating_mul(next_factor)),
-                            )
-                            .field(
-                                "next_deadline_ms",
-                                shared
-                                    .config
-                                    .deadline_ms
-                                    .map(|ms| ms.saturating_mul(next_factor)),
-                            ),
-                    );
-                    // Keep the live session: the retry resumes at the
-                    // stopped frame with all learnt clauses intact.
-                    if warm {
-                        if let Some(s) = session_slot.take() {
-                            shared
-                                .sessions
-                                .lock()
-                                .unwrap_or_else(|e| e.into_inner())
-                                .insert(index, s);
-                        }
-                    }
-                    requeue = true;
-                } else {
-                    finish(
-                        shared,
-                        index,
-                        JobVerdict::TimeoutEscalated { attempts: attempt },
-                        attempt,
-                        total_wall,
-                        "-",
-                        None,
-                        None,
-                        total_frames,
-                        false,
-                    );
-                }
-            }
-            Err(payload) => {
-                let message = panic_message(payload.as_ref());
-                let total_frames = add_frames(0);
+    let mut requeue = false;
+    match outcome {
+        Ok((AttemptResult::Verdict(verdict, stats, engine, pdr_stats), frames)) => {
+            let stats = stats.map(|b| *b);
+            let pdr_stats = pdr_stats.map(|b| *b);
+            let total_frames = add_frames(frames);
+            if shared.cancel.load(Ordering::Relaxed)
+                && matches!(verdict, JobVerdict::Unknown { .. })
+            {
+                // An Unknown reached during shutdown is an artifact of
+                // the interrupt (the BMC side was cut short), not a
+                // genuine exhaustion — record it as cancelled so the
+                // resumed campaign re-runs it to the same verdict an
+                // uninterrupted run would reach.
+                let frame = session_slot.as_ref().map(|s| s.resume_frame());
+                cancel_job(shared, index, attempt, total_wall, total_frames, frame);
+            } else {
                 finish(
                     shared,
                     index,
-                    JobVerdict::Failed { message },
+                    verdict,
+                    attempt,
+                    total_wall,
+                    engine,
+                    stats,
+                    pdr_stats,
+                    total_frames,
+                    false,
+                );
+            }
+        }
+        Ok((AttemptResult::Stopped(reason), frames)) => {
+            let total_frames = add_frames(frames);
+            if shared.cancel.load(Ordering::Relaxed) {
+                let frame = session_slot.as_ref().map(|s| s.resume_frame());
+                cancel_job(shared, index, attempt, total_wall, total_frames, frame);
+            } else if attempt < shared.config.max_attempts {
+                let memory_stopped = reason == StopReason::MemoryLimit;
+                if memory_stopped {
+                    // Shed the session (its learnt clauses are the
+                    // memory) and pin future attempts to the base
+                    // budget.
+                    session_slot = None;
+                    shared
+                        .mem_degraded
+                        .lock()
+                        .unwrap_or_else(|e| e.into_inner())[index] = true;
+                }
+                let next_factor = if memory_stopped || degraded {
+                    1
+                } else {
+                    luby(u64::from(attempt + 1))
+                };
+                shared.journal_append(
+                    &JsonValue::obj()
+                        .field("type", "attempt")
+                        .field("job", obl.id.as_str())
+                        .field("attempt", attempt)
+                        .field("reason", stop_tag(reason)),
+                    false,
+                );
+                shared.telemetry.emit(
+                    &JsonValue::obj()
+                        .field("type", "job_retry")
+                        .field("job", obl.id.as_str())
+                        .field("attempt", attempt)
+                        .field("reason", stop_tag(reason))
+                        .field(
+                            "next_budget",
+                            shared
+                                .config
+                                .base_budget
+                                .map(|b| b.saturating_mul(next_factor)),
+                        )
+                        .field(
+                            "next_deadline_ms",
+                            shared
+                                .config
+                                .deadline_ms
+                                .map(|ms| ms.saturating_mul(next_factor)),
+                        ),
+                );
+                // Keep the live session: the retry resumes at the
+                // stopped frame with all learnt clauses intact.
+                if warm {
+                    if let Some(s) = session_slot.take() {
+                        shared
+                            .sessions
+                            .lock()
+                            .unwrap_or_else(|e| e.into_inner())
+                            .insert(index, s);
+                    }
+                }
+                requeue = true;
+            } else {
+                finish(
+                    shared,
+                    index,
+                    JobVerdict::TimeoutEscalated { attempts: attempt },
                     attempt,
                     total_wall,
                     "-",
@@ -1007,13 +1089,28 @@ fn worker(shared: &Shared) {
                 );
             }
         }
-
-        let mut q = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
-        if requeue {
-            q.pending.push_back((index, attempt + 1));
+        Err(payload) => {
+            let message = panic_message(payload.as_ref());
+            let total_frames = add_frames(0);
+            finish(
+                shared,
+                index,
+                JobVerdict::Failed { message },
+                attempt,
+                total_wall,
+                "-",
+                None,
+                None,
+                total_frames,
+                false,
+            );
         }
-        q.active -= 1;
-        shared.cv.notify_all();
+    }
+
+    if requeue {
+        Some((index, attempt + 1))
+    } else {
+        None
     }
 }
 
@@ -1021,7 +1118,7 @@ fn worker(shared: &Shared) {
 /// journal *checkpoint* record (not a verdict — a resumed campaign must
 /// re-run cancelled obligations, and [`ResumeState`] only skips settled
 /// verdicts).
-fn cancel_job(
+pub(crate) fn cancel_job(
     shared: &Shared,
     index: usize,
     attempts: u32,
@@ -1077,7 +1174,7 @@ fn stop_tag(reason: StopReason) -> &'static str {
 }
 
 #[allow(clippy::too_many_arguments)]
-fn finish(
+pub(crate) fn finish(
     shared: &Shared,
     index: usize,
     verdict: JobVerdict,

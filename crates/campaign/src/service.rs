@@ -46,13 +46,60 @@ pub struct ServeOptions {
     /// in memory — still shared across batches, but only for the
     /// lifetime of the process.
     pub store: Option<PathBuf>,
+    /// Socket read timeout per connection: a client that opens a
+    /// connection and goes silent is answered with a structured
+    /// `timeout` error and disconnected instead of blocking the
+    /// single-threaded serve loop forever. `None` disables the timeout.
+    pub read_timeout: Option<Duration>,
+    /// Upper bound on one request line's length in bytes. A client
+    /// streaming an endless line is answered with a structured
+    /// `request-too-large` error and disconnected instead of growing
+    /// the server's buffer without bound.
+    pub max_request_bytes: usize,
+    /// Server-side telemetry: `serve_error` events for failed
+    /// connections and a final `serve_summary` event at shutdown.
+    /// Distinct from the per-batch telemetry streamed to clients.
+    pub telemetry: Telemetry,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            config: CampaignConfig::default(),
+            store: None,
+            read_timeout: Some(Duration::from_secs(30)),
+            max_request_bytes: 8 << 20,
+            telemetry: Telemetry::null(),
+        }
+    }
+}
+
+/// Aggregate counters of one serve loop's lifetime, returned by
+/// [`serve`] at shutdown and emitted as its `serve_summary` telemetry
+/// event.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ServeSummary {
+    /// Connections accepted.
+    pub connections: u64,
+    /// Batches run to a response.
+    pub batches: u64,
+    /// Connections dropped by a genuine I/O failure (not by a protocol
+    /// error, which gets a structured answer and a clean close).
+    pub connection_errors: u64,
+    /// Requests rejected for exceeding
+    /// [`ServeOptions::max_request_bytes`].
+    pub oversize_requests: u64,
+    /// Connections dropped after a silent client hit
+    /// [`ServeOptions::read_timeout`].
+    pub timeouts: u64,
 }
 
 /// Runs the serve loop on an already-bound listener until a client sends
 /// a shutdown request or the base configuration's interrupt flag is
 /// raised. Binding is the caller's job so tests and the CLI can bind
 /// `127.0.0.1:0` and learn the ephemeral port before the loop starts.
-pub fn serve(listener: TcpListener, opts: &ServeOptions) -> std::io::Result<()> {
+/// Returns the loop's lifetime counters.
+pub fn serve(listener: TcpListener, opts: &ServeOptions) -> std::io::Result<ServeSummary> {
     let store = match &opts.store {
         Some(path) => VerdictStore::open(path)?,
         None => VerdictStore::in_memory()?,
@@ -67,9 +114,21 @@ pub fn serve(listener: TcpListener, opts: &ServeOptions) -> std::io::Result<()> 
     // connections; accepted streams are switched back to blocking.
     listener.set_nonblocking(true)?;
     let shutdown = AtomicBool::new(false);
+    let mut summary = ServeSummary::default();
     loop {
         if shutdown.load(Ordering::Relaxed) || interrupt.load(Ordering::Relaxed) {
-            return Ok(());
+            opts.telemetry.emit(
+                &JsonValue::obj()
+                    .field("type", "serve_summary")
+                    .field("connections", summary.connections)
+                    .field("batches", summary.batches)
+                    .field("connection_errors", summary.connection_errors)
+                    .field("oversize_requests", summary.oversize_requests)
+                    .field("timeouts", summary.timeouts),
+            );
+            opts.telemetry.flush();
+            opts.telemetry.sync();
+            return Ok(summary);
         }
         let stream = match listener.accept() {
             Ok((stream, _peer)) => stream,
@@ -80,26 +139,103 @@ pub fn serve(listener: TcpListener, opts: &ServeOptions) -> std::io::Result<()> 
             Err(e) => return Err(e),
         };
         stream.set_nonblocking(false)?;
-        if let Err(e) = handle_connection(stream, opts, &store, &model_cache, &shutdown) {
-            // A broken client connection must not take the server down.
-            eprintln!("serve: connection error: {e}");
+        summary.connections += 1;
+        if let Err(e) =
+            handle_connection(stream, opts, &store, &model_cache, &shutdown, &mut summary)
+        {
+            // A broken client connection must not take the server down:
+            // count it, report it in telemetry, and keep accepting.
+            summary.connection_errors += 1;
+            opts.telemetry.emit(
+                &JsonValue::obj()
+                    .field("type", "serve_error")
+                    .field("error", e.to_string())
+                    .field("connection_errors", summary.connection_errors),
+            );
+        }
+    }
+}
+
+/// Reads one `\n`-terminated request line of at most `max` bytes.
+/// `Ok(None)` is a clean EOF; `ErrorKind::InvalidData` is an oversize
+/// line; `WouldBlock`/`TimedOut` surface the socket's read timeout.
+/// Built on `fill_buf`/`consume` instead of `BufRead::lines` so the
+/// buffer cannot outgrow the cap and a timeout keeps its error kind.
+fn read_request_line(
+    reader: &mut BufReader<TcpStream>,
+    max: usize,
+) -> std::io::Result<Option<String>> {
+    let mut buf: Vec<u8> = Vec::new();
+    loop {
+        let available = reader.fill_buf()?;
+        if available.is_empty() {
+            return if buf.is_empty() {
+                Ok(None)
+            } else {
+                Ok(Some(String::from_utf8_lossy(&buf).into_owned()))
+            };
+        }
+        let newline = available.iter().position(|&b| b == b'\n');
+        let take = newline.unwrap_or(available.len());
+        if buf.len() + take > max {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("request line exceeds {max} bytes"),
+            ));
+        }
+        buf.extend_from_slice(&available[..take]);
+        reader.consume(take + usize::from(newline.is_some()));
+        if newline.is_some() {
+            return Ok(Some(String::from_utf8_lossy(&buf).into_owned()));
         }
     }
 }
 
 /// Handles one client connection: zero or more batch requests, each
-/// answered with a telemetry stream and a final response line.
+/// answered with a telemetry stream and a final response line. Oversize
+/// and timed-out requests get a structured error and a clean close —
+/// they are counted in the serve summary, not as connection errors.
 fn handle_connection(
     stream: TcpStream,
     opts: &ServeOptions,
     store: &VerdictStore,
     model_cache: &Arc<ModelCache>,
     shutdown: &AtomicBool,
+    summary: &mut ServeSummary,
 ) -> std::io::Result<()> {
+    stream.set_read_timeout(opts.read_timeout)?;
     let mut writer = stream.try_clone()?;
-    let reader = BufReader::new(stream);
-    for line in reader.lines() {
-        let line = line?;
+    let mut reader = BufReader::new(stream);
+    loop {
+        let line = match read_request_line(&mut reader, opts.max_request_bytes) {
+            Ok(Some(line)) => line,
+            Ok(None) => return Ok(()),
+            Err(e) if e.kind() == std::io::ErrorKind::InvalidData => {
+                summary.oversize_requests += 1;
+                // The line can't be resynchronized mid-stream; answer
+                // and close.
+                send_line(
+                    &mut writer,
+                    &ApiError::new("request-too-large", e.to_string()).to_json(),
+                )?;
+                return Ok(());
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                summary.timeouts += 1;
+                // Best-effort answer — the silent client may be gone.
+                let _ = send_line(
+                    &mut writer,
+                    &ApiError::new("timeout", "no request within the read timeout").to_json(),
+                );
+                return Ok(());
+            }
+            Err(e) => return Err(e),
+        };
         if line.trim().is_empty() {
             continue;
         }
@@ -113,7 +249,10 @@ fn handle_connection(
         match value.get("type").and_then(JsonValue::as_str) {
             Some("batch_request") => {
                 match run_batch(&value, opts, store, model_cache, &mut writer) {
-                    Ok(response) => send_line(&mut writer, &response.to_json())?,
+                    Ok(response) => {
+                        summary.batches += 1;
+                        send_line(&mut writer, &response.to_json())?;
+                    }
                     Err(e) => send_line(&mut writer, &e.to_json())?,
                 }
             }
@@ -136,7 +275,6 @@ fn handle_connection(
             }
         }
     }
-    Ok(())
 }
 
 /// Parses, resolves and runs one batch, streaming its telemetry to the
@@ -194,6 +332,48 @@ pub fn submit_batch(
         "io",
         "connection closed before a batch response arrived",
     ))
+}
+
+/// [`submit_batch`] with capped exponential backoff on *transport*
+/// failures (`code: "io"` — refused connection, dropped connection,
+/// timeout). Structured protocol errors (bad request, unknown design,
+/// unsupported version) fail fast: retrying cannot fix them.
+/// Resubmission is idempotent by construction — a batch that solved
+/// before the connection dropped is answered from the content-addressed
+/// verdict store on the retry.
+///
+/// Each retry is announced to `on_event` as a `submit_retry` line
+/// (`attempt`, `delay_ms`, `error`) so callers — and tests — can observe
+/// the schedule. The delay doubles per attempt from `retry_delay`,
+/// capped at 10 seconds.
+pub fn submit_batch_with_retry(
+    addr: &str,
+    request: &BatchRequest,
+    retries: u32,
+    retry_delay: Duration,
+    mut on_event: impl FnMut(&JsonValue),
+) -> Result<BatchResponse, ApiError> {
+    let mut attempt = 0u32;
+    loop {
+        attempt += 1;
+        match submit_batch(addr, request, &mut on_event) {
+            Ok(response) => return Ok(response),
+            Err(e) if e.code == "io" && attempt <= retries => {
+                let delay = retry_delay
+                    .saturating_mul(1u32 << (attempt - 1).min(10))
+                    .min(Duration::from_secs(10));
+                on_event(
+                    &JsonValue::obj()
+                        .field("type", "submit_retry")
+                        .field("attempt", attempt)
+                        .field("delay_ms", delay.as_millis() as u64)
+                        .field("error", e.message.as_str()),
+                );
+                std::thread::sleep(delay);
+            }
+            Err(e) => return Err(e),
+        }
+    }
 }
 
 /// Asks a running server to shut down; returns once the server has

@@ -187,6 +187,7 @@ fn served_batches_hit_the_cache_on_resubmission() {
         let opts = ServeOptions {
             config: bmc_config(2),
             store: None, // in-memory: shared across batches within the server
+            ..ServeOptions::default()
         };
         serve(listener, &opts)
     });
@@ -241,6 +242,145 @@ fn served_batches_hit_the_cache_on_resubmission() {
 
     request_shutdown(&addr).unwrap();
     server.join().unwrap().unwrap();
+}
+
+/// A client streaming an oversize request line gets a structured
+/// `request-too-large` error and a clean close — and the server keeps
+/// serving well-formed batches afterwards.
+#[test]
+fn oversize_request_gets_a_structured_error_and_the_server_survives() {
+    use std::io::{BufRead, BufReader, Write};
+
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap().to_string();
+    let server = std::thread::spawn(move || {
+        let opts = ServeOptions {
+            config: bmc_config(1),
+            // Big enough for a real relu batch request, far smaller than
+            // the junk line below.
+            max_request_bytes: 64 << 10,
+            ..ServeOptions::default()
+        };
+        serve(listener, &opts)
+    });
+
+    // 256 KiB of junk on one line: four times the configured cap.
+    let mut stream = std::net::TcpStream::connect(&addr).unwrap();
+    stream.write_all(&vec![b'x'; 256 << 10]).unwrap();
+    stream.write_all(b"\n").unwrap();
+    let mut line = String::new();
+    BufReader::new(&stream).read_line(&mut line).unwrap();
+    let answer = gqed_campaign::parse_json(&line).expect("structured error line");
+    assert_eq!(
+        answer.get("type").and_then(JsonValue::as_str),
+        Some("error")
+    );
+    assert_eq!(
+        answer.get("code").and_then(JsonValue::as_str),
+        Some("request-too-large")
+    );
+    drop(stream);
+
+    // The server is still alive and still answers real batches.
+    let obls = relu_obligations();
+    let request = BatchRequest {
+        batch: "after-oversize".to_string(),
+        jobs: None,
+        deadline_ms: None,
+        budget: None,
+        max_attempts: None,
+        engines: None,
+        obligations: obls
+            .iter()
+            .map(|o| ObligationSpec::from_obligation(o).unwrap())
+            .collect(),
+    };
+    let response = submit_batch(&addr, &request, |_| {}).unwrap();
+    assert_eq!(response.exit_code, 0);
+
+    request_shutdown(&addr).unwrap();
+    let summary = server.join().unwrap().unwrap();
+    assert_eq!(summary.oversize_requests, 1);
+    assert_eq!(
+        summary.connection_errors, 0,
+        "a protocol error must not count as a connection error"
+    );
+    assert_eq!(summary.batches, 1);
+}
+
+/// A silent client hits the read timeout, gets a structured `timeout`
+/// error, and is counted — without blocking the serve loop.
+#[test]
+fn silent_client_is_timed_out_with_a_structured_error() {
+    use std::io::{BufRead, BufReader};
+
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap().to_string();
+    let server = std::thread::spawn(move || {
+        let opts = ServeOptions {
+            config: bmc_config(1),
+            read_timeout: Some(std::time::Duration::from_millis(100)),
+            ..ServeOptions::default()
+        };
+        serve(listener, &opts)
+    });
+
+    // Connect and send nothing: the server must answer, not hang.
+    let stream = std::net::TcpStream::connect(&addr).unwrap();
+    let mut line = String::new();
+    BufReader::new(&stream).read_line(&mut line).unwrap();
+    let answer = gqed_campaign::parse_json(&line).expect("structured error line");
+    assert_eq!(
+        answer.get("code").and_then(JsonValue::as_str),
+        Some("timeout")
+    );
+    drop(stream);
+
+    request_shutdown(&addr).unwrap();
+    let summary = server.join().unwrap().unwrap();
+    assert_eq!(summary.timeouts, 1);
+    assert_eq!(summary.connection_errors, 0);
+}
+
+/// Transport failures retry with an observable backoff schedule;
+/// structured protocol errors do not.
+#[test]
+fn submit_retry_backs_off_on_refused_connections_only() {
+    use gqed_campaign::submit_batch_with_retry;
+
+    // Bind and immediately drop a listener: the port now refuses.
+    let dead_addr = {
+        let l = TcpListener::bind("127.0.0.1:0").unwrap();
+        l.local_addr().unwrap().to_string()
+    };
+    let request = BatchRequest {
+        batch: "retry-test".to_string(),
+        jobs: None,
+        deadline_ms: None,
+        budget: None,
+        max_attempts: None,
+        engines: None,
+        obligations: Vec::new(),
+    };
+    let mut retries_seen = Vec::new();
+    let err = submit_batch_with_retry(
+        &dead_addr,
+        &request,
+        2,
+        std::time::Duration::from_millis(1),
+        |event| {
+            if event.get("type").and_then(JsonValue::as_str) == Some("submit_retry") {
+                retries_seen.push((
+                    event.get("attempt").and_then(JsonValue::as_u64).unwrap(),
+                    event.get("delay_ms").and_then(JsonValue::as_u64).unwrap(),
+                ));
+            }
+        },
+    )
+    .unwrap_err();
+    assert_eq!(err.code, "io");
+    // Two retries, doubling delays: attempt 1 waits 1ms, attempt 2 waits 2ms.
+    assert_eq!(retries_seen, vec![(1, 1), (2, 2)]);
 }
 
 /// Normalized summaries carry no wall-clock content, so a cold solve and

@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# Fleet chaos smoke test for the supervised worker-process pool.
+#
+# 1. Runs a reference campaign in-process (threads), saving its
+#    normalized summary.
+# 2. Runs the same campaign on a 2-process worker fleet with seeded
+#    random worker kills injected on first dispatch (--chaos-kills):
+#    SIGKILL and abort(), the two ugliest death shapes.
+# 3. Gates on the crash-containment contract: the chaos run's telemetry
+#    must show the kills were actually observed (worker_crash) and the
+#    obligations requeued (job_requeued), nothing was quarantined, and
+#    the normalized summary must be byte-identical to the in-process
+#    reference — faults delay verdicts, never flip them.
+#
+# Usage: scripts/fleet_chaos_smoke.sh [path-to-gqed-binary]
+set -u
+
+GQED="${1:-target/release/gqed}"
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+
+# BMC-only keeps every verdict exactly deterministic; relu keeps every
+# obligation cheap enough for CI.
+ARGS=(campaign relu --engines bmc)
+
+echo "== reference run (in-process workers) =="
+"$GQED" "${ARGS[@]}" --jobs 2 --summary-out "$WORK/ref.txt" \
+  >/dev/null || { echo "reference run failed"; exit 1; }
+
+echo "== chaos run (2-process fleet, 3 seeded worker kills) =="
+"$GQED" "${ARGS[@]}" --fleet 2 --chaos-kills 3 --chaos-seed 7 \
+  --telemetry "$WORK/fleet.jsonl" --summary-out "$WORK/fleet.txt" \
+  >"$WORK/fleet.out" || { echo "chaos run failed"; cat "$WORK/fleet.out"; exit 1; }
+
+CRASHES=$(grep -c '"type":"worker_crash"' "$WORK/fleet.jsonl" || true)
+REQUEUED=$(grep -c '"type":"job_requeued"' "$WORK/fleet.jsonl" || true)
+echo "telemetry: $CRASHES worker crash(es), $REQUEUED requeue(s)"
+[ "$CRASHES" -ge 1 ] || { echo "FAIL: no worker_crash events — kills were not injected"; exit 1; }
+[ "$REQUEUED" -ge 1 ] || { echo "FAIL: no job_requeued events — crashes were not requeued"; exit 1; }
+
+grep -q '"poisoned":0' "$WORK/fleet.jsonl" \
+  || { echo "FAIL: chaos kills within the crash budget must not poison anything"; exit 1; }
+
+if cmp -s "$WORK/ref.txt" "$WORK/fleet.txt"; then
+  echo "OK: fleet summary under injected kills is byte-identical to the in-process run"
+else
+  echo "FAIL: fleet summary diverges under injected kills"
+  diff -u "$WORK/ref.txt" "$WORK/fleet.txt"
+  exit 1
+fi
+
+echo "OK: fleet chaos smoke passed"

@@ -44,6 +44,18 @@
 //!      --store <file>               content-addressed verdict store: serve
 //!                                   unchanged obligations from disk, publish
 //!                                   fresh conclusive verdicts back
+//!      --fleet <n>                  solve on n supervised worker *processes*
+//!                                   (gqed worker children) instead of threads:
+//!                                   crashes are contained, crashed obligations
+//!                                   requeued, repeat offenders quarantined as
+//!                                   `poisoned`
+//!      --crash-budget <n>           worker crashes one obligation may cause
+//!                                   before quarantine (default 3)
+//!      --heartbeat-timeout-ms <m>   silence after which a worker is declared
+//!                                   dead and restarted (default 30000)
+//!      --chaos-kills <n>            chaos testing: seeded-randomly kill the
+//!                                   worker on n obligations' first dispatch
+//!      --chaos-seed <s>             seed for --chaos-kills (default 1)
 //!
 //!      SIGINT/SIGTERM cancel the campaign gracefully: in-flight solvers
 //!      stop at the next poll, pending obligations drain as `cancelled`
@@ -67,6 +79,12 @@
 //!                                   port 0 picks an ephemeral port)
 //!      --store <file>               persistent verdict store shared by every
 //!                                   batch (default: in-memory, process-lifetime)
+//!      --telemetry <file>           write serve_error/serve_summary JSONL
+//!                                   telemetry for the accept loop
+//!      --max-request-bytes <n>      cap on one request line (default 8 MiB);
+//!                                   oversize requests get a structured error
+//!      --read-timeout-ms <m>        socket read timeout (default 30000;
+//!                                   0 disables)
 //!      plus the campaign solver knobs (--jobs, --deadline-ms, --budget,
 //!      --max-attempts, --engines, --no-race, --cold, --mem-limit) as the
 //!      base configuration; each batch request may override them
@@ -78,7 +96,13 @@
 //!                                   per-batch overrides of the server's base
 //!      --telemetry <file>           write the streamed JSONL telemetry
 //!      --summary-out <file>         write the normalized summary
+//!      --retries <n>                retry refused/broken connections with
+//!                                   capped exponential backoff (default 0)
+//!      --retry-delay-ms <m>         base retry delay (default 200)
 //!      --shutdown                   ask the server to shut down instead
+//! gqed worker                       fleet worker child (internal): solves
+//!                                   single-obligation work_request lines from
+//!                                   stdin, answers on stdout (EXPERIMENTS.md)
 //! gqed bench [opts]                 cold-vs-warm pipeline benchmark
 //!      --quick                      small suite for the CI smoke step
 //!      --out <file>                 report path (default BENCH_pipeline.json)
@@ -110,11 +134,12 @@ fn main() {
         Some("mutants") => cmd_mutants(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
         Some("submit") => cmd_submit(&args[1..]),
+        Some("worker") => exit(gqed::campaign::run_worker()),
         Some("bench") => cmd_bench(&args[1..]),
         Some("productivity") => cmd_productivity(&args[1..]),
         _ => {
             eprintln!(
-                "usage: gqed <list|check|hunt|export|bmc|prove|campaign|mutants|serve|submit|bench|productivity> …"
+                "usage: gqed <list|check|hunt|export|bmc|prove|campaign|mutants|serve|submit|worker|bench|productivity> …"
             );
             eprintln!("       (see the crate docs or src/bin/gqed.rs for options)");
             exit(2);
@@ -553,7 +578,8 @@ mod signals {
 
 fn cmd_campaign(args: &[String]) {
     use gqed::campaign::{
-        enumerate_obligations, manifest_crc, Campaign, Journal, Telemetry, VerdictStore,
+        chaos_kill_plan, enumerate_obligations, manifest_crc, Campaign, FleetConfig, Journal,
+        Telemetry, VerdictStore,
     };
 
     let designs: Vec<String> = args
@@ -576,6 +602,11 @@ fn cmd_campaign(args: &[String]) {
                             | "--summary-out"
                             | "--engines"
                             | "--store"
+                            | "--fleet"
+                            | "--crash-budget"
+                            | "--heartbeat-timeout-ms"
+                            | "--chaos-kills"
+                            | "--chaos-seed"
                     )
                 )
         })
@@ -589,6 +620,9 @@ fn cmd_campaign(args: &[String]) {
         eprintln!("                     [--engines bmc,kind,pdr] [--journal file] [--resume file]");
         eprintln!(
             "                     [--mem-limit bytes[K|M|G]] [--summary-out file] [--store file]"
+        );
+        eprintln!(
+            "                     [--fleet n] [--crash-budget n] [--heartbeat-timeout-ms m] [--chaos-kills n] [--chaos-seed s]"
         );
         exit(2);
     }
@@ -614,6 +648,44 @@ fn cmd_campaign(args: &[String]) {
     };
 
     let obligations = enumerate_obligations(flows, &designs);
+
+    // Process isolation: --fleet n solves on n supervised `gqed worker`
+    // child processes; --chaos-kills injects deterministic worker deaths
+    // for crash-containment testing.
+    let fleet = flag_value(args, "--fleet").map(|v| {
+        let workers: usize = v.parse().unwrap_or_else(|_| {
+            eprintln!("--fleet expects a worker count, got {v}");
+            exit(2);
+        });
+        let mut f = FleetConfig::default().with_workers(workers);
+        if let Some(v) = flag_value(args, "--crash-budget") {
+            f = f.with_crash_budget(v.parse().unwrap_or_else(|_| {
+                eprintln!("--crash-budget expects a count, got {v}");
+                exit(2);
+            }));
+        }
+        if let Some(v) = flag_value(args, "--heartbeat-timeout-ms") {
+            f = f.with_heartbeat_timeout_ms(v.parse().unwrap_or_else(|_| {
+                eprintln!("--heartbeat-timeout-ms expects milliseconds, got {v}");
+                exit(2);
+            }));
+        }
+        if let Some(v) = flag_value(args, "--chaos-kills") {
+            let kills: usize = v.parse().unwrap_or_else(|_| {
+                eprintln!("--chaos-kills expects a count, got {v}");
+                exit(2);
+            });
+            let seed: u64 = match flag_value(args, "--chaos-seed") {
+                Some(s) => s.parse().unwrap_or_else(|_| {
+                    eprintln!("--chaos-seed expects an integer, got {s}");
+                    exit(2);
+                }),
+                None => 1,
+            };
+            f = f.with_faults(chaos_kill_plan(&obligations, kills, seed));
+        }
+        f
+    });
 
     // Crash-safe journaling: --resume replays (and truncates) an existing
     // journal and keeps appending to it; --journal starts a fresh one.
@@ -672,11 +744,18 @@ fn cmd_campaign(args: &[String]) {
         });
     }
 
-    eprintln!(
-        "campaign: {} obligations, {} worker(s)…",
-        obligations.len(),
-        config.jobs.max(1)
-    );
+    match fleet.as_ref() {
+        Some(f) => eprintln!(
+            "campaign: {} obligations, {} worker process(es)…",
+            obligations.len(),
+            f.workers.max(1)
+        ),
+        None => eprintln!(
+            "campaign: {} obligations, {} worker(s)…",
+            obligations.len(),
+            config.jobs.max(1)
+        ),
+    }
     let mut campaign = Campaign::new(&obligations).config(config.clone());
     if let Some(j) = journal.as_ref() {
         campaign = campaign.journal(j);
@@ -686,6 +765,9 @@ fn cmd_campaign(args: &[String]) {
     }
     if let Some(store) = store.as_ref() {
         campaign = campaign.verdict_store(store);
+    }
+    if let Some(f) = fleet.clone() {
+        campaign = campaign.fleet(f);
     }
     let summary = campaign.run(&telemetry);
 
@@ -713,7 +795,7 @@ fn cmd_campaign(args: &[String]) {
         );
     }
     println!(
-        "\n{} obligations in {:.2?} on {} worker(s): {} violations, {} passes, {} unknown, {} timeouts, {} failures, {} cancelled, {} replayed, {} mismatches",
+        "\n{} obligations in {:.2?} on {} worker(s): {} violations, {} passes, {} unknown, {} timeouts, {} failures, {} cancelled, {} poisoned, {} replayed, {} mismatches",
         summary.records.len(),
         summary.wall,
         summary.jobs,
@@ -723,6 +805,7 @@ fn cmd_campaign(args: &[String]) {
         summary.timeouts,
         summary.failures,
         summary.cancelled,
+        summary.poisoned,
         summary.replayed,
         summary.mismatches
     );
@@ -730,6 +813,12 @@ fn cmd_campaign(args: &[String]) {
         "engine wins: {} bmc, {} kind, {} pdr",
         summary.wins_bmc, summary.wins_kind, summary.wins_pdr
     );
+    if fleet.is_some() {
+        println!(
+            "fleet: {} worker crash(es), {} restart(s), {} requeue(s)",
+            summary.worker_crashes, summary.worker_restarts, summary.requeued
+        );
+    }
     if store.is_some() {
         println!(
             "verdict store: {} cache hits, {} cache misses",
@@ -923,14 +1012,40 @@ fn cmd_mutants(args: &[String]) {
 }
 
 fn cmd_serve(args: &[String]) {
-    use gqed::campaign::{serve, ServeOptions};
+    use gqed::campaign::{serve, ServeOptions, Telemetry};
 
     let interrupt = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
     let config = campaign_config_from_args(args).with_interrupt(std::sync::Arc::clone(&interrupt));
-    let opts = ServeOptions {
+    let telemetry = match flag_value(args, "--telemetry") {
+        Some(path) => Telemetry::file(std::path::Path::new(path)).unwrap_or_else(|e| {
+            eprintln!("cannot open telemetry file {path}: {e}");
+            exit(1);
+        }),
+        None => Telemetry::null(),
+    };
+    let mut opts = ServeOptions {
         config,
         store: flag_value(args, "--store").map(std::path::PathBuf::from),
+        telemetry,
+        ..ServeOptions::default()
     };
+    if let Some(v) = flag_value(args, "--max-request-bytes") {
+        opts.max_request_bytes = v.parse().unwrap_or_else(|_| {
+            eprintln!("--max-request-bytes expects a byte count, got {v}");
+            exit(2);
+        });
+    }
+    if let Some(v) = flag_value(args, "--read-timeout-ms") {
+        let ms: u64 = v.parse().unwrap_or_else(|_| {
+            eprintln!("--read-timeout-ms expects milliseconds, got {v}");
+            exit(2);
+        });
+        opts.read_timeout = if ms == 0 {
+            None
+        } else {
+            Some(std::time::Duration::from_millis(ms))
+        };
+    }
     let addr = flag_value(args, "--addr").unwrap_or("127.0.0.1:7878");
     let listener = std::net::TcpListener::bind(addr).unwrap_or_else(|e| {
         eprintln!("cannot bind {addr}: {e}");
@@ -959,16 +1074,26 @@ fn cmd_serve(args: &[String]) {
         Some(path) => eprintln!("verdict store: {}", path.display()),
         None => eprintln!("verdict store: in-memory (process lifetime)"),
     }
-    if let Err(e) = serve(listener, &opts) {
-        eprintln!("serve failed: {e}");
-        exit(1);
+    match serve(listener, &opts) {
+        Ok(summary) => eprintln!(
+            "gqed serve: shut down after {} connection(s), {} batch(es), {} connection error(s), {} oversize request(s), {} timeout(s)",
+            summary.connections,
+            summary.batches,
+            summary.connection_errors,
+            summary.oversize_requests,
+            summary.timeouts
+        ),
+        Err(e) => {
+            eprintln!("serve failed: {e}");
+            exit(1);
+        }
     }
 }
 
 fn cmd_submit(args: &[String]) {
     use gqed::campaign::{
-        enumerate_obligations, request_shutdown, submit_batch, BatchRequest, ObligationSpec,
-        Telemetry,
+        enumerate_obligations, request_shutdown, submit_batch_with_retry, BatchRequest,
+        ObligationSpec, Telemetry,
     };
 
     let addr = flag_value(args, "--addr").unwrap_or("127.0.0.1:7878");
@@ -999,6 +1124,8 @@ fn cmd_submit(args: &[String]) {
                             | "--engines"
                             | "--telemetry"
                             | "--summary-out"
+                            | "--retries"
+                            | "--retry-delay-ms"
                     )
                 )
         })
@@ -1011,6 +1138,7 @@ fn cmd_submit(args: &[String]) {
         );
         eprintln!("                   [--max-attempts n] [--engines bmc,kind,pdr]");
         eprintln!("                   [--telemetry file] [--summary-out file] [--shutdown]");
+        eprintln!("                   [--retries n] [--retry-delay-ms m]");
         exit(2);
     }
     for name in &designs {
@@ -1044,7 +1172,12 @@ fn cmd_submit(args: &[String]) {
         "submitting {} obligations to {addr}…",
         request.obligations.len()
     );
-    let response = match submit_batch(addr, &request, |event| telemetry.emit(event)) {
+    let retries: u32 = parse_flag(args, "--retries").unwrap_or(0);
+    let retry_delay =
+        std::time::Duration::from_millis(parse_flag(args, "--retry-delay-ms").unwrap_or(200));
+    let response = match submit_batch_with_retry(addr, &request, retries, retry_delay, |event| {
+        telemetry.emit(event)
+    }) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("submit failed: {e}");

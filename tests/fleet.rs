@@ -1,0 +1,173 @@
+//! Tentpole acceptance: the process-isolated worker fleet.
+//!
+//! Pins the ISSUE's crash-containment contract end to end: a fleet of
+//! supervised `gqed worker` child processes produces a normalized summary
+//! byte-identical to the in-process runner's — at any worker count and
+//! under injected worker deaths (abort, SIGKILL, hang). Crashes are
+//! contained and requeued; an obligation that keeps killing its worker is
+//! quarantined as `Poisoned` after the crash budget instead of taking the
+//! campaign down.
+
+use gqed::campaign::{
+    enumerate_obligations, Campaign, CampaignConfig, CampaignSummary, EngineId, FaultPlan,
+    FleetConfig, FlowFilter, JobVerdict, KillFault, Obligation, Telemetry,
+};
+use std::path::PathBuf;
+
+fn worker_exe() -> PathBuf {
+    // `current_exe()` inside the test harness is the *test* binary, which
+    // does not understand `worker`; point the fleet at the real gqed.
+    PathBuf::from(env!("CARGO_BIN_EXE_gqed"))
+}
+
+/// Bounded-BMC-only keeps every verdict exactly deterministic (see
+/// `determinism.rs`) and every relu obligation cheap.
+fn bmc_config(jobs: usize) -> CampaignConfig {
+    CampaignConfig::default()
+        .with_jobs(jobs)
+        .with_engines(vec![EngineId::Bmc])
+}
+
+fn relu_obligations() -> Vec<Obligation> {
+    let obls = enumerate_obligations(FlowFilter::all(), &["relu".to_string()]);
+    assert!(!obls.is_empty());
+    obls
+}
+
+fn fast_fleet(workers: usize) -> FleetConfig {
+    FleetConfig::default()
+        .with_workers(workers)
+        .with_worker_exe(worker_exe())
+        .with_backoff_ms(1, 10)
+}
+
+fn baseline(obls: &[Obligation]) -> CampaignSummary {
+    Campaign::new(obls)
+        .config(bmc_config(2))
+        .run(&Telemetry::null())
+}
+
+#[test]
+fn fleet_summary_is_byte_identical_to_the_in_process_runner() {
+    let obls = relu_obligations();
+    let base = baseline(&obls);
+
+    for workers in [1, 3] {
+        let fleet = Campaign::new(&obls)
+            .config(bmc_config(2))
+            .fleet(fast_fleet(workers))
+            .run(&Telemetry::null());
+        assert_eq!(
+            fleet.normalized_render(),
+            base.normalized_render(),
+            "fleet at {workers} worker process(es) diverged from the in-process runner"
+        );
+        assert_eq!(fleet.poisoned, 0);
+        assert_eq!(fleet.worker_crashes, 0);
+        assert_eq!(fleet.requeued, 0);
+        assert!(fleet.is_success(), "fleet campaign failed: {fleet:?}");
+    }
+}
+
+#[test]
+fn killed_workers_are_restarted_and_their_obligations_requeued() {
+    let obls = relu_obligations();
+    let base = baseline(&obls);
+
+    // Kill the worker on two obligations' first dispatch — once as a
+    // clean abort, once as an uncatchable SIGKILL.
+    let faults = FaultPlan::new()
+        .kill_job(&obls[0].id, 1, KillFault::Abort)
+        .kill_job(&obls[1].id, 1, KillFault::SigKill);
+    let fleet = Campaign::new(&obls)
+        .config(bmc_config(2))
+        .fleet(fast_fleet(2).with_faults(faults))
+        .run(&Telemetry::null());
+
+    assert_eq!(fleet.worker_crashes, 2, "both kills must be observed");
+    assert_eq!(fleet.requeued, 2, "both obligations must be requeued");
+    assert_eq!(fleet.poisoned, 0);
+    assert_eq!(
+        fleet.normalized_render(),
+        base.normalized_render(),
+        "worker deaths must delay verdicts, never flip them"
+    );
+    assert!(fleet.is_success(), "fleet campaign failed: {fleet:?}");
+}
+
+#[test]
+fn repeat_offender_is_quarantined_as_poisoned_without_aborting_the_campaign() {
+    let obls = relu_obligations();
+    let base = baseline(&obls);
+    let poison = obls[0].id.clone();
+
+    // Kill every dispatch of one obligation up to the crash budget: the
+    // supervisor must settle it as Poisoned and keep the campaign going.
+    let budget = 3u32;
+    let mut faults = FaultPlan::new();
+    for dispatch in 1..=budget {
+        faults = faults.kill_job(&poison, dispatch, KillFault::SigKill);
+    }
+    let fleet = Campaign::new(&obls)
+        .config(bmc_config(2))
+        .fleet(fast_fleet(2).with_crash_budget(budget).with_faults(faults))
+        .run(&Telemetry::null());
+
+    assert_eq!(fleet.poisoned, 1);
+    assert_eq!(fleet.worker_crashes, u64::from(budget));
+    let record = fleet
+        .records
+        .iter()
+        .find(|r| r.obligation.id == poison)
+        .expect("poisoned obligation has a record");
+    assert_eq!(
+        record.verdict,
+        JobVerdict::Poisoned { crashes: budget },
+        "the repeat offender must be quarantined, got {:?}",
+        record.verdict
+    );
+    assert!(
+        !fleet.is_success(),
+        "a poisoned obligation is a campaign-level failure"
+    );
+
+    // Every *other* obligation still settles exactly as the in-process
+    // runner settles it: quarantine never flips a neighbour's verdict.
+    let normalize = |summary: &CampaignSummary| -> Vec<String> {
+        summary
+            .normalized_render()
+            .lines()
+            .filter(|l| !l.starts_with(poison.as_str()))
+            .map(str::to_string)
+            .collect()
+    };
+    assert_eq!(normalize(&fleet), normalize(&base));
+}
+
+#[test]
+fn hung_worker_is_detected_by_heartbeat_loss_and_recovered() {
+    let obls = relu_obligations();
+    let base = baseline(&obls);
+
+    let faults = FaultPlan::new().kill_job(&obls[0].id, 1, KillFault::Hang);
+    let fleet = Campaign::new(&obls)
+        .config(bmc_config(2))
+        .fleet(
+            fast_fleet(2)
+                .with_heartbeat_timeout_ms(500)
+                .with_faults(faults),
+        )
+        .run(&Telemetry::null());
+
+    assert!(
+        fleet.worker_crashes >= 1,
+        "the hang must be detected as a crash via heartbeat loss"
+    );
+    assert_eq!(fleet.poisoned, 0);
+    assert_eq!(
+        fleet.normalized_render(),
+        base.normalized_render(),
+        "a hung worker must delay its obligation, never flip it"
+    );
+    assert!(fleet.is_success(), "fleet campaign failed: {fleet:?}");
+}
